@@ -1,0 +1,355 @@
+//! Associative scan elements and their combination rules.
+//!
+//! From S. Särkkä and Á. F. García-Fernández, "Temporal Parallelization of
+//! Bayesian Smoothers", IEEE TAC 66(1), 2021 (the paper's reference [3]).
+
+use kalman_dense::{gemm, matmul, matmul_tn, Cholesky, LuFactor, Matrix, Trans};
+use kalman_model::{KalmanError, LinearModel, Result};
+
+/// Filtering element `a_i = (A, b, C, η, J)`.
+///
+/// The element parametrizes `p(x_i | y_i, x_{i-1})` as
+/// `N(x_i; A x_{i-1} + b, C)` together with the likelihood factor
+/// `exp(−½ x_{i-1}ᵀ J x_{i-1} + ηᵀ x_{i-1})`; combining elements under
+/// [`FilterElement::combine`] is associative, and the prefix combination of
+/// elements `0..=i` carries the filtered mean in `b` and covariance in `C`.
+#[derive(Debug, Clone)]
+pub struct FilterElement {
+    /// Linear coefficient `A`.
+    pub a: Matrix,
+    /// Offset `b` (column vector).
+    pub b: Matrix,
+    /// Covariance `C`.
+    pub c: Matrix,
+    /// Information vector `η` (column vector).
+    pub eta: Matrix,
+    /// Information matrix `J`.
+    pub j: Matrix,
+}
+
+impl FilterElement {
+    /// Builds the element for state `i` of a uniform model.
+    ///
+    /// For `i == 0` the element conditions the prior on state 0's
+    /// observation; for `i > 0` it conditions the transition
+    /// `N(F x + c, Q)` on the observation of state `i` (if any).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::NotPositiveDefinite`] if an innovation covariance is
+    /// not SPD.
+    pub fn for_state(model: &LinearModel, i: usize) -> Result<FilterElement> {
+        let n = model.state_dim(0);
+        let step = &model.steps[i];
+        if i == 0 {
+            let prior = model.prior.as_ref().ok_or(KalmanError::PriorRequired)?;
+            let m0 = Matrix::col_from_slice(&prior.mean);
+            let p0 = prior.cov.to_dense();
+            let (b, c) = match &step.observation {
+                None => (m0, p0),
+                Some(obs) => update(&m0, &p0, &obs.g, &obs.o, &obs.noise.to_dense(), i)?,
+            };
+            Ok(FilterElement {
+                a: Matrix::zeros(n, n),
+                b,
+                c,
+                eta: Matrix::zeros(n, 1),
+                j: Matrix::zeros(n, n),
+            })
+        } else {
+            let evo = step.evolution.as_ref().expect("validated");
+            let f = &evo.f;
+            let cvec = Matrix::col_from_slice(&evo.c);
+            let q = evo.noise.to_dense();
+            match &step.observation {
+                None => Ok(FilterElement {
+                    a: f.clone(),
+                    b: cvec,
+                    c: q,
+                    eta: Matrix::zeros(n, 1),
+                    j: Matrix::zeros(n, n),
+                }),
+                Some(obs) => {
+                    let g = &obs.g;
+                    let o = Matrix::col_from_slice(&obs.o);
+                    let l = obs.noise.to_dense();
+                    // S = G Q Gᵀ + L
+                    let gq = matmul(g, &q);
+                    let mut s = l;
+                    gemm(1.0, &gq, Trans::No, g, Trans::Yes, 1.0, &mut s);
+                    s.symmetrize();
+                    let s_chol = Cholesky::new(&s)
+                        .map_err(|_| KalmanError::NotPositiveDefinite { step: i })?;
+                    // K = Q Gᵀ S⁻¹ = (S⁻¹ G Q)ᵀ.
+                    let k = s_chol.solve(&gq).transpose();
+                    // innovation offset: o − G c
+                    let resid = &o - &matmul(g, &cvec);
+                    // A = (I − K G) F
+                    let mut ikg = Matrix::identity(n);
+                    gemm(-1.0, &k, Trans::No, g, Trans::No, 1.0, &mut ikg);
+                    let a = matmul(&ikg, f);
+                    // b = c + K (o − G c)
+                    let b = &cvec + &matmul(&k, &resid);
+                    // C = (I − K G) Q
+                    let mut c = matmul(&ikg, &q);
+                    c.symmetrize();
+                    // η = Fᵀ Gᵀ S⁻¹ (o − Gc);  J = Fᵀ Gᵀ S⁻¹ G F
+                    let sinv_resid = s_chol.solve(&resid);
+                    let gf = matmul(g, f);
+                    let eta = matmul_tn(&gf, &sinv_resid);
+                    let sinv_gf = s_chol.solve(&gf);
+                    let mut j = matmul_tn(&gf, &sinv_gf);
+                    j.symmetrize();
+                    Ok(FilterElement { a, b, c, eta, j })
+                }
+            }
+        }
+    }
+
+    /// The associative combination `self ⊗ later` (`self` is earlier in
+    /// time).
+    ///
+    /// With `D = I + C₁J₂` (and `I + J₂C₁ = Dᵀ`, since `C₁`, `J₂` are
+    /// symmetric), the TAC-2021 rules are
+    ///
+    /// ```text
+    /// A = A₂D⁻¹A₁            η = A₁ᵀD⁻ᵀ(η₂ − J₂b₁) + η₁
+    /// b = A₂D⁻¹(b₁ + C₁η₂) + b₂    J = A₁ᵀD⁻ᵀJ₂A₁ + J₁
+    /// C = A₂D⁻¹C₁A₂ᵀ + C₂
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D` is singular (cannot happen for SPD covariances).
+    pub fn combine(&self, later: &FilterElement) -> FilterElement {
+        let n = self.a.rows();
+        let (a1, b1, c1, eta1, j1) = (&self.a, &self.b, &self.c, &self.eta, &self.j);
+        let (a2, b2, c2, eta2, j2) = (&later.a, &later.b, &later.c, &later.eta, &later.j);
+
+        // D = I + C1 J2.
+        let mut d = Matrix::identity(n);
+        gemm(1.0, c1, Trans::No, j2, Trans::No, 1.0, &mut d);
+        let lu_dt = LuFactor::new(d.transpose())
+            .expect("I + J2·C1 is nonsingular for SPD covariances");
+        let lu_d = LuFactor::new(d).expect("I + C1·J2 is nonsingular for SPD covariances");
+
+        // D⁻¹ [A1 | b1+C1η2 | C1] in one multi-RHS solve.
+        let b1_c1eta2 = b1 + &matmul(c1, eta2);
+        let solved = lu_d.solve(&Matrix::hstack(&[a1, &b1_c1eta2, c1]));
+        let dinv_a1 = solved.sub_matrix(0, 0, n, n);
+        let dinv_b = solved.sub_matrix(0, n, n, 1);
+        let dinv_c1 = solved.sub_matrix(0, n + 1, n, n);
+
+        let a = matmul(a2, &dinv_a1);
+        let b = &matmul(a2, &dinv_b) + b2;
+        let mut c = matmul(&matmul(a2, &dinv_c1), &a2.transpose());
+        c += c2;
+        c.symmetrize();
+
+        // D⁻ᵀ [(η2 − J2 b1) | J2 A1] in one multi-RHS solve.
+        let eta2_j2b1 = eta2 - &matmul(j2, b1);
+        let j2a1 = matmul(j2, a1);
+        let solved2 = lu_dt.solve(&Matrix::hstack(&[&eta2_j2b1, &j2a1]));
+        let dt_eta = solved2.sub_matrix(0, 0, n, 1);
+        let dt_j2a1 = solved2.sub_matrix(0, 1, n, n);
+
+        let eta = &matmul_tn(a1, &dt_eta) + eta1;
+        let mut j = matmul_tn(a1, &dt_j2a1);
+        j += j1;
+        j.symmetrize();
+
+        FilterElement { a, b, c, eta, j }
+    }
+}
+
+/// Kalman measurement update (helper for the first element).
+fn update(
+    m: &Matrix,
+    p: &Matrix,
+    g: &Matrix,
+    o: &[f64],
+    l: &Matrix,
+    step: usize,
+) -> Result<(Matrix, Matrix)> {
+    let gp = matmul(g, p);
+    let mut s = l.clone();
+    gemm(1.0, &gp, Trans::No, g, Trans::Yes, 1.0, &mut s);
+    s.symmetrize();
+    let s_chol = Cholesky::new(&s).map_err(|_| KalmanError::NotPositiveDefinite { step })?;
+    let k = s_chol.solve(&gp).transpose();
+    let resid = &Matrix::col_from_slice(o) - &matmul(g, m);
+    let mean = m + &matmul(&k, &resid);
+    let mut cov = p.clone();
+    gemm(-1.0, &k, Trans::No, &gp, Trans::No, 1.0, &mut cov);
+    cov.symmetrize();
+    Ok((mean, cov))
+}
+
+/// Smoothing element `b_i = (E, g, L)`.
+///
+/// Parametrizes `p(x_i | x_{i+1}, y_{0..i})` as `N(x_i; E x_{i+1} + g, L)`;
+/// the suffix combination of elements `i..=k` carries the smoothed mean in
+/// `g` and covariance in `L`.
+#[derive(Debug, Clone)]
+pub struct SmoothElement {
+    /// Gain `E` onto the next state.
+    pub e: Matrix,
+    /// Offset `g` (column vector).
+    pub g: Matrix,
+    /// Covariance `L`.
+    pub l: Matrix,
+}
+
+impl SmoothElement {
+    /// Builds the element for state `i` from the filtered `(m_i, P_i)` and
+    /// the evolution into state `i+1` (pass `None` for the last state).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::NotPositiveDefinite`] if the predictive covariance is
+    /// not SPD.
+    pub fn for_state(
+        model: &LinearModel,
+        i: usize,
+        m: &[f64],
+        p: &Matrix,
+    ) -> Result<SmoothElement> {
+        let n = p.rows();
+        let mvec = Matrix::col_from_slice(m);
+        if i + 1 >= model.num_states() {
+            return Ok(SmoothElement {
+                e: Matrix::zeros(n, n),
+                g: mvec,
+                l: p.clone(),
+            });
+        }
+        let evo = model.steps[i + 1].evolution.as_ref().expect("validated");
+        let f = &evo.f;
+        // P⁻ = F P Fᵀ + Q
+        let fp = matmul(f, p);
+        let mut pred = evo.noise.to_dense();
+        gemm(1.0, &fp, Trans::No, f, Trans::Yes, 1.0, &mut pred);
+        pred.symmetrize();
+        let chol =
+            Cholesky::new(&pred).map_err(|_| KalmanError::NotPositiveDefinite { step: i + 1 })?;
+        // E = P Fᵀ (P⁻)⁻¹ = ((P⁻)⁻¹ F P)ᵀ
+        let e = chol.solve(&fp).transpose();
+        // g = m − E (F m + c)
+        let mut fm = matmul(f, &mvec);
+        for (v, c) in fm.col_mut(0).iter_mut().zip(&evo.c) {
+            *v += c;
+        }
+        let g = &mvec - &matmul(&e, &fm);
+        // L = P − E F P
+        let mut l = p.clone();
+        gemm(-1.0, &e, Trans::No, &fp, Trans::No, 1.0, &mut l);
+        l.symmetrize();
+        Ok(SmoothElement { e, g, l })
+    }
+
+    /// The associative combination `self ⊗ later` (`self` is earlier in
+    /// time; the scan runs from the last state toward the first).
+    pub fn combine(&self, later: &SmoothElement) -> SmoothElement {
+        let e = matmul(&self.e, &later.e);
+        let g = &matmul(&self.e, &later.g) + &self.g;
+        let mut l = matmul(&matmul(&self.e, &later.l), &self.e.transpose());
+        l += &self.l;
+        l.symmetrize();
+        SmoothElement { e, g, l }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_model::generators;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn first_element_is_posterior_of_prior() {
+        let model = generators::paper_benchmark(&mut rng(1), 3, 4, true);
+        let e = FilterElement::for_state(&model, 0).unwrap();
+        assert_eq!(e.a.max_abs(), 0.0);
+        assert_eq!(e.j.max_abs(), 0.0);
+        // b must equal the one-step Kalman update of the prior.
+        let fr = kalman_seq::kalman_filter(&model).unwrap();
+        for (x, y) in e.b.col(0).iter().zip(&fr.means[0]) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        assert!(e.c.approx_eq(&fr.covs[0], 1e-12));
+    }
+
+    #[test]
+    fn element_without_prior_fails() {
+        let model = generators::paper_benchmark(&mut rng(2), 2, 3, false);
+        assert!(matches!(
+            FilterElement::for_state(&model, 0),
+            Err(KalmanError::PriorRequired)
+        ));
+    }
+
+    /// Associativity: (a ⊗ b) ⊗ c == a ⊗ (b ⊗ c).
+    #[test]
+    fn filter_combination_is_associative() {
+        let model = generators::paper_benchmark(&mut rng(3), 3, 3, true);
+        let e1 = FilterElement::for_state(&model, 1).unwrap();
+        let e2 = FilterElement::for_state(&model, 2).unwrap();
+        let e3 = FilterElement::for_state(&model, 3).unwrap();
+        let left = e1.combine(&e2).combine(&e3);
+        let right = e1.combine(&e2.combine(&e3));
+        assert!(left.a.approx_eq(&right.a, 1e-10));
+        assert!(left.b.approx_eq(&right.b, 1e-10));
+        assert!(left.c.approx_eq(&right.c, 1e-10));
+        assert!(left.eta.approx_eq(&right.eta, 1e-10));
+        assert!(left.j.approx_eq(&right.j, 1e-10));
+    }
+
+    /// Sequential fold of filter elements reproduces the Kalman filter.
+    #[test]
+    fn filter_fold_matches_kalman_filter() {
+        let model = generators::paper_benchmark(&mut rng(4), 3, 10, true);
+        let fr = kalman_seq::kalman_filter(&model).unwrap();
+        let mut acc = FilterElement::for_state(&model, 0).unwrap();
+        for (x, y) in acc.b.col(0).iter().zip(&fr.means[0]) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        for i in 1..model.num_states() {
+            let e = FilterElement::for_state(&model, i).unwrap();
+            acc = acc.combine(&e);
+            for (x, y) in acc.b.col(0).iter().zip(&fr.means[i]) {
+                assert!((x - y).abs() < 1e-8, "state {i}");
+            }
+            assert!(acc.c.approx_eq(&fr.covs[i], 1e-8), "cov state {i}");
+        }
+    }
+
+    #[test]
+    fn smooth_combination_is_associative() {
+        let model = generators::paper_benchmark(&mut rng(5), 3, 3, true);
+        let fr = kalman_seq::kalman_filter(&model).unwrap();
+        let e1 = SmoothElement::for_state(&model, 0, &fr.means[0], &fr.covs[0]).unwrap();
+        let e2 = SmoothElement::for_state(&model, 1, &fr.means[1], &fr.covs[1]).unwrap();
+        let e3 = SmoothElement::for_state(&model, 2, &fr.means[2], &fr.covs[2]).unwrap();
+        let left = e1.combine(&e2).combine(&e3);
+        let right = e1.combine(&e2.combine(&e3));
+        assert!(left.e.approx_eq(&right.e, 1e-10));
+        assert!(left.g.approx_eq(&right.g, 1e-10));
+        assert!(left.l.approx_eq(&right.l, 1e-10));
+    }
+
+    #[test]
+    fn unobserved_elements_are_pure_prediction() {
+        let mut model = generators::paper_benchmark(&mut rng(6), 2, 3, true);
+        model.steps[2].observation = None;
+        let e = FilterElement::for_state(&model, 2).unwrap();
+        let evo = model.steps[2].evolution.as_ref().unwrap();
+        assert!(e.a.approx_eq(&evo.f, 0.0));
+        assert_eq!(e.eta.max_abs(), 0.0);
+        assert_eq!(e.j.max_abs(), 0.0);
+    }
+}

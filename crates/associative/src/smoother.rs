@@ -1,0 +1,186 @@
+//! The two-scan smoother driver.
+
+use crate::elements::{FilterElement, SmoothElement};
+use kalman_dense::Matrix;
+use kalman_model::{KalmanError, LinearModel, Result, Smoothed};
+use kalman_par::{inclusive_scan_in_place, map_collect, suffix_scan_in_place, ExecPolicy};
+
+/// Options for the associative smoother.
+#[derive(Debug, Clone, Copy)]
+pub struct AssociativeOptions {
+    /// Execution policy for element construction and both scans.
+    pub policy: ExecPolicy,
+}
+
+impl Default for AssociativeOptions {
+    fn default() -> Self {
+        AssociativeOptions {
+            policy: ExecPolicy::par(),
+        }
+    }
+}
+
+fn check_supported(model: &LinearModel) -> Result<()> {
+    model.validate()?;
+    if model.prior.is_none() {
+        return Err(KalmanError::PriorRequired);
+    }
+    if !model.is_uniform() {
+        return Err(KalmanError::UnsupportedStructure(
+            "the associative smoother requires uniform state dimensions, square F, and H = I"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Runs only the filtering scan, returning filtered means and covariances.
+///
+/// # Errors
+///
+/// [`KalmanError::PriorRequired`] / [`KalmanError::UnsupportedStructure`]
+/// for unsupported models; covariance failures propagate.
+pub fn associative_filter(
+    model: &LinearModel,
+    options: AssociativeOptions,
+) -> Result<(Vec<Vec<f64>>, Vec<Matrix>)> {
+    check_supported(model)?;
+    let k1 = model.num_states();
+    let elems: Vec<Result<FilterElement>> =
+        map_collect(options.policy, k1, |i| FilterElement::for_state(model, i));
+    let mut elems: Vec<FilterElement> = elems.into_iter().collect::<Result<_>>()?;
+    inclusive_scan_in_place(options.policy, &mut elems, |a, b| a.combine(b));
+    let means = elems.iter().map(|e| e.b.col(0).to_vec()).collect();
+    let covs = elems.into_iter().map(|e| e.c).collect();
+    Ok((means, covs))
+}
+
+/// Smooths `model` with the associative parallel-scan algorithm.
+///
+/// Phase 1 builds the filtering elements (parallel per step) and runs the
+/// forward parallel scan; phase 2 builds the smoothing elements from the
+/// filtered results and runs the backward (suffix) parallel scan.  Unlike
+/// the QR smoothers, covariances are inherent to the computation and always
+/// returned.
+///
+/// # Errors
+///
+/// Same as [`associative_filter`].
+pub fn associative_smooth(model: &LinearModel, options: AssociativeOptions) -> Result<Smoothed> {
+    let (f_means, f_covs) = associative_filter(model, options)?;
+    let k1 = model.num_states();
+    let elems: Vec<Result<SmoothElement>> = map_collect(options.policy, k1, |i| {
+        SmoothElement::for_state(model, i, &f_means[i], &f_covs[i])
+    });
+    let mut elems: Vec<SmoothElement> = elems.into_iter().collect::<Result<_>>()?;
+    suffix_scan_in_place(options.policy, &mut elems, |a, b| a.combine(b));
+    let means = elems.iter().map(|e| e.g.col(0).to_vec()).collect();
+    let covs = elems.into_iter().map(|e| e.l).collect();
+    Ok(Smoothed {
+        means,
+        covariances: Some(covs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_model::{generators, solve_dense};
+    use kalman_seq::{kalman_filter, rts_smooth};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn filter_matches_conventional_filter() {
+        let model = generators::paper_benchmark(&mut rng(60), 3, 25, true);
+        let (means, covs) = associative_filter(&model, AssociativeOptions::default()).unwrap();
+        let fr = kalman_filter(&model).unwrap();
+        for i in 0..model.num_states() {
+            for (x, y) in means[i].iter().zip(&fr.means[i]) {
+                assert!((x - y).abs() < 1e-8, "state {i}");
+            }
+            assert!(covs[i].approx_eq(&fr.covs[i], 1e-8), "cov {i}");
+        }
+    }
+
+    #[test]
+    fn smoother_matches_rts_and_dense() {
+        let model = generators::paper_benchmark(&mut rng(61), 4, 40, true);
+        let assoc = associative_smooth(&model, AssociativeOptions::default()).unwrap();
+        let rts = rts_smooth(&model).unwrap();
+        let dense = solve_dense(&model).unwrap();
+        assert!(assoc.max_mean_diff(&rts) < 1e-8, "vs RTS {}", assoc.max_mean_diff(&rts));
+        assert!(assoc.max_cov_diff(&rts).unwrap() < 1e-8);
+        assert!(assoc.max_mean_diff(&dense) < 1e-8);
+        assert!(assoc.max_cov_diff(&dense).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn seq_and_par_policies_agree() {
+        let model = generators::paper_benchmark(&mut rng(62), 3, 33, true);
+        let seq = associative_smooth(
+            &model,
+            AssociativeOptions {
+                policy: ExecPolicy::Seq,
+            },
+        )
+        .unwrap();
+        let par = associative_smooth(
+            &model,
+            AssociativeOptions {
+                policy: ExecPolicy::par_with_grain(2),
+            },
+        )
+        .unwrap();
+        // The parallel scan applies the operator in a different association
+        // order, so results differ by rounding only.
+        assert!(seq.max_mean_diff(&par) < 1e-9);
+        assert!(seq.max_cov_diff(&par).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn requires_prior_and_uniform_model() {
+        let model = generators::paper_benchmark(&mut rng(63), 2, 5, false);
+        assert!(matches!(
+            associative_smooth(&model, AssociativeOptions::default()),
+            Err(KalmanError::PriorRequired)
+        ));
+        let mut dim_change = generators::dimension_change(&mut rng(64), 2, 4);
+        dim_change.set_prior(vec![0.0; 2], kalman_model::CovarianceSpec::Identity(2));
+        assert!(matches!(
+            associative_smooth(&dim_change, AssociativeOptions::default()),
+            Err(KalmanError::UnsupportedStructure(_))
+        ));
+    }
+
+    #[test]
+    fn handles_missing_observations() {
+        let mut model = generators::sparse_observations(&mut rng(65), 3, 20, 4);
+        model.set_prior(vec![0.0; 3], kalman_model::CovarianceSpec::Identity(3));
+        let assoc = associative_smooth(&model, AssociativeOptions::default()).unwrap();
+        let rts = rts_smooth(&model).unwrap();
+        assert!(assoc.max_mean_diff(&rts) < 1e-8);
+        assert!(assoc.max_cov_diff(&rts).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn handles_tracking_problem() {
+        let p = generators::tracking_2d(&mut rng(66), 40, 0.1, 0.5, 0.2);
+        let assoc = associative_smooth(&p.model, AssociativeOptions::default()).unwrap();
+        let rts = rts_smooth(&p.model).unwrap();
+        assert!(assoc.max_mean_diff(&rts) < 1e-7);
+        assert!(assoc.max_cov_diff(&rts).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn single_state() {
+        let model = generators::paper_benchmark(&mut rng(67), 2, 0, true);
+        let assoc = associative_smooth(&model, AssociativeOptions::default()).unwrap();
+        let rts = rts_smooth(&model).unwrap();
+        assert!(assoc.max_mean_diff(&rts) < 1e-10);
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. grain size of the parallel batches (paper Fig. 6 left),
+//! 2. odd-column compression on/off (step 3 of each level),
+//! 3. the separable covariance phase (full vs NC),
+//! 4. compiled-sequential twin vs parallel code on the work-stealing pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalman::prelude::*;
+use kalman_bench::sweep::panel_model;
+
+fn bench_ablation(c: &mut Criterion) {
+    let model = panel_model(6, 20_000, 42);
+
+    let mut group = c.benchmark_group("ablation_grain");
+    group.sample_size(10);
+    for grain in [1usize, 10, 100, 1000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(grain), &model, |b, m| {
+            b.iter(|| {
+                odd_even_smooth(
+                    m,
+                    OddEvenOptions::with_policy(ExecPolicy::par_with_grain(grain)),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_compression");
+    group.sample_size(10);
+    for (name, compress) in [("compress_on", true), ("compress_off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| {
+                odd_even_smooth(
+                    m,
+                    OddEvenOptions {
+                        covariances: true,
+                        policy: ExecPolicy::par(),
+                        compress_odd: compress,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_covariance_phase");
+    group.sample_size(10);
+    for (name, covs) in [("full", true), ("nc", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &model, |b, m| {
+            b.iter(|| {
+                odd_even_smooth(
+                    m,
+                    OddEvenOptions {
+                        covariances: covs,
+                        policy: ExecPolicy::par(),
+                        compress_odd: true,
+                    },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_seq_twin");
+    group.sample_size(10);
+    // The compiled-sequential twin (plain loops, no scheduler)…
+    group.bench_with_input(BenchmarkId::from_parameter("seq_twin"), &model, |b, m| {
+        b.iter(|| odd_even_smooth(m, OddEvenOptions::with_policy(ExecPolicy::Seq)).unwrap())
+    });
+    // …vs the parallel code on the default pool.
+    group.bench_with_input(BenchmarkId::from_parameter("par_pool"), &model, |b, m| {
+        b.iter(|| odd_even_smooth(m, OddEvenOptions::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

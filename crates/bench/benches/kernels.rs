@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the dense kernels (the BLAS/LAPACK substitutes)
+//! at the block sizes the smoothers actually use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalman::dense::{matmul, random, tri, Cholesky, LuFactor, QrFactor};
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    for n in [6usize, 48] {
+        // The smoother's workhorse: QR of a stacked 2n×n block.
+        let tall = random::gaussian(&mut rng, 2 * n, n);
+        c.bench_with_input(BenchmarkId::new("qr_2n_x_n", n), &tall, |b, m| {
+            b.iter(|| QrFactor::new(m.clone()))
+        });
+
+        let square = random::gaussian(&mut rng, n, n);
+        let square2 = random::gaussian(&mut rng, n, n);
+        c.bench_with_input(
+            BenchmarkId::new("gemm_n_x_n", n),
+            &(square.clone(), square2),
+            |b, (x, y)| b.iter(|| matmul(x, y)),
+        );
+
+        let spd = random::spd(&mut rng, n);
+        c.bench_with_input(BenchmarkId::new("cholesky", n), &spd, |b, m| {
+            b.iter(|| Cholesky::new(m).unwrap())
+        });
+
+        c.bench_with_input(BenchmarkId::new("lu", n), &square, |b, m| {
+            b.iter(|| LuFactor::new(m.clone()).unwrap())
+        });
+
+        let qr = QrFactor::new(random::gaussian(&mut rng, 2 * n, n));
+        let r = qr.r();
+        let rhs = random::gaussian(&mut rng, n, n);
+        c.bench_with_input(
+            BenchmarkId::new("trisolve_n_rhs", n),
+            &(r, rhs),
+            |b, (u, y)| {
+                b.iter(|| {
+                    let mut x = y.clone();
+                    tri::solve_upper_in_place(u, &mut x).unwrap();
+                    x
+                })
+            },
+        );
+
+        // Qᵀ application to an n-column companion — the fill-producing step.
+        let comp = random::gaussian(&mut rng, 2 * n, n);
+        c.bench_with_input(
+            BenchmarkId::new("apply_qt", n),
+            &(qr, comp),
+            |b, (q, m)| {
+                b.iter(|| {
+                    let mut t = m.clone();
+                    q.apply_qt(&mut t);
+                    t
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

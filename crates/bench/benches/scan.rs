@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the generic parallel scan against its sequential
+//! twin, on both cheap (f64 add) and expensive (matrix-multiply) operators —
+//! the regime the associative smoother lives in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalman::dense::{matmul, random, Matrix};
+use kalman::par::{inclusive_scan_in_place, suffix_scan_in_place, ExecPolicy};
+use rand::SeedableRng;
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_f64_add");
+    group.sample_size(20);
+    let base: Vec<f64> = (0..1_000_000).map(|i| (i % 97) as f64).collect();
+    for (name, policy) in [
+        ("seq", ExecPolicy::Seq),
+        ("par_grain1000", ExecPolicy::par_with_grain(1000)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| {
+                let mut v = base.clone();
+                inclusive_scan_in_place(p, &mut v, |a, x| a + x);
+                v[base.len() - 1]
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scan_matmul_6x6");
+    group.sample_size(10);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+    // Orthonormal factors keep products bounded over a long scan.
+    let elems: Vec<Matrix> = (0..20_000)
+        .map(|_| random::orthonormal(&mut rng, 6))
+        .collect();
+    for (name, policy) in [
+        ("seq", ExecPolicy::Seq),
+        ("par_grain10", ExecPolicy::par_with_grain(10)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("prefix", name), &policy, |b, &p| {
+            b.iter(|| {
+                let mut v = elems.clone();
+                inclusive_scan_in_place(p, &mut v, |a, x| matmul(a, x));
+                v.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("suffix", name), &policy, |b, &p| {
+            b.iter(|| {
+                let mut v = elems.clone();
+                suffix_scan_in_place(p, &mut v, |a, x| matmul(a, x));
+                v.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benchmarks of all six smoother variants on both paper panel
+//! shapes (scaled down for statistical benchmarking practicality).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalman_bench::sweep::{panel_model, Algorithm};
+
+fn bench_smoothers(c: &mut Criterion) {
+    for (n, k) in [(6usize, 5_000usize), (48, 500)] {
+        let model = panel_model(n, k, 42);
+        let mut group = c.benchmark_group(format!("smoothers_n{n}_k{k}"));
+        group.sample_size(10);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(alg.name().replace(' ', "_")),
+                &model,
+                |b, m| b.iter(|| alg.run(m)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_smoothers);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 2: running times of all six smoother variants versus core count,
+//! for the two problem shapes of the paper's panels.
+//!
+//! Paper sizes: (n=6, k=5 000 000) and (n=48, k=100 000) on 56/64-core
+//! servers with 128–200 GB of RAM.  Defaults here are scaled to the
+//! container (24 cores, 21 GB): (n=6, k=500 000) and (n=48, k=20 000);
+//! `--paper` requests the full paper sizes.
+//!
+//! `cargo run --release -p kalman-bench --bin fig2_running_times \
+//!     [--k6 500000] [--k48 20000] [--runs 3] [--paper] [--quick]`
+
+use kalman_bench::sweep::{panel_model, run_sweep, Algorithm};
+use kalman_bench::{core_sweep, fmt_secs, print_row, Args};
+
+fn main() {
+    let mut args = Args::parse();
+    let paper = args.has("paper");
+    let quick = args.has("quick");
+    let (dk6, dk48) = if paper {
+        (5_000_000, 100_000)
+    } else if quick {
+        (20_000, 2_000)
+    } else {
+        (500_000, 20_000)
+    };
+    let k6: usize = args.get("k6", dk6);
+    let k48: usize = args.get("k48", dk48);
+    let runs: usize = args.get("runs", if quick { 1 } else { 3 });
+    args.finish();
+
+    let cores = core_sweep();
+    for (n, k, seed) in [(6usize, k6, 10u64), (48, k48, 11)] {
+        println!("\n=== Figure 2 panel: n={n} k={k} (medians of {runs} runs) ===");
+        eprintln!("building model n={n} k={k}…");
+        let model = panel_model(n, k, seed);
+        let records = run_sweep(&model, &cores, runs);
+
+        let mut header = vec!["cores".to_string()];
+        header.extend(Algorithm::ALL.iter().map(|a| a.name().to_string()));
+        print_row(&header);
+        for &c in &cores {
+            let mut row = vec![c.to_string()];
+            for alg in Algorithm::ALL {
+                let t = if alg.is_parallel() {
+                    kalman_bench::sweep::time_of(&records, alg, c)
+                } else {
+                    // Sequential algorithms: one flat line, as in the paper.
+                    kalman_bench::sweep::time_of(&records, alg, 1)
+                };
+                row.push(t.map(fmt_secs).unwrap_or_else(|| "-".into()));
+            }
+            print_row(&row);
+        }
+    }
+    println!("\n(times in seconds; sequential algorithms are flat lines, as in the paper)");
+}

@@ -1,0 +1,38 @@
+//! Figure 3: speedups of the three parallel smoothers relative to the same
+//! implementation on one core (same measurement as Figure 2, different view).
+//!
+//! `cargo run --release -p kalman-bench --bin fig3_speedups \
+//!     [--k6 500000] [--k48 20000] [--runs 3] [--quick]`
+
+use kalman_bench::sweep::{panel_model, run_sweep, time_of, Algorithm};
+use kalman_bench::{core_sweep, print_row, Args};
+
+fn main() {
+    let mut args = Args::parse();
+    let quick = args.has("quick");
+    let k6: usize = args.get("k6", if quick { 20_000 } else { 500_000 });
+    let k48: usize = args.get("k48", if quick { 2_000 } else { 20_000 });
+    let runs: usize = args.get("runs", if quick { 1 } else { 3 });
+    args.finish();
+
+    let cores = core_sweep();
+    for (n, k, seed) in [(6usize, k6, 10u64), (48, k48, 11)] {
+        println!("\n=== Figure 3 panel: n={n} k={k} — speedup vs same code on 1 core ===");
+        let model = panel_model(n, k, seed);
+        let records = run_sweep(&model, &cores, runs);
+
+        let mut header = vec!["cores".to_string()];
+        header.extend(Algorithm::PARALLEL.iter().map(|a| a.name().to_string()));
+        print_row(&header);
+        for &c in &cores {
+            let mut row = vec![c.to_string()];
+            for alg in Algorithm::PARALLEL {
+                let t1 = time_of(&records, alg, 1).expect("1-core time measured");
+                let tc = time_of(&records, alg, c).expect("time measured");
+                row.push(format!("{:.2}x", t1 / tc));
+            }
+            print_row(&row);
+        }
+    }
+    println!("\n(the paper reports up to 47x on 64 ARM cores; expect proportionally less here)");
+}

@@ -1,0 +1,101 @@
+//! Figure 4: speedups of the four phases of an embarrassingly-parallel
+//! micro-benchmark that characterizes the hardware and the scheduler:
+//!
+//! 1. allocate k step structures, storing their addresses in an array,
+//! 2. allocate a 2n×n matrix per step,
+//! 3. fill every matrix with `A_ij = i + j`,
+//! 4. QR-factorize every matrix.
+//!
+//! Each phase is a separate `parallel_for` with block size 8 (the paper's
+//! choice, to avoid false sharing in phase 1).
+//!
+//! `cargo run --release -p kalman-bench --bin fig4_microbench \
+//!     [--n 48] [--k 20000] [--runs 3]`
+
+use kalman::dense::{Matrix, QrFactor};
+use kalman::par::{for_each_mut, run_with_threads, ExecPolicy};
+use kalman_bench::{core_sweep, median_time, print_row, Args};
+
+/// A step structure, heap-allocated like the paper's array-of-pointers.
+struct Step {
+    matrix: Option<Matrix>,
+    qr: Option<QrFactor>,
+}
+
+fn main() {
+    let mut args = Args::parse();
+    let n: usize = args.get("n", 48);
+    let k: usize = args.get("k", 20_000);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+
+    let policy = ExecPolicy::par_with_grain(8);
+    println!("Figure 4: embarrassingly-parallel micro-benchmark, n={n} k={k}");
+
+    let phase_names = ["Allocate Structure", "Allocate Matrix", "Fill Matrix", "QR Factorization"];
+    let cores = core_sweep();
+    // times[phase][core_idx]
+    let mut times = vec![vec![0.0f64; cores.len()]; 4];
+
+    for (ci, &c) in cores.iter().enumerate() {
+        let measured: [f64; 4] = run_with_threads(c, move || {
+            let mut t = [0.0f64; 4];
+            // Phase 1: allocate the structures.
+            let mut steps: Vec<Box<Step>> = Vec::new();
+            t[0] = median_time(runs, || {
+                let mut v: Vec<Box<Step>> = Vec::with_capacity(k);
+                for _ in 0..k {
+                    v.push(Box::new(Step { matrix: None, qr: None }));
+                }
+                // Parallel touch to mirror the paper's parallel_for shape.
+                for_each_mut(policy, &mut v, |_, s| {
+                    s.matrix = None;
+                });
+                steps = v;
+            });
+            // Phase 2: allocate a 2n×n matrix per step.
+            t[1] = median_time(runs, || {
+                for_each_mut(policy, &mut steps, |_, s| {
+                    s.matrix = Some(Matrix::zeros(2 * n, n));
+                });
+            });
+            // Phase 3: fill A_ij = i + j.
+            t[2] = median_time(runs, || {
+                for_each_mut(policy, &mut steps, |_, s| {
+                    let m = s.matrix.as_mut().expect("allocated in phase 2");
+                    for j in 0..n {
+                        let col = m.col_mut(j);
+                        for (i, v) in col.iter_mut().enumerate() {
+                            *v = (i + j) as f64;
+                        }
+                    }
+                });
+            });
+            // Phase 4: QR-factorize each matrix.
+            t[3] = median_time(runs, || {
+                for_each_mut(policy, &mut steps, |_, s| {
+                    let m = s.matrix.as_ref().expect("allocated in phase 2").clone();
+                    s.qr = Some(QrFactor::new(m));
+                });
+            });
+            t
+        });
+        for p in 0..4 {
+            times[p][ci] = measured[p];
+        }
+        eprintln!("  cores {c:>2}: {:?}", measured.map(|x| (x * 1e3).round() / 1e3));
+    }
+
+    println!("\nspeedup vs 1 core:");
+    let mut header = vec!["cores".to_string()];
+    header.extend(phase_names.iter().map(|s| s.to_string()));
+    print_row(&header);
+    for (ci, &c) in cores.iter().enumerate() {
+        let mut row = vec![c.to_string()];
+        for p in 0..4 {
+            row.push(format!("{:.2}x", times[p][0] / times[p][ci]));
+        }
+        print_row(&row);
+    }
+    println!("\n(paper: QR scales near-linearly; allocation/fill phases are memory-bound and scale poorly)");
+}

@@ -1,0 +1,46 @@
+//! Figure 6 (left): running time of the Odd-Even smoother on all cores as a
+//! function of the `parallel_for` block-size parameter.
+//!
+//! The paper sweeps TBB block sizes from 1 to 10⁶ on (n=6, k=5M): flat from
+//! 1 to ~1000, slowing beyond ~5000 as parallelism runs out.
+//!
+//! `cargo run --release -p kalman-bench --bin fig6_blocksize \
+//!     [--k 500000] [--runs 3]`
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use kalman_bench::{median_time, print_row, Args};
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = Args::parse();
+    let k: usize = args.get("k", 500_000);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+
+    let n = 6;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+    let model = generators::paper_benchmark(&mut rng, n, k, false);
+    let cores = kalman::par::available_parallelism();
+    println!("Figure 6 (left): Odd-Even on {cores} cores, n={n} k={k}, block-size sweep");
+
+    print_row(&["block size".into(), "time (s)".into()]);
+    let sizes = [1usize, 3, 10, 30, 100, 300, 1_000, 5_000, 20_000, 100_000, 1_000_000];
+    for &grain in &sizes {
+        if grain > 4 * k {
+            continue;
+        }
+        let model_ref = &model;
+        let secs = run_with_threads(cores, move || {
+            median_time(runs, || {
+                odd_even_smooth(
+                    model_ref,
+                    OddEvenOptions::with_policy(ExecPolicy::par_with_grain(grain)),
+                )
+                .expect("well-posed")
+            })
+        });
+        print_row(&[grain.to_string(), format!("{secs:.4}")]);
+    }
+    println!("\n(paper: flat from 1 to ~1000, slower beyond ~5000 — insufficient parallelism)");
+}

@@ -1,0 +1,67 @@
+//! Figure 6 (right): speedups of the Odd-Even smoother for problems of
+//! different dimensions — (n=6, k large), (n=48, k=100k scaled), and a
+//! large-state/small-k problem where parallelism is insufficient.
+//!
+//! The paper uses (n=500, k=500); the default here is (n=200, k=300) to fit
+//! the container's memory — the qualitative effect (worst speedups of the
+//! three, due to insufficient parallel slack) is the same.  Block size is 10
+//! for the first two shapes and 1 for the large-state shape, as in the paper.
+//!
+//! `cargo run --release -p kalman-bench --bin fig6_dims \
+//!     [--k6 200000] [--k48 10000] [--nbig 200] [--kbig 300] [--runs 3]`
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use kalman_bench::{core_sweep, median_time, print_row, Args};
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = Args::parse();
+    let k6: usize = args.get("k6", 200_000);
+    let k48: usize = args.get("k48", 10_000);
+    let nbig: usize = args.get("nbig", 200);
+    let kbig: usize = args.get("kbig", 300);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+
+    let shapes: [(usize, usize, usize); 3] = [(6, k6, 10), (48, k48, 10), (nbig, kbig, 1)];
+    let cores = core_sweep();
+
+    println!("Figure 6 (right): Odd-Even speedups for different problem shapes");
+    let mut all_times: Vec<Vec<f64>> = Vec::new();
+    for &(n, k, grain) in &shapes {
+        eprintln!("building model n={n} k={k}…");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(14);
+        let model = generators::paper_benchmark(&mut rng, n, k, false);
+        let mut times = Vec::with_capacity(cores.len());
+        for &c in &cores {
+            let model_ref = &model;
+            let secs = run_with_threads(c, move || {
+                median_time(runs, || {
+                    odd_even_smooth(
+                        model_ref,
+                        OddEvenOptions::with_policy(ExecPolicy::par_with_grain(grain)),
+                    )
+                    .expect("well-posed")
+                })
+            });
+            eprintln!("  n={n} k={k} cores={c}: {secs:.3}s");
+            times.push(secs);
+        }
+        all_times.push(times);
+    }
+
+    let mut header = vec!["cores".to_string()];
+    for &(n, k, _) in &shapes {
+        header.push(format!("n={n} k={k}"));
+    }
+    print_row(&header);
+    for (ci, &c) in cores.iter().enumerate() {
+        let mut row = vec![c.to_string()];
+        for times in &all_times {
+            row.push(format!("{:.2}x", times[0] / times[ci]));
+        }
+        print_row(&row);
+    }
+    println!("\n(paper: n=48 scales best, n=6 close behind, the large-n/small-k shape worst)");
+}

@@ -1,0 +1,68 @@
+//! §5.4 overhead table: the single-core *work overhead* of the parallel
+//! algorithms relative to their sequential counterparts.
+//!
+//! The paper reports: Odd-Even / Paige-Saunders = 1.8–2.5× (1.8–2.0× for the
+//! NC variants), and Associative / Kalman(RTS) = 1.8–2.7×.
+//!
+//! `cargo run --release -p kalman-bench --bin overhead_table \
+//!     [--k6 200000] [--k48 10000] [--runs 3]`
+
+use kalman_bench::sweep::{panel_model, Algorithm};
+use kalman_bench::{median_time, print_row, Args};
+use kalman::prelude::*;
+
+fn main() {
+    let mut args = Args::parse();
+    let k6: usize = args.get("k6", 200_000);
+    let k48: usize = args.get("k48", 10_000);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+
+    println!("Single-core overhead of the parallel algorithms (paper §5.4)\n");
+    print_row(&[
+        "shape".into(),
+        "ratio".into(),
+        "measured".into(),
+        "paper".into(),
+    ]);
+
+    for (n, k, seed) in [(6usize, k6, 10u64), (48, k48, 11)] {
+        let model = panel_model(n, k, seed);
+        // Parallel algorithms pinned to a single worker thread.
+        let t = |alg: Algorithm| -> f64 {
+            let model_ref = &model;
+            if alg.is_parallel() {
+                run_with_threads(1, move || median_time(runs, || alg.run(model_ref)))
+            } else {
+                median_time(runs, || alg.run(model_ref))
+            }
+        };
+        let oe = t(Algorithm::OddEven);
+        let oe_nc = t(Algorithm::OddEvenNc);
+        let assoc = t(Algorithm::Associative);
+        let ps = t(Algorithm::PaigeSaunders);
+        let ps_nc = t(Algorithm::PaigeSaundersNc);
+        let rts = t(Algorithm::Kalman);
+
+        let shape = format!("n={n} k={k}");
+        print_row(&[
+            shape.clone(),
+            "OddEven/PS".into(),
+            format!("{:.2}x", oe / ps),
+            "1.8-2.5x".into(),
+        ]);
+        print_row(&[
+            shape.clone(),
+            "OE-NC/PS-NC".into(),
+            format!("{:.2}x", oe_nc / ps_nc),
+            "1.8-2.0x".into(),
+        ]);
+        print_row(&[
+            shape,
+            "Assoc/Kalman".into(),
+            format!("{:.2}x", assoc / rts),
+            "1.8-2.7x".into(),
+        ]);
+    }
+    println!("\n(ratios > 1 are the price of parallelism: the parallel algorithms do more arithmetic)");
+}

@@ -1,0 +1,141 @@
+//! Shared harness utilities for the benchmark binaries that regenerate the
+//! paper's figures and tables.
+//!
+//! Each figure/table has a dedicated binary under `src/bin/` (see DESIGN.md
+//! for the per-experiment index).  This library provides the pieces they
+//! share: median-of-N timing (the paper reports medians of 5 runs), a tiny
+//! command-line flag parser, and aligned table output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod sweep;
+
+use std::time::Instant;
+
+/// Times `f`, returning (seconds, result) for a single run.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = Instant::now();
+    let out = f();
+    (t.elapsed().as_secs_f64(), out)
+}
+
+/// Median running time of `runs` executions of `f` (the paper's §5.4
+/// methodology: all running times are medians of 5 runs).
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(runs >= 1);
+    let mut times: Vec<f64> = (0..runs).map(|_| time_once(&mut f).0).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times[times.len() / 2]
+}
+
+/// Core counts to sweep: 1, 2, 4, … up to the machine's parallelism,
+/// always including the maximum (mirrors the paper's 1..64 sweeps).
+pub fn core_sweep() -> Vec<usize> {
+    let max = kalman::par::available_parallelism();
+    let mut cores = Vec::new();
+    let mut c = 1;
+    while c < max {
+        cores.push(c);
+        c *= 2;
+    }
+    cores.push(max);
+    cores
+}
+
+/// A minimal `--flag value` parser for the bench binaries.
+///
+/// Flags look like `--cores 8 --k 100000 --paper`; unrecognized flags are
+/// reported by the binary itself via [`Args::finish`].
+pub struct Args {
+    raw: Vec<String>,
+    used: Vec<bool>,
+}
+
+impl Args {
+    /// Captures the process arguments (skipping the binary name).
+    pub fn parse() -> Args {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        let used = vec![false; raw.len()];
+        Args { raw, used }
+    }
+
+    /// Returns the value following `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message if the value is present but unparsable.
+    pub fn get<T: std::str::FromStr>(&mut self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        let flag = format!("--{name}");
+        for i in 0..self.raw.len() {
+            if self.raw[i] == flag {
+                self.used[i] = true;
+                let Some(v) = self.raw.get(i + 1) else {
+                    panic!("flag {flag} expects a value");
+                };
+                self.used[i + 1] = true;
+                return v
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+            }
+        }
+        default
+    }
+
+    /// `true` when the bare flag `--name` is present.
+    pub fn has(&mut self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        for i in 0..self.raw.len() {
+            if self.raw[i] == flag {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Errors out on unrecognized arguments (call after all `get`/`has`).
+    pub fn finish(self) {
+        for (arg, used) in self.raw.iter().zip(&self.used) {
+            assert!(used, "unrecognized argument: {arg}");
+        }
+    }
+}
+
+/// Prints a row of right-aligned cells under 14-character columns.
+pub fn print_row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats seconds with 4 significant digits.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_time_is_positive_and_finite() {
+        let t = median_time(3, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(t >= 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn core_sweep_is_increasing_and_ends_at_max() {
+        let s = core_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.last().unwrap(), kalman::par::available_parallelism());
+        assert_eq!(s[0], 1);
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_secs(1.23456), "1.2346");
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared experiment logic for the figure-regenerating binaries.
+//!
+//! Figures 2 and 3 of the paper are two views of the same measurement —
+//! running times and speedups of six smoother variants over a core-count
+//! sweep — so both binaries call [`run_sweep`] and print different columns.
+
+use crate::median_time;
+use kalman::model::generators;
+use kalman::prelude::*;
+use rand::SeedableRng;
+
+/// The six smoother variants of the paper's Figure 2, in legend order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The odd-even parallel smoother with covariances.
+    OddEven,
+    /// Odd-even without the covariance phase.
+    OddEvenNc,
+    /// Särkkä & García-Fernández parallel-scan smoother.
+    Associative,
+    /// Sequential Paige–Saunders with SelInv covariances.
+    PaigeSaunders,
+    /// Sequential Paige–Saunders without covariances.
+    PaigeSaundersNc,
+    /// Conventional sequential Kalman (RTS) smoother.
+    Kalman,
+}
+
+impl Algorithm {
+    /// All variants, in the paper's legend order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::OddEven,
+        Algorithm::OddEvenNc,
+        Algorithm::Associative,
+        Algorithm::PaigeSaunders,
+        Algorithm::PaigeSaundersNc,
+        Algorithm::Kalman,
+    ];
+
+    /// The parallel variants (the only ones whose speedup Figure 3 plots).
+    pub const PARALLEL: [Algorithm; 3] = [
+        Algorithm::OddEven,
+        Algorithm::OddEvenNc,
+        Algorithm::Associative,
+    ];
+
+    /// Display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::OddEven => "Odd-Even",
+            Algorithm::OddEvenNc => "Odd-Even NC",
+            Algorithm::Associative => "Associative",
+            Algorithm::PaigeSaunders => "Paige-Saunders",
+            Algorithm::PaigeSaundersNc => "Paige-Saunders NC",
+            Algorithm::Kalman => "Kalman",
+        }
+    }
+
+    /// `true` for the parallel-in-time algorithms.
+    pub fn is_parallel(self) -> bool {
+        matches!(
+            self,
+            Algorithm::OddEven | Algorithm::OddEvenNc | Algorithm::Associative
+        )
+    }
+
+    /// Runs the smoother once on `model` (panics on solver failure: the
+    /// benchmark models are well posed by construction).
+    pub fn run(self, model: &LinearModel) {
+        match self {
+            Algorithm::OddEven => {
+                odd_even_smooth(model, OddEvenOptions::default()).expect("well-posed");
+            }
+            Algorithm::OddEvenNc => {
+                odd_even_smooth(model, OddEvenOptions::nc(ExecPolicy::par())).expect("well-posed");
+            }
+            Algorithm::Associative => {
+                associative_smooth(model, AssociativeOptions::default()).expect("well-posed");
+            }
+            Algorithm::PaigeSaunders => {
+                paige_saunders_smooth(model, SmootherOptions { covariances: true })
+                    .expect("well-posed");
+            }
+            Algorithm::PaigeSaundersNc => {
+                paige_saunders_smooth(model, SmootherOptions { covariances: false })
+                    .expect("well-posed");
+            }
+            Algorithm::Kalman => {
+                rts_smooth(model).expect("well-posed");
+            }
+        }
+    }
+}
+
+/// One measurement of the sweep.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Which smoother.
+    pub algorithm: Algorithm,
+    /// Core count the measurement ran on (1 for sequential algorithms).
+    pub cores: usize,
+    /// Median running time in seconds.
+    pub seconds: f64,
+}
+
+/// Generates the paper's benchmark model for a panel (always with a prior so
+/// the RTS/associative smoothers run on the identical problem).
+pub fn panel_model(n: usize, k: usize, seed: u64) -> LinearModel {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    generators::paper_benchmark(&mut rng, n, k, true)
+}
+
+/// Measures every algorithm over the core sweep (parallel algorithms at
+/// every core count, sequential ones once), mirroring Figure 2's panels.
+pub fn run_sweep(model: &LinearModel, cores: &[usize], runs: usize) -> Vec<Record> {
+    let mut records = Vec::new();
+    for alg in Algorithm::ALL {
+        if alg.is_parallel() {
+            for &c in cores {
+                let secs = run_with_threads(c, move || median_time(runs, || alg.run(model)));
+                records.push(Record {
+                    algorithm: alg,
+                    cores: c,
+                    seconds: secs,
+                });
+                eprintln!("  measured {:<18} on {c:>2} cores: {secs:.3}s", alg.name());
+            }
+        } else {
+            let secs = median_time(runs, || alg.run(model));
+            records.push(Record {
+                algorithm: alg,
+                cores: 1,
+                seconds: secs,
+            });
+            eprintln!("  measured {:<18} (sequential): {secs:.3}s", alg.name());
+        }
+    }
+    records
+}
+
+/// Extracts the time of `alg` on `cores` from sweep records.
+pub fn time_of(records: &[Record], alg: Algorithm, cores: usize) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.algorithm == alg && r.cores == cores)
+        .map(|r| r.seconds)
+}

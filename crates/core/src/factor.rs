@@ -1,0 +1,574 @@
+//! The recursive odd-even elimination (§3 of the paper).
+//!
+//! Each level of the recursion maintains a *chain* of block columns with the
+//! invariant structure of `U·A`: every column `t` carries observation-like
+//! rows `C_t` (support in column `t` only) and, for `t > 0`, evolution-like
+//! rows `(E_t | D_t)` coupling columns `t−1` and `t`.  One level eliminates
+//! all even columns concurrently:
+//!
+//! 1. QR-factor `[C_t; E_{t+1}]` against column `t`; applying `Qᵀ` to
+//!    `[0; D_{t+1}]` creates the fill `X_t` and the remainder `D̃_{t+1}`.
+//! 2. QR-factor `[D_t; R̂_t]`, finalizing the permanent row
+//!    `(B̃_t, R_t, Y_t)` of `R` and leaving residual rows `(Z_t, X̃_t)` that
+//!    couple the odd neighbours `t−1, t+1` — the next level's evolution rows.
+//! 3. Compress each odd column's `[D̃; C]` stack back to at most `n` rows by
+//!    one more QR (restoring the row-count invariant).
+//!
+//! All three batches are embarrassingly parallel across columns; the chain
+//! halves each level, so the critical path is `Θ(log k)` batches.
+
+use crate::rfactor::{OddEvenR, RRow};
+use kalman_dense::{Matrix, QrFactor};
+use kalman_model::{Result, WhitenedStep};
+use kalman_par::{map_collect, ExecPolicy};
+
+/// Evolution-like rows coupling a chain column to its predecessor.
+#[derive(Debug, Clone)]
+struct EvoRows {
+    /// Block in the *previous* chain column (sign already absorbed: at level
+    /// 0 this is `−B_i`).
+    left: Matrix,
+    /// Block in this chain column (`D_i` at level 0).
+    right: Matrix,
+    /// Right-hand-side segment for these rows.
+    rhs: Matrix,
+}
+
+/// One column of the current level's chain.
+#[derive(Debug)]
+struct LevelCol {
+    /// Original state index.
+    orig: usize,
+    /// State dimension `n`.
+    dim: usize,
+    /// Observation-like rows `(C, rhs)` with support only in this column.
+    obs: Option<(Matrix, Matrix)>,
+    /// Evolution-like rows coupling to the previous chain column.
+    evo: Option<EvoRows>,
+}
+
+/// Everything one even-column elimination needs, borrowed out of the chain.
+struct EvenTask {
+    orig: usize,
+    dim: usize,
+    obs: Option<(Matrix, Matrix)>,
+    /// This column's evolution rows (couple to chain neighbour `t−1`).
+    evo: Option<EvoRows>,
+    /// The next column's evolution rows (couple `t` and `t+1`).
+    next_evo: Option<EvoRows>,
+    left_orig: Option<usize>,
+    left_dim: Option<usize>,
+    right_orig: Option<usize>,
+}
+
+/// The products of eliminating one even column.
+struct EvenOut {
+    row: RRow,
+    /// `D̃` rows left in column `t+1` after step 1 (feed the odd column's
+    /// compression).
+    dtilde: Option<(Matrix, Matrix)>,
+    /// Residual rows coupling `(t−1, t+1)` — the next level's evolution rows.
+    resid: Option<EvoRows>,
+    /// Residual rows with support only in `t−1` (when `t` is the last column
+    /// of the chain); appended to that odd column's observation stack.
+    resid_left_only: Option<(Matrix, Matrix)>,
+}
+
+/// Pads `(m, rhs)` with zero rows (zero equations) up to `rows`.
+fn pad_rows(m: Matrix, rhs: Matrix, rows: usize) -> (Matrix, Matrix) {
+    if m.rows() >= rows {
+        return (m, rhs);
+    }
+    let deficit = rows - m.rows();
+    (
+        Matrix::vstack(&[&m, &Matrix::zeros(deficit, m.cols())]),
+        Matrix::vstack(&[&rhs, &Matrix::zeros(deficit, rhs.cols())]),
+    )
+}
+
+fn vstack_opt(parts: &[(&Matrix, &Matrix)]) -> (Matrix, Matrix) {
+    let mats: Vec<&Matrix> = parts.iter().map(|(m, _)| *m).collect();
+    let rhss: Vec<&Matrix> = parts.iter().map(|(_, r)| *r).collect();
+    (Matrix::vstack(&mats), Matrix::vstack(&rhss))
+}
+
+fn eliminate_even(task: &EvenTask, level: usize) -> EvenOut {
+    let n = task.dim;
+
+    // ---- Step 1: factor [C_t; E_{t+1}] against column t; transform [0; D_{t+1}].
+    let obs_rows = task.obs.as_ref().map(|(c, _)| c.rows()).unwrap_or(0);
+    let (stacked, mut rhs1) = {
+        let mut parts: Vec<(&Matrix, &Matrix)> = Vec::with_capacity(2);
+        if let Some((c, r)) = &task.obs {
+            parts.push((c, r));
+        }
+        if let Some(ne) = &task.next_evo {
+            parts.push((&ne.left, &ne.rhs));
+        }
+        if parts.is_empty() {
+            (Matrix::zeros(0, n), Matrix::zeros(0, 1))
+        } else {
+            vstack_opt(&parts)
+        }
+    };
+    let (stacked, rhs_padded) = pad_rows(stacked, rhs1, n);
+    rhs1 = rhs_padded;
+    let step1_rows = stacked.rows();
+
+    // Companion block in column t+1 (zero where the obs rows are, D below).
+    let mut companion = task.next_evo.as_ref().map(|ne| {
+        let mut comp = Matrix::zeros(step1_rows, ne.right.cols());
+        comp.set_block(obs_rows, 0, &ne.right);
+        comp
+    });
+
+    let qr1 = QrFactor::new(stacked);
+    let rhat = qr1.r();
+    qr1.apply_qt(&mut rhs1);
+    if let Some(comp) = companion.as_mut() {
+        qr1.apply_qt(comp);
+    }
+    let rho = rhs1.sub_matrix(0, 0, n, 1);
+    let x_fill = companion
+        .as_ref()
+        .map(|c| c.sub_matrix(0, 0, n, c.cols()));
+    let dtilde = companion.as_ref().and_then(|c| {
+        let rows = c.rows() - n;
+        if rows == 0 {
+            None
+        } else {
+            Some((
+                c.sub_matrix(n, 0, rows, c.cols()),
+                rhs1.sub_matrix(n, 0, rows, 1),
+            ))
+        }
+    });
+
+    // ---- Step 2: absorb this column's evolution rows (if any).
+    match &task.evo {
+        None => {
+            // First chain column: R̂ is final.
+            let mut off = Vec::with_capacity(1);
+            if let (Some(x), Some(ro)) = (&x_fill, task.right_orig) {
+                off.push((ro, x.clone()));
+            }
+            EvenOut {
+                row: RRow {
+                    diag: rhat,
+                    off,
+                    rhs: rho,
+                    level,
+                },
+                dtilde,
+                resid: None,
+                resid_left_only: None,
+            }
+        }
+        Some(evo) => {
+            let l = evo.right.rows();
+            let left_dim = task.left_dim.expect("evo implies a left neighbour");
+            let stacked2 = Matrix::vstack(&[&evo.right, &rhat]);
+            let mut comp_left = Matrix::zeros(l + n, left_dim);
+            comp_left.set_block(0, 0, &evo.left);
+            let mut comp_right = x_fill.as_ref().map(|x| {
+                let mut cr = Matrix::zeros(l + n, x.cols());
+                cr.set_block(l, 0, x);
+                cr
+            });
+            let mut rhs2 = Matrix::vstack(&[&evo.rhs, &rho]);
+
+            let qr2 = QrFactor::new(stacked2);
+            qr2.apply_qt(&mut comp_left);
+            if let Some(cr) = comp_right.as_mut() {
+                qr2.apply_qt(cr);
+            }
+            qr2.apply_qt(&mut rhs2);
+
+            let mut off = Vec::with_capacity(2);
+            off.push((
+                task.left_orig.expect("evo implies a left neighbour"),
+                comp_left.sub_matrix(0, 0, n, left_dim),
+            ));
+            if let (Some(cr), Some(ro)) = (&comp_right, task.right_orig) {
+                off.push((ro, cr.sub_matrix(0, 0, n, cr.cols())));
+            }
+            let row = RRow {
+                diag: qr2.r(),
+                off,
+                rhs: rhs2.sub_matrix(0, 0, n, 1),
+                level,
+            };
+
+            let (resid, resid_left_only) = if l == 0 {
+                (None, None)
+            } else {
+                let z = comp_left.sub_matrix(n, 0, l, left_dim);
+                let r = rhs2.sub_matrix(n, 0, l, 1);
+                match &comp_right {
+                    Some(cr) => (
+                        Some(EvoRows {
+                            left: z,
+                            right: cr.sub_matrix(n, 0, l, cr.cols()),
+                            rhs: r,
+                        }),
+                        None,
+                    ),
+                    None => (None, Some((z, r))),
+                }
+            };
+            EvenOut {
+                row,
+                dtilde,
+                resid,
+                resid_left_only,
+            }
+        }
+    }
+}
+
+/// Eliminates all even columns of `cols`, emitting their permanent rows into
+/// `emit` and returning the next level's (odd-column) chain.
+fn eliminate_level(
+    mut cols: Vec<LevelCol>,
+    level: usize,
+    policy: ExecPolicy,
+    compress_odd: bool,
+    emit: &mut Vec<Option<RRow>>,
+    levels: &mut Vec<Vec<usize>>,
+    trace: bool,
+) -> Vec<LevelCol> {
+    let t_start = std::time::Instant::now();
+    let kk = cols.len();
+    debug_assert!(kk >= 2, "base case handled by caller");
+    let n_even = kk.div_ceil(2);
+    let n_odd = kk / 2;
+
+    // Extract each even task's inputs (pointer moves, no matrix copies).
+    let mut tasks: Vec<EvenTask> = Vec::with_capacity(n_even);
+    for s in 0..n_even {
+        let t = 2 * s;
+        let obs = cols[t].obs.take();
+        let evo = cols[t].evo.take();
+        let next_evo = if t + 1 < kk { cols[t + 1].evo.take() } else { None };
+        tasks.push(EvenTask {
+            orig: cols[t].orig,
+            dim: cols[t].dim,
+            obs,
+            evo,
+            next_evo,
+            left_orig: t.checked_sub(1).map(|p| cols[p].orig),
+            left_dim: t.checked_sub(1).map(|p| cols[p].dim),
+            right_orig: (t + 1 < kk).then(|| cols[t + 1].orig),
+        });
+    }
+
+    let t_extract = t_start.elapsed();
+
+    // Batch 1+2: eliminate the even columns in parallel.
+    let t0 = std::time::Instant::now();
+    let mut outs: Vec<Option<EvenOut>> = map_collect(policy, n_even, |s| {
+        Some(eliminate_even(&tasks[s], level))
+    });
+    let t_batch = t0.elapsed();
+
+    levels.push(tasks.iter().map(|t| t.orig).collect());
+    let t0 = std::time::Instant::now();
+
+    // Collect permanent rows and stage the next level's inputs.
+    let mut next_inputs: Vec<(LevelCol, Vec<(Matrix, Matrix)>)> = Vec::with_capacity(n_odd);
+    for s in 0..n_odd {
+        let odd = &mut cols[2 * s + 1];
+        let mut obs_parts: Vec<(Matrix, Matrix)> = Vec::with_capacity(3);
+        let (dtilde, evo) = {
+            let out_s = outs[s].as_mut().expect("filled above");
+            (out_s.dtilde.take(), out_s.resid.take())
+        };
+        if let Some(dt) = dtilde {
+            obs_parts.push(dt);
+        }
+        if let Some(o) = odd.obs.take() {
+            obs_parts.push(o);
+        }
+        // Left-only residual from the *next* even column (the chain's last).
+        if s + 1 < n_even {
+            if let Some(z) = outs[s + 1].as_mut().expect("filled above").resid_left_only.take() {
+                obs_parts.push(z);
+            }
+        }
+        next_inputs.push((
+            LevelCol {
+                orig: odd.orig,
+                dim: odd.dim,
+                obs: None, // filled by the compression batch below
+                evo,
+            },
+            obs_parts,
+        ));
+    }
+    for (s, out) in outs.into_iter().enumerate() {
+        let out = out.expect("taken once");
+        emit[tasks[s].orig] = Some(out.row);
+    }
+
+    let t_stage = t0.elapsed();
+
+    // Batch 3: compress each odd column's observation stack in parallel.
+    let t0 = std::time::Instant::now();
+    let compressed: Vec<Option<(Matrix, Matrix)>> =
+        map_collect(policy, next_inputs.len(), |s| {
+            let (col, parts) = &next_inputs[s];
+            if parts.is_empty() {
+                return None;
+            }
+            let refs: Vec<(&Matrix, &Matrix)> =
+                parts.iter().map(|(m, r)| (m, r)).collect();
+            let (stack, mut rhs) = vstack_opt(&refs);
+            if compress_odd && stack.rows() > col.dim {
+                let r = kalman_dense::compress_rows(&stack, &mut rhs);
+                let kept = r.rows();
+                Some((r, rhs.sub_matrix(0, 0, kept, 1)))
+            } else {
+                Some((stack, rhs))
+            }
+        });
+
+    let t_compress = t0.elapsed();
+    if trace {
+        eprintln!(
+            "level {level:>2} (kk={kk:>7}): extract {t_extract:>9.1?} batch {t_batch:>9.1?} stage {t_stage:>9.1?} compress {t_compress:>9.1?}"
+        );
+    }
+
+    next_inputs
+        .into_iter()
+        .zip(compressed)
+        .map(|((mut col, _), obs)| {
+            col.obs = obs;
+            col
+        })
+        .collect()
+}
+
+/// Runs the odd-even QR factorization on borrowed whitened steps.
+///
+/// The level-0 chain is a copy of the whitened blocks (made in parallel);
+/// callers that can give up ownership should prefer
+/// [`factor_odd_even_owned`], which builds the chain with moves only.
+///
+/// `policy` controls the parallel batches; `compress_odd` enables the
+/// row-count-invariant compression (step 3) — disabling it is an ablation
+/// that lets the surviving columns' row counts grow by `Θ(n)` per level.
+pub fn factor_odd_even(
+    steps: &[WhitenedStep],
+    policy: ExecPolicy,
+    compress_odd: bool,
+) -> Result<OddEvenR> {
+    let owned: Vec<WhitenedStep> = map_collect(policy, steps.len(), |i| steps[i].clone());
+    factor_odd_even_owned(owned, policy, compress_odd)
+}
+
+/// Runs the odd-even QR factorization, consuming the whitened steps (the
+/// level-0 chain is built with pointer moves and an in-place negation of the
+/// `B` blocks — no copies of the problem data).
+pub fn factor_odd_even_owned(
+    steps: Vec<WhitenedStep>,
+    policy: ExecPolicy,
+    compress_odd: bool,
+) -> Result<OddEvenR> {
+    let k1 = steps.len();
+    // Level-0 chain straight from the whitened model.
+    let mut cols: Vec<LevelCol> = steps
+        .into_iter()
+        .enumerate()
+        .map(|(i, ws)| LevelCol {
+            orig: i,
+            dim: ws.state_dim,
+            obs: ws.obs.map(|o| (o.c, o.rhs)),
+            evo: ws.evo.map(|e| {
+                let mut left = e.b;
+                left.scale(-1.0);
+                EvoRows {
+                    left,
+                    right: e.d,
+                    rhs: e.rhs,
+                }
+            }),
+        })
+        .collect();
+
+    let trace = std::env::var_os("KALMAN_OE_TRACE").is_some();
+    let mut emit: Vec<Option<RRow>> = (0..k1).map(|_| None).collect();
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    let mut level = 0usize;
+    while cols.len() > 1 {
+        cols = eliminate_level(
+            cols, level, policy, compress_odd, &mut emit, &mut levels, trace,
+        );
+        level += 1;
+    }
+    // Base case: a single column with observation rows only.
+    let root = cols.pop().expect("non-empty model");
+    debug_assert!(root.evo.is_none(), "first chain column cannot carry evolution rows");
+    let (stack, rhs) = root
+        .obs
+        .unwrap_or_else(|| (Matrix::zeros(0, root.dim), Matrix::zeros(0, 1)));
+    let (stack, mut rhs) = pad_rows(stack, rhs, root.dim);
+    let qr = QrFactor::new(stack);
+    qr.apply_qt(&mut rhs);
+    emit[root.orig] = Some(RRow {
+        diag: qr.r(),
+        off: Vec::new(),
+        rhs: rhs.sub_matrix(0, 0, root.dim, 1),
+        level,
+    });
+    levels.push(vec![root.orig]);
+
+    Ok(OddEvenR {
+        rows: emit
+            .into_iter()
+            .map(|r| r.expect("every state eliminated exactly once"))
+            .collect(),
+        levels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_dense::{matmul_tn, Matrix};
+    use kalman_model::{generators, whiten_model};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// The factorization applies orthogonal transforms to rows of U·A (plus
+    /// zero-row padding and row permutations), so it must preserve the Gram
+    /// matrix: (RPᵀ)ᵀ(RPᵀ) == (UA)ᵀ(UA), and likewise Rᵀ·rhs == (UA)ᵀ·Ub.
+    #[test]
+    fn gram_matrix_is_preserved() {
+        for (k, seed) in [(1usize, 1u64), (2, 2), (3, 3), (4, 4), (7, 5), (12, 6), (17, 7)] {
+            let model = generators::paper_benchmark(&mut rng(seed), 3, k, false);
+            let steps = whiten_model(&model).unwrap();
+            let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+            let sys = kalman_model::assemble_dense(&model).unwrap();
+
+            let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+            let rd = r.to_dense_original_order(&dims);
+            let gram_r = matmul_tn(&rd, &rd);
+            let gram_a = matmul_tn(&sys.a, &sys.a);
+            assert!(
+                gram_r.approx_eq(&gram_a, 1e-9 * (1.0 + gram_a.max_abs())),
+                "gram mismatch at k={k}: {}",
+                gram_r.max_abs_diff(&gram_a)
+            );
+
+            // Rᵀ rhs == (UA)ᵀ Ub.
+            let order = r.elimination_order();
+            let rhs_parts: Vec<&Matrix> = order.iter().map(|&j| &r.rows[j].rhs).collect();
+            let rhs = Matrix::vstack(&rhs_parts);
+            let lhs = matmul_tn(&rd, &rhs);
+            let expect = matmul_tn(&sys.a, &sys.b);
+            assert!(
+                lhs.approx_eq(&expect, 1e-9 * (1.0 + expect.max_abs())),
+                "rhs mismatch at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_factorizations_agree() {
+        let model = generators::paper_benchmark(&mut rng(10), 4, 33, true);
+        let steps = whiten_model(&model).unwrap();
+        let rs = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let rp = factor_odd_even(&steps, ExecPolicy::par_with_grain(2), true).unwrap();
+        assert_eq!(rs.levels, rp.levels);
+        for (a, b) in rs.rows.iter().zip(&rp.rows) {
+            assert!(a.diag.approx_eq(&b.diag, 1e-13));
+            assert!(a.rhs.approx_eq(&b.rhs, 1e-13));
+            assert_eq!(a.off.len(), b.off.len());
+            for ((ta, ma), (tb, mb)) in a.off.iter().zip(&b.off) {
+                assert_eq!(ta, tb);
+                assert!(ma.approx_eq(mb, 1e-13));
+            }
+        }
+    }
+
+    #[test]
+    fn level_structure_halves() {
+        let model = generators::paper_benchmark(&mut rng(11), 2, 15, false); // 16 states
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        // 16 → evens 8, chain 8 → 4 → 2 → 1 → base 1.
+        let sizes: Vec<usize> = r.levels.iter().map(|l| l.len()).collect();
+        assert_eq!(sizes, vec![8, 4, 2, 1, 1]);
+        assert_eq!(r.levels[0], vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(r.levels[1], vec![1, 5, 9, 13]);
+        assert_eq!(r.levels[4], vec![15]);
+    }
+
+    #[test]
+    fn off_targets_are_deeper_levels() {
+        let model = generators::paper_benchmark(&mut rng(12), 2, 20, false);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let mut level_of = vec![0usize; r.num_states()];
+        for (l, states) in r.levels.iter().enumerate() {
+            for &s in states {
+                level_of[s] = l;
+            }
+        }
+        for (j, row) in r.rows.iter().enumerate() {
+            assert!(row.off.len() <= 2, "row {j} has {} off blocks", row.off.len());
+            for (target, _) in &row.off {
+                assert!(
+                    level_of[*target] > row.level,
+                    "row {j} (level {}) references {} (level {})",
+                    row.level,
+                    target,
+                    level_of[*target]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_compression_still_preserves_gram() {
+        let model = generators::paper_benchmark(&mut rng(13), 2, 9, false);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, false).unwrap();
+        let sys = kalman_model::assemble_dense(&model).unwrap();
+        let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+        let rd = r.to_dense_original_order(&dims);
+        let gram_r = matmul_tn(&rd, &rd);
+        let gram_a = matmul_tn(&sys.a, &sys.a);
+        assert!(gram_r.approx_eq(&gram_a, 1e-9 * (1.0 + gram_a.max_abs())));
+    }
+
+    #[test]
+    fn sparse_observations_and_prior_work() {
+        let mut model = generators::sparse_observations(&mut rng(14), 2, 10, 3);
+        model.set_prior(vec![0.0; 2], kalman_model::CovarianceSpec::Identity(2));
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let sys = kalman_model::assemble_dense(&model).unwrap();
+        let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+        let rd = r.to_dense_original_order(&dims);
+        assert!(matmul_tn(&rd, &rd).approx_eq(&matmul_tn(&sys.a, &sys.a), 1e-9));
+    }
+
+    #[test]
+    fn dimension_changes_preserve_gram() {
+        let model = generators::dimension_change(&mut rng(15), 2, 11);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let sys = kalman_model::assemble_dense(&model).unwrap();
+        let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+        let rd = r.to_dense_original_order(&dims);
+        let gram_r = matmul_tn(&rd, &rd);
+        let gram_a = matmul_tn(&sys.a, &sys.a);
+        assert!(gram_r.approx_eq(&gram_a, 1e-8 * (1.0 + gram_a.max_abs())));
+    }
+}

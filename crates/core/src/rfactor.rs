@@ -1,0 +1,203 @@
+//! The sparse `R` factor produced by the odd-even QR factorization.
+
+use kalman_dense::{tri, Matrix};
+use kalman_model::{KalmanError, Result};
+use kalman_par::{map_collect, ExecPolicy};
+
+/// One permanent block row of `R`, belonging to the state that was
+/// eliminated when the row was produced.
+#[derive(Debug, Clone)]
+pub struct RRow {
+    /// The square upper-triangular diagonal block `R_jj`.
+    pub diag: Matrix,
+    /// Off-diagonal blocks `(target state, R_{j,target})`.  Targets are the
+    /// chain neighbours at elimination time; they are always eliminated at
+    /// deeper levels, which makes `R` upper triangular under the odd-even
+    /// permutation.  At most 2 entries.
+    pub off: Vec<(usize, Matrix)>,
+    /// Transformed right-hand-side segment `(QᵀUb)_j` (`n_j × 1`).
+    pub rhs: Matrix,
+    /// Elimination level (0 = first round of even columns; the root of the
+    /// recursion has the largest level).
+    pub level: usize,
+}
+
+/// The complete odd-even `R` factor: one [`RRow`] per state plus the
+/// level structure that drives the parallel solve and SelInv phases.
+#[derive(Debug, Clone)]
+pub struct OddEvenR {
+    /// Block rows indexed by original state index.
+    pub rows: Vec<RRow>,
+    /// `levels[l]` lists the states eliminated at level `l`, in chain order.
+    pub levels: Vec<Vec<usize>>,
+}
+
+impl OddEvenR {
+    /// Number of states (block columns).
+    pub fn num_states(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The states in elimination (permuted) order: level 0's evens first,
+    /// then level 1's, …, ending with the root column.  This is the column
+    /// order under which `R` is upper triangular (the order of the paper's
+    /// Figure 1).
+    pub fn elimination_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.num_states());
+        for level in &self.levels {
+            order.extend_from_slice(level);
+        }
+        order
+    }
+
+    /// Back substitution: solves `R Pᵀ û = QᵀUb` level by level, starting at
+    /// the root (eliminated last) and moving toward level 0, with all
+    /// columns inside a level solved in parallel.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] naming the first state whose diagonal
+    /// block is singular.
+    pub fn solve(&self, policy: ExecPolicy) -> Result<Vec<Vec<f64>>> {
+        let mut y: Vec<Vec<f64>> = vec![Vec::new(); self.num_states()];
+        for level in self.levels.iter().rev() {
+            // Columns in this level only reference deeper-level solutions,
+            // which are already present in `y`.
+            let solved: Vec<Result<(usize, Vec<f64>)>> = {
+                let y_ref = &y;
+                map_collect(policy, level.len(), |idx| {
+                    let j = level[idx];
+                    let row = &self.rows[j];
+                    let mut b = row.rhs.clone();
+                    for (target, block) in &row.off {
+                        let yt = &y_ref[*target];
+                        debug_assert!(!yt.is_empty(), "solve order violated");
+                        let prod = block.mul_vec(yt);
+                        for (bi, pi) in b.col_mut(0).iter_mut().zip(&prod) {
+                            *bi -= pi;
+                        }
+                    }
+                    tri::solve_upper_in_place(&row.diag, &mut b)
+                        .map_err(|_| KalmanError::RankDeficient { state: j })?;
+                    Ok((j, b.into_vec()))
+                })
+            };
+            for r in solved {
+                let (j, v) = r?;
+                y[j] = v;
+            }
+        }
+        Ok(y)
+    }
+
+    /// The block sparsity structure of `R` in permuted order, for
+    /// regenerating the paper's Figure 1: returns `(row, col)` pairs of
+    /// nonzero blocks, where indices are positions in
+    /// [`OddEvenR::elimination_order`].
+    pub fn structure(&self) -> Vec<(usize, usize)> {
+        let order = self.elimination_order();
+        let mut pos = vec![0usize; self.num_states()];
+        for (p, &j) in order.iter().enumerate() {
+            pos[j] = p;
+        }
+        let mut blocks = Vec::new();
+        for (j, row) in self.rows.iter().enumerate() {
+            blocks.push((pos[j], pos[j]));
+            for (target, _) in &row.off {
+                blocks.push((pos[j], pos[*target]));
+            }
+        }
+        blocks.sort_unstable();
+        blocks
+    }
+
+    /// Materializes `R Pᵀ`-style dense matrix in *original* column order and
+    /// permuted row order (test helper; `Θ((kn)²)` memory).
+    ///
+    /// The rows are orthogonal-transform images of `U·A`'s rows, so
+    /// `(RPᵀ)ᵀ(RPᵀ) = (UA)ᵀ(UA)` — the invariant the tests check.
+    pub fn to_dense_original_order(&self, state_dims: &[usize]) -> Matrix {
+        let total: usize = state_dims.iter().sum();
+        let mut offsets = Vec::with_capacity(state_dims.len() + 1);
+        let mut acc = 0;
+        for &d in state_dims {
+            offsets.push(acc);
+            acc += d;
+        }
+        offsets.push(acc);
+        let mut out = Matrix::zeros(total, total);
+        let mut r0 = 0usize;
+        for &j in &self.elimination_order() {
+            let row = &self.rows[j];
+            out.set_block(r0, offsets[j], &row.diag);
+            for (target, block) in &row.off {
+                out.set_block(r0, offsets[*target], block);
+            }
+            r0 += row.diag.rows();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> OddEvenR {
+        // Two states; state 0 eliminated at level 0 with coupling to state 1.
+        OddEvenR {
+            rows: vec![
+                RRow {
+                    diag: Matrix::from_rows(&[&[2.0]]),
+                    off: vec![(1, Matrix::from_rows(&[&[1.0]]))],
+                    rhs: Matrix::col_from_slice(&[4.0]),
+                    level: 0,
+                },
+                RRow {
+                    diag: Matrix::from_rows(&[&[4.0]]),
+                    off: vec![],
+                    rhs: Matrix::col_from_slice(&[8.0]),
+                    level: 1,
+                },
+            ],
+            levels: vec![vec![0], vec![1]],
+        }
+    }
+
+    #[test]
+    fn solve_tiny_by_hand() {
+        // y1 = 8/4 = 2; y0 = (4 − 1·2)/2 = 1.
+        let y = tiny().solve(ExecPolicy::Seq).unwrap();
+        assert_eq!(y[1], vec![2.0]);
+        assert_eq!(y[0], vec![1.0]);
+        let y_par = tiny().solve(ExecPolicy::par()).unwrap();
+        assert_eq!(y, y_par);
+    }
+
+    #[test]
+    fn elimination_order_and_structure() {
+        let r = tiny();
+        assert_eq!(r.elimination_order(), vec![0, 1]);
+        assert_eq!(r.structure(), vec![(0, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn singular_diag_reports_state() {
+        let mut r = tiny();
+        r.rows[1].diag = Matrix::from_rows(&[&[0.0]]);
+        match r.solve(ExecPolicy::Seq) {
+            Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 1),
+            other => panic!("expected rank deficiency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_reconstruction_layout() {
+        let r = tiny();
+        let d = r.to_dense_original_order(&[1, 1]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(0, 1)], 1.0);
+        assert_eq!(d[(1, 1)], 4.0);
+        assert_eq!(d[(1, 0)], 0.0);
+    }
+}

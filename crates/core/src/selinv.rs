@@ -1,0 +1,211 @@
+//! Parallel odd-even block SelInv (the paper's Algorithm 2, §4).
+//!
+//! Computes the blocks of `S = (RᵀR)⁻¹` that are nonzero in `R` — in
+//! particular the diagonal blocks, which are the covariances `cov(û_i)` of
+//! the smoothed states.  `R` maps onto the `LDLᵀ` form SelInv expects via
+//! `D_ii = R_iiᵀR_ii`, `L_ij = R_jiᵀR_jj⁻ᵀ`; in terms of `R` the recurrences
+//! become
+//!
+//! ```text
+//! S_{j,I} = −R_jj⁻¹ R_{j,I} S_{I,I}
+//! S_jj    =  R_jj⁻¹R_jj⁻ᵀ − S_{j,I} (R_jj⁻¹R_{j,I})ᵀ
+//! ```
+//!
+//! where `I` indexes the (at most two) off-diagonal blocks of block row `j`.
+//! Processing runs level by level from the recursion's root back to level 0
+//! — the reverse of elimination — with all columns of a level handled in
+//! parallel: their `I` sets only reference deeper (already processed)
+//! columns.  `|I| ≤ 2` makes each step a constant number of small
+//! triangular solves and multiplications, so the arithmetic stays `Θ(kn³)`
+//! and the critical path `Θ(log k · n log n)`.
+
+use crate::rfactor::OddEvenR;
+use kalman_dense::{matmul, matmul_nt, tri, Matrix};
+use kalman_model::{KalmanError, Result};
+use kalman_par::{map_collect, ExecPolicy};
+
+/// The computed selected-inverse blocks for one block row.
+#[derive(Debug, Clone)]
+struct SRow {
+    /// `S_jj` (symmetric).
+    diag: Matrix,
+    /// `S_{j,a}` for each off-diagonal target `a` of row `j`, in the same
+    /// order as `OddEvenR::rows[j].off`.
+    off: Vec<(usize, Matrix)>,
+}
+
+/// Looks up `S_{a,b}` from already-computed rows (`a != b`): stored either
+/// on row `a` (as `(b, S_ab)`) or on row `b` (as `(a, S_ba)`, transposed).
+fn lookup_cross(s: &[Option<SRow>], a: usize, b: usize) -> Matrix {
+    if let Some(row) = &s[a] {
+        for (t, m) in &row.off {
+            if *t == b {
+                return m.clone();
+            }
+        }
+    }
+    if let Some(row) = &s[b] {
+        for (t, m) in &row.off {
+            if *t == a {
+                return m.transpose();
+            }
+        }
+    }
+    panic!("SelInv invariant violated: S[{a},{b}] not in the sparsity pattern");
+}
+
+/// Computes the diagonal blocks `cov(û_i) = S_ii` of `S = (RᵀR)⁻¹`.
+///
+/// # Errors
+///
+/// [`KalmanError::RankDeficient`] naming the first singular diagonal block.
+pub fn selinv_diag(r: &OddEvenR, policy: ExecPolicy) -> Result<Vec<Matrix>> {
+    let k1 = r.num_states();
+    let mut s: Vec<Option<SRow>> = (0..k1).map(|_| None).collect();
+
+    // Root-to-level-0: reverse elimination order.
+    for level in r.levels.iter().rev() {
+        let computed: Vec<Result<(usize, SRow)>> = {
+            let s_ref = &s;
+            map_collect(policy, level.len(), |idx| {
+                let j = level[idx];
+                let row = &r.rows[j];
+                // X_a = R_jj⁻¹ R_{j,a} for each target a.
+                let mut xs: Vec<(usize, Matrix)> = Vec::with_capacity(row.off.len());
+                for (a, block) in &row.off {
+                    let mut x = block.clone();
+                    tri::solve_upper_in_place(&row.diag, &mut x)
+                        .map_err(|_| KalmanError::RankDeficient { state: j })?;
+                    xs.push((*a, x));
+                }
+                // S_{j,a} = −Σ_b X_b S_{b,a}.
+                let mut s_off: Vec<(usize, Matrix)> = Vec::with_capacity(xs.len());
+                for (a, _) in &xs {
+                    let na = r.rows[*a].diag.cols();
+                    let mut acc = Matrix::zeros(row.diag.cols(), na);
+                    for (b, xb) in &xs {
+                        let s_ba = if b == a {
+                            s_ref[*b]
+                                .as_ref()
+                                .expect("deeper level already processed")
+                                .diag
+                                .clone()
+                        } else {
+                            lookup_cross(s_ref, *b, *a)
+                        };
+                        acc += &matmul(xb, &s_ba);
+                    }
+                    acc.scale(-1.0);
+                    s_off.push((*a, acc));
+                }
+                // S_jj = R_jj⁻¹R_jj⁻ᵀ − Σ_a S_{j,a} X_aᵀ.
+                let mut diag = tri::inv_gram_upper(&row.diag)
+                    .map_err(|_| KalmanError::RankDeficient { state: j })?;
+                for ((_, s_ja), (_, xa)) in s_off.iter().zip(&xs) {
+                    diag -= &matmul_nt(s_ja, xa);
+                }
+                diag.symmetrize();
+                Ok((j, SRow { diag, off: s_off }))
+            })
+        };
+        for res in computed {
+            let (j, row) = res?;
+            s[j] = Some(row);
+        }
+    }
+
+    Ok(s
+        .into_iter()
+        .map(|row| row.expect("all states processed").diag)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::factor_odd_even;
+    use kalman_model::{generators, whiten_model};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn dense_cov_blocks(model: &kalman_model::LinearModel) -> Vec<Matrix> {
+        kalman_model::solve_dense(model)
+            .unwrap()
+            .covariances
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_dense_inverse_blocks_small() {
+        for (k, seed) in [(1usize, 20u64), (2, 21), (3, 22), (5, 23), (8, 24), (13, 25)] {
+            let model = generators::paper_benchmark(&mut rng(seed), 3, k, false);
+            let steps = whiten_model(&model).unwrap();
+            let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+            let covs = selinv_diag(&r, ExecPolicy::Seq).unwrap();
+            let expect = dense_cov_blocks(&model);
+            for (i, (a, b)) in covs.iter().zip(&expect).enumerate() {
+                assert!(
+                    a.approx_eq(b, 1e-8 * (1.0 + b.max_abs())),
+                    "cov block {i} mismatch at k={k}: {}",
+                    a.max_abs_diff(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let model = generators::paper_benchmark(&mut rng(30), 4, 29, true);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::par(), true).unwrap();
+        let seq = selinv_diag(&r, ExecPolicy::Seq).unwrap();
+        let par = selinv_diag(&r, ExecPolicy::par_with_grain(1)).unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert!(a.approx_eq(b, 1e-14));
+        }
+    }
+
+    #[test]
+    fn works_with_dimension_changes() {
+        let model = generators::dimension_change(&mut rng(31), 2, 9);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let covs = selinv_diag(&r, ExecPolicy::Seq).unwrap();
+        let expect = dense_cov_blocks(&model);
+        for (a, b) in covs.iter().zip(&expect) {
+            assert!(a.approx_eq(b, 1e-8 * (1.0 + b.max_abs())));
+        }
+    }
+
+    #[test]
+    fn covariances_are_symmetric_positive() {
+        let model = generators::paper_benchmark(&mut rng(32), 3, 40, false);
+        let steps = whiten_model(&model).unwrap();
+        let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let covs = selinv_diag(&r, ExecPolicy::Seq).unwrap();
+        for c in &covs {
+            assert!(c.approx_eq(&c.transpose(), 1e-12));
+            // Positive diagonal (necessary for PD).
+            for (i, d) in c.diag().iter().enumerate() {
+                assert!(*d > 0.0, "non-positive variance at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_r_is_reported() {
+        let model = generators::paper_benchmark(&mut rng(33), 2, 5, false);
+        let steps = whiten_model(&model).unwrap();
+        let mut r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+        let root = *r.levels.last().unwrap().first().unwrap();
+        r.rows[root].diag.fill(0.0);
+        match selinv_diag(&r, ExecPolicy::Seq) {
+            Err(KalmanError::RankDeficient { state }) => assert_eq!(state, root),
+            other => panic!("expected rank deficiency, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced by dense factorizations and solves.
+///
+/// Dimension mismatches are programmer errors and panic instead; these
+/// variants report *data-dependent* failures that callers must handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DenseError {
+    /// A pivot (or triangular diagonal entry) at the given index was exactly
+    /// zero, or small enough that the factorization cannot continue.
+    Singular {
+        /// Zero-based index of the offending pivot/diagonal entry.
+        index: usize,
+    },
+    /// A matrix that was required to be symmetric positive definite was not;
+    /// the leading minor of the given order is not positive.
+    NotPositiveDefinite {
+        /// Zero-based index of the failing diagonal entry.
+        index: usize,
+    },
+    /// A least-squares coefficient matrix did not have full column rank.
+    RankDeficient {
+        /// Zero-based index of the column where rank deficiency was detected.
+        column: usize,
+    },
+}
+
+impl fmt::Display for DenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DenseError::Singular { index } => {
+                write!(f, "matrix is singular (zero pivot at index {index})")
+            }
+            DenseError::NotPositiveDefinite { index } => {
+                write!(
+                    f,
+                    "matrix is not positive definite (failure at diagonal index {index})"
+                )
+            }
+            DenseError::RankDeficient { column } => {
+                write!(f, "matrix is rank deficient (detected at column {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(DenseError::Singular { index: 3 }.to_string().contains("3"));
+        assert!(DenseError::NotPositiveDefinite { index: 1 }
+            .to_string()
+            .contains("positive definite"));
+        assert!(DenseError::RankDeficient { column: 2 }
+            .to_string()
+            .contains("rank"));
+    }
+}

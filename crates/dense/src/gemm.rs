@@ -1,0 +1,220 @@
+use crate::Matrix;
+
+/// Transpose option for [`gemm`] operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as-is.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    #[inline]
+    fn dims(self, m: &Matrix) -> (usize, usize) {
+        match self {
+            Trans::No => (m.rows(), m.cols()),
+            Trans::Yes => (m.cols(), m.rows()),
+        }
+    }
+}
+
+/// General matrix multiply: `c = alpha * op(a) * op(b) + beta * c`.
+///
+/// `op(x)` is `x` or `xᵀ` according to the [`Trans`] flags.  The loops are
+/// ordered so that the innermost accesses are contiguous in the column-major
+/// storage for every transpose combination except `Tᵀ·Bᵀ` (rare; handled with
+/// a strided loop).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
+    let (am, ak) = ta.dims(a);
+    let (bk, bn) = tb.dims(b);
+    assert_eq!(ak, bk, "gemm inner dimension mismatch: {ak} vs {bk}");
+    assert_eq!(c.rows(), am, "gemm output row mismatch");
+    assert_eq!(c.cols(), bn, "gemm output col mismatch");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        (Trans::No, Trans::No) => {
+            // c[:,j] += alpha * b[l,j] * a[:,l]  — all accesses contiguous.
+            for j in 0..bn {
+                let bj = b.col(j);
+                for l in 0..ak {
+                    let w = alpha * bj[l];
+                    if w != 0.0 {
+                        let al = a.col(l);
+                        let cj = c.col_mut(j);
+                        for (ci, &ai) in cj.iter_mut().zip(al) {
+                            *ci += w * ai;
+                        }
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            // c[i,j] += alpha * dot(a[:,i], b[:,j]) — contiguous dot products.
+            for j in 0..bn {
+                let bj = b.col(j);
+                for i in 0..am {
+                    let ai = a.col(i);
+                    let mut acc = 0.0;
+                    for (&x, &y) in ai.iter().zip(bj) {
+                        acc += x * y;
+                    }
+                    c[(i, j)] += alpha * acc;
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            // c[:,j] += alpha * b[j,l] * a[:,l]
+            for l in 0..ak {
+                let al = a.col(l);
+                let bl = b.col(l); // b[j, l] over j: column l of b.
+                for (j, &bjl) in bl.iter().enumerate() {
+                    let w = alpha * bjl;
+                    if w != 0.0 {
+                        let cj = c.col_mut(j);
+                        for (ci, &ai) in cj.iter_mut().zip(al) {
+                            *ci += w * ai;
+                        }
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            // c[i,j] += alpha * dot(a[:,i], b[j,:]); the b access is strided.
+            for j in 0..bn {
+                for i in 0..am {
+                    let ai = a.col(i);
+                    let mut acc = 0.0;
+                    for (l, &x) in ai.iter().enumerate() {
+                        acc += x * b[(j, l)];
+                    }
+                    c[(i, j)] += alpha * acc;
+                }
+            }
+        }
+    }
+}
+
+/// `a * b` as a new matrix.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, Trans::No, b, Trans::No, 0.0, &mut c);
+    c
+}
+
+/// `aᵀ * b` as a new matrix.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm(1.0, a, Trans::Yes, b, Trans::No, 0.0, &mut c);
+    c
+}
+
+/// `a * bᵀ` as a new matrix.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm(1.0, a, Trans::No, b, Trans::Yes, 0.0, &mut c);
+    c
+}
+
+/// `aᵀ * bᵀ` as a new matrix.
+pub fn matmul_tt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.rows());
+    gemm(1.0, a, Trans::Yes, b, Trans::Yes, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_rows(&[&[7.0, 8.0, 9.0], &[10.0, 11.0, 12.0]])
+    }
+
+    #[test]
+    fn matmul_nn() {
+        let c = matmul(&a(), &b());
+        let expect = Matrix::from_rows(&[
+            &[27.0, 30.0, 33.0],
+            &[61.0, 68.0, 75.0],
+            &[95.0, 106.0, 117.0],
+        ]);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let c = matmul_tn(&a(), &a());
+        let expect = matmul(&a().transpose(), &a());
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let c = matmul_nt(&a(), &a());
+        let expect = matmul(&a(), &a().transpose());
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_tt_matches_explicit_transpose() {
+        let c = matmul_tt(&a(), &b());
+        let expect = matmul(&a().transpose(), &b().transpose());
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_accumulates_with_beta() {
+        let mut c = Matrix::identity(3);
+        gemm(2.0, &a(), Trans::No, &b(), Trans::No, 3.0, &mut c);
+        // c = 2*a*b + 3*I
+        let ab = matmul(&a(), &b());
+        let mut expect = ab.scaled(2.0);
+        expect += &Matrix::identity(3).scaled(3.0);
+        assert!(c.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn gemm_alpha_zero_only_scales() {
+        let mut c = a();
+        gemm(0.0, &a(), Trans::No, &Matrix::zeros(2, 2), Trans::No, 0.5, &mut c);
+        assert!(c.approx_eq(&a().scaled(0.5), 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_dim_mismatch_panics() {
+        let mut c = Matrix::zeros(3, 3);
+        gemm(1.0, &a(), Trans::No, &a(), Trans::No, 0.0, &mut c);
+    }
+
+    #[test]
+    fn empty_matrices_are_fine() {
+        let e = Matrix::zeros(0, 0);
+        let c = matmul(&e, &e);
+        assert!(c.is_empty());
+        let left = Matrix::zeros(2, 0);
+        let right = Matrix::zeros(0, 3);
+        let c2 = matmul(&left, &right);
+        assert_eq!(c2.rows(), 2);
+        assert_eq!(c2.cols(), 3);
+        assert_eq!(c2.max_abs(), 0.0);
+    }
+}

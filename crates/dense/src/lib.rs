@@ -1,0 +1,56 @@
+//! Dense linear-algebra kernels for the odd-even parallel Kalman smoother.
+//!
+//! This crate is the reproduction's substitute for the vendor BLAS/LAPACK
+//! libraries (MKL, ARM Performance Libraries) that the paper's C
+//! implementation calls for its Θ(n³) block operations.  It provides exactly
+//! the kernels the smoothers need:
+//!
+//! * [`Matrix`] — a column-major `f64` matrix with block get/set helpers,
+//! * [`gemm`] — general matrix multiply with transpose options,
+//! * [`QrFactor`] — Householder QR with application of `Qᵀ`/`Q` to
+//!   right-hand-side blocks (the workhorse of the odd-even factorization),
+//! * [`LuFactor`] — LU with partial pivoting (used by the associative
+//!   smoother's combination formulas),
+//! * [`Cholesky`] — for SPD covariance matrices and inverse factors,
+//! * triangular solves and inverses ([`tri`]),
+//! * random matrix generators ([`random`]) for the paper's synthetic
+//!   benchmark problems (random orthonormal evolution/observation matrices).
+//!
+//! All matrices are dense and owned; the smoothers operate on many small
+//! blocks (the paper uses n = 6, 48 and 500), so simple cache-aware loops are
+//! appropriate and keep the crate dependency-free.
+//!
+//! # Example
+//!
+//! ```
+//! use kalman_dense::{Matrix, QrFactor};
+//!
+//! // Solve a small least-squares problem min ||Ax - b||.
+//! let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+//! let b = Matrix::col_from_slice(&[6.0, 0.0, 0.0]);
+//! let qr = QrFactor::new(a);
+//! let x = qr.solve_ls(&b).unwrap();
+//! assert_eq!(x.rows(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chol;
+mod error;
+mod gemm;
+mod lu;
+mod matrix;
+mod qr;
+pub mod random;
+pub mod tri;
+
+pub use chol::{llt, Cholesky};
+pub use error::DenseError;
+pub use gemm::{gemm, matmul, matmul_nt, matmul_tn, matmul_tt, Trans};
+pub use lu::{solve, LuFactor};
+pub use matrix::Matrix;
+pub use qr::{compress_rows, qr_stacked, QrFactor};
+
+/// Result type for fallible dense operations (singular / not-SPD inputs).
+pub type Result<T> = std::result::Result<T, DenseError>;

@@ -1,0 +1,624 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A dense, column-major, `f64` matrix.
+///
+/// Storage is a single `Vec<f64>` of length `rows * cols`; entry `(i, j)`
+/// lives at `data[i + j * rows]`.  Column-major layout matches the access
+/// pattern of the Householder QR and triangular-solve kernels, which sweep
+/// down columns.
+///
+/// Vectors are represented as `rows × 1` matrices; see
+/// [`Matrix::col_from_slice`].
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices (convenient for literals in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "row {i} has length {} != {c}", row.len());
+        }
+        Matrix::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Creates a column vector (an `n × 1` matrix) from a slice.
+    pub fn col_from_slice(v: &[f64]) -> Self {
+        Matrix {
+            data: v.to_vec(),
+            rows: v.len(),
+            cols: 1,
+        }
+    }
+
+    /// Creates a matrix from raw column-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix has zero rows or zero columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// `true` when the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Raw column-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its column-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Two mutable column views `(j1, j2)` with `j1 != j2`.
+    ///
+    /// Used by kernels that combine a pair of columns in place.
+    pub fn two_cols_mut(&mut self, j1: usize, j2: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(j1 != j2, "columns must be distinct");
+        let r = self.rows;
+        if j1 < j2 {
+            let (lo, hi) = self.data.split_at_mut(j2 * r);
+            (&mut lo[j1 * r..(j1 + 1) * r], &mut hi[..r])
+        } else {
+            let (lo, hi) = self.data.split_at_mut(j1 * r);
+            let c2 = &mut lo[j2 * r..(j2 + 1) * r];
+            (&mut hi[..r], c2)
+        }
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            let cj = self.col(j);
+            for i in 0..self.rows {
+                t[(j, i)] = cj[i];
+            }
+        }
+        t
+    }
+
+    /// Extracts the `nrows × ncols` sub-matrix whose top-left corner is `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested block extends beyond the matrix.
+    pub fn sub_matrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> Matrix {
+        assert!(
+            r0 + nrows <= self.rows && c0 + ncols <= self.cols,
+            "sub-matrix ({r0}+{nrows}, {c0}+{ncols}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut s = Matrix::zeros(nrows, ncols);
+        for j in 0..ncols {
+            let src = &self.col(c0 + j)[r0..r0 + nrows];
+            s.col_mut(j).copy_from_slice(src);
+        }
+        s
+    }
+
+    /// Copies `block` into `self` with top-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block extends beyond the matrix.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(
+            r0 + block.rows <= self.rows && c0 + block.cols <= self.cols,
+            "block ({r0}+{}, {c0}+{}) out of bounds for {}x{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        for j in 0..block.cols {
+            let src = block.col(j);
+            self.col_mut(c0 + j)[r0..r0 + block.rows].copy_from_slice(src);
+        }
+    }
+
+    /// Stacks `blocks` vertically.  All blocks must have the same column count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have inconsistent column counts or `blocks` is empty.
+    pub fn vstack(blocks: &[&Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "vstack of zero blocks");
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut r0 = 0;
+        for b in blocks {
+            assert_eq!(b.cols, cols, "vstack blocks must have equal column counts");
+            out.set_block(r0, 0, b);
+            r0 += b.rows;
+        }
+        out
+    }
+
+    /// Stacks `blocks` horizontally.  All blocks must have the same row count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have inconsistent row counts or `blocks` is empty.
+    pub fn hstack(blocks: &[&Matrix]) -> Matrix {
+        assert!(!blocks.is_empty(), "hstack of zero blocks");
+        let rows = blocks[0].rows;
+        let cols: usize = blocks.iter().map(|b| b.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut c0 = 0;
+        for b in blocks {
+            assert_eq!(b.rows, rows, "hstack blocks must have equal row counts");
+            out.set_block(0, c0, b);
+            c0 += b.cols;
+        }
+        out
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Multiplies every entry by `s` in place.
+    pub fn scale(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns `self * s` as a new matrix.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale(s);
+        m
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "axpy row mismatch");
+        assert_eq!(self.cols, other.cols, "axpy col mismatch");
+        for (x, y) in self.data.iter_mut().zip(other.data.iter()) {
+            *x += alpha * y;
+        }
+    }
+
+    /// Matrix-vector product `y = self * x` (allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
+                    *yi += aij * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `y = selfᵀ * x` (allocating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "mul_vec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (j, yj) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (&aij, &xi) in self.col(j).iter().zip(x) {
+                acc += aij * xi;
+            }
+            *yj = acc;
+        }
+        y
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute entry (the max norm); 0 for empty matrices.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// Maximum absolute difference from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "max_abs_diff row mismatch");
+        assert_eq!(self.cols, other.cols, "max_abs_diff col mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `true` when all entries differ from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    }
+
+    /// Symmetrizes the matrix in place: `self = (self + selfᵀ) / 2`.
+    ///
+    /// Used to keep covariance blocks symmetric in the presence of rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrize(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for j in 0..self.cols {
+            for i in (j + 1)..self.rows {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Returns the main diagonal as a vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Keeps only the upper triangle (entries with `i <= j`), zeroing the rest.
+    pub fn upper_triangular_part(&self) -> Matrix {
+        let mut m = self.clone();
+        for j in 0..m.cols {
+            for i in (j + 1)..m.rows {
+                m[(i, j)] = 0.0;
+            }
+        }
+        m
+    }
+
+    /// Iterator over `(i, j, value)` of all entries, column by column.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.cols).flat_map(move |j| (0..self.rows).map(move |i| (i, j, self[(i, j)])))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(1.0, rhs);
+        out
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.axpy(-1.0, rhs);
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::gemm::matmul(self, rhs)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(12) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            if self.cols > 12 {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 12 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(2, 1)], 6.0);
+        // Column-major storage: first column contiguous.
+        assert_eq!(m.col(0), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.diag(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t[(2, 0)], 3.0);
+        assert!(t.transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn sub_matrix_and_set_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.sub_matrix(1, 2, 2, 2);
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        assert_eq!(s[(1, 1)], m[(2, 3)]);
+
+        let mut z = Matrix::zeros(4, 4);
+        z.set_block(1, 2, &s);
+        assert_eq!(z[(1, 2)], m[(1, 2)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sub_matrix_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.sub_matrix(1, 1, 2, 2);
+    }
+
+    #[test]
+    fn vstack_hstack() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v[(2, 1)], 6.0);
+
+        let c = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let d = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let h = Matrix::hstack(&[&c, &d]);
+        assert_eq!(h.cols(), 3);
+        assert_eq!(h[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn mul_vec_and_transposed() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.mul_vec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert!((m.frob_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::identity(2);
+        let sum = &a + &b;
+        assert_eq!(sum[(0, 0)], 2.0);
+        let diff = &sum - &b;
+        assert!(diff.approx_eq(&a, 0.0));
+        let neg = -&a;
+        assert_eq!(neg[(1, 0)], -3.0);
+    }
+
+    #[test]
+    fn symmetrize_averages() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[4.0, 1.0]]);
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn two_cols_mut_disjoint() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        {
+            let (c0, c2) = m.two_cols_mut(0, 2);
+            c0[0] = 10.0;
+            c2[1] = 60.0;
+        }
+        assert_eq!(m[(0, 0)], 10.0);
+        assert_eq!(m[(1, 2)], 60.0);
+        // Reversed order works too.
+        {
+            let (c2, c0) = m.two_cols_mut(2, 0);
+            assert_eq!(c2[1], 60.0);
+            assert_eq!(c0[0], 10.0);
+        }
+    }
+
+    #[test]
+    fn upper_triangular_part_zeroes_lower() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let u = m.upper_triangular_part();
+        assert_eq!(u[(1, 0)], 0.0);
+        assert_eq!(u[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn entries_iterates_all() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let total: f64 = m.entries().map(|(_, _, v)| v).sum();
+        assert_eq!(total, 10.0);
+    }
+}

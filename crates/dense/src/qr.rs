@@ -1,0 +1,413 @@
+use crate::{DenseError, Matrix, Result};
+
+/// Householder QR factorization `A = Q R` of an `m × n` matrix with `m >= n`
+/// (tall or square).
+///
+/// `Q` is kept in factored form — the Householder vectors live below the
+/// diagonal of the packed factor and are applied with [`QrFactor::apply_qt`]
+/// / [`QrFactor::apply_q`]; it is never formed explicitly unless
+/// [`QrFactor::q_thin`] is requested.  This mirrors how the smoother uses QR:
+/// factor a stacked pair of blocks, then apply the same `Qᵀ` to neighbouring
+/// blocks and right-hand-side segments.
+///
+/// The factorization itself never fails; rank deficiency surfaces as a zero
+/// diagonal entry of `R` and is reported by the solve routines.
+#[derive(Debug, Clone)]
+pub struct QrFactor {
+    /// Packed factor: `R` on and above the diagonal, Householder vectors
+    /// (with implicit unit leading entry) below it.
+    packed: Matrix,
+    /// Householder coefficients, one per reflected column.
+    tau: Vec<f64>,
+}
+
+/// Computes the Householder reflector for `x` in place.
+///
+/// On return `x[0]` holds `beta` (the new leading entry, `Hx = beta·e₁`) and
+/// `x[1..]` holds the reflector tail `v[1..]` (with `v[0] = 1` implicit).
+/// Returns the scalar `tau`; `tau == 0` means "no reflection needed".
+fn make_householder(x: &mut [f64]) -> f64 {
+    let norm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return 0.0;
+    }
+    let alpha = x[0];
+    // Choose the sign that avoids cancellation.
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in &mut x[1..] {
+        *v *= scale;
+    }
+    x[0] = beta;
+    tau
+}
+
+/// Applies `H = I - tau·v·vᵀ` (with `v[0] = 1` implicit, tail `vtail`) to the
+/// vector segment `c` of the same length as `v`.
+#[inline]
+fn apply_householder(vtail: &[f64], tau: f64, c: &mut [f64]) {
+    if tau == 0.0 {
+        return;
+    }
+    // w = tau * (vᵀ c)
+    let mut w = c[0];
+    for (vi, ci) in vtail.iter().zip(&c[1..]) {
+        w += vi * ci;
+    }
+    w *= tau;
+    c[0] -= w;
+    for (vi, ci) in vtail.iter().zip(&mut c[1..]) {
+        *ci -= w * vi;
+    }
+}
+
+impl QrFactor {
+    /// Factorizes `a` (consumed; `m × n` with `m >= n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() < a.cols()`.
+    pub fn new(mut a: Matrix) -> Self {
+        let (m, n) = (a.rows(), a.cols());
+        assert!(m >= n, "QrFactor requires rows >= cols, got {m}x{n}");
+        let mut tau = vec![0.0; n];
+        for j in 0..n {
+            // Reflect column j below the diagonal.
+            {
+                let col = &mut a.col_mut(j)[j..];
+                tau[j] = make_householder(col);
+            }
+            if tau[j] != 0.0 {
+                // Apply to trailing columns.
+                for k in (j + 1)..n {
+                    let (cj, ck) = a.two_cols_mut(j, k);
+                    apply_householder(&cj[j + 1..], tau[j], &mut ck[j..]);
+                }
+            }
+        }
+        QrFactor { packed: a, tau }
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.packed.cols()
+    }
+
+    /// The square upper-triangular factor `R` (`n × n`).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for j in 0..n {
+            for i in 0..=j {
+                r[(i, j)] = self.packed[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Applies `Qᵀ` to `b` in place (`b` must have the same row count as the
+    /// factored matrix).
+    ///
+    /// After this call, the top `n` rows of `b` are the "kept" part and the
+    /// remaining rows the "residual" part of the transformed block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn apply_qt(&self, b: &mut Matrix) {
+        assert_eq!(b.rows(), self.rows(), "apply_qt row mismatch");
+        let n = self.cols();
+        for j in 0..n {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let vtail = &self.packed.col(j)[j + 1..];
+            for k in 0..b.cols() {
+                apply_householder(vtail, self.tau[j], &mut b.col_mut(k)[j..]);
+            }
+        }
+    }
+
+    /// Applies `Q` to `b` in place (reflections in reverse order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn apply_q(&self, b: &mut Matrix) {
+        assert_eq!(b.rows(), self.rows(), "apply_q row mismatch");
+        let n = self.cols();
+        for j in (0..n).rev() {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let vtail = &self.packed.col(j)[j + 1..];
+            for k in 0..b.cols() {
+                // Householder reflections are symmetric: H = Hᵀ.
+                apply_householder(vtail, self.tau[j], &mut b.col_mut(k)[j..]);
+            }
+        }
+    }
+
+    /// The thin orthonormal factor `Q₁` (`m × n`, `A = Q₁ R`).
+    pub fn q_thin(&self) -> Matrix {
+        let (m, n) = (self.rows(), self.cols());
+        let mut q = Matrix::zeros(m, n);
+        for j in 0..n {
+            q[(j, j)] = 1.0;
+        }
+        self.apply_q(&mut q);
+        q
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` for each column of
+    /// `b`, returning the `n × p` solution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::RankDeficient`] if `R` has a zero diagonal entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn solve_ls(&self, b: &Matrix) -> Result<Matrix> {
+        let mut qtb = b.clone();
+        self.apply_qt(&mut qtb);
+        let n = self.cols();
+        let mut x = qtb.sub_matrix(0, 0, n, b.cols());
+        self.solve_r_in_place(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `R x = y` in place on `y` using the packed `R` factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DenseError::RankDeficient`] if a diagonal entry of `R` is
+    /// negligible relative to the largest one (an effective rank test, like
+    /// LAPACK's `xTRTRS` callers use for least-squares problems).
+    pub fn solve_r_in_place(&self, y: &mut Matrix) -> Result<()> {
+        let n = self.cols();
+        assert_eq!(y.rows(), n, "solve_r row mismatch");
+        let max_diag = (0..n).fold(0.0_f64, |m, j| m.max(self.packed[(j, j)].abs()));
+        let tol = max_diag * (self.rows().max(n) as f64) * f64::EPSILON;
+        for j in 0..n {
+            if self.packed[(j, j)].abs() <= tol {
+                return Err(DenseError::RankDeficient { column: j });
+            }
+        }
+        for k in 0..y.cols() {
+            let yk = y.col_mut(k);
+            for i in (0..n).rev() {
+                let mut acc = yk[i];
+                for j in (i + 1)..n {
+                    acc -= self.packed[(i, j)] * yk[j];
+                }
+                yk[i] = acc / self.packed[(i, i)];
+            }
+        }
+        Ok(())
+    }
+
+    /// Residual norm contribution `‖(Qᵀb)[n..]‖₂` of a least-squares solve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn ls_residual_norm(&self, b: &Matrix) -> f64 {
+        let mut qtb = b.clone();
+        self.apply_qt(&mut qtb);
+        let n = self.cols();
+        let mut acc = 0.0;
+        for k in 0..qtb.cols() {
+            for &v in &qtb.col(k)[n..] {
+                acc += v * v;
+            }
+        }
+        acc.sqrt()
+    }
+}
+
+/// Convenience: QR-factor the vertical stack `[a; b]` and transform the
+/// stacked companion blocks with the same `Qᵀ`.
+///
+/// This is the primitive the odd-even elimination uses at every step: factor
+/// a 2×1 block column and carry the transformation onto neighbouring block
+/// columns and right-hand sides.  `companions` are stacked in the same row
+/// order as `[a; b]`.
+///
+/// Returns the factorization of the stack.
+pub fn qr_stacked(blocks: &[&Matrix]) -> QrFactor {
+    QrFactor::new(Matrix::vstack(blocks))
+}
+
+/// Computes a (possibly rectangular) "R compression" of `a`: the
+/// upper-triangular `min(m, n) × n` factor of a QR factorization of `a`,
+/// used to restore the row-count invariant of the odd-even recursion.
+///
+/// Unlike [`QrFactor::new`], this accepts wide matrices (`m < n`); in that
+/// case the result is `m × n` upper trapezoidal.  The same transformation is
+/// applied to `rhs` (in place), whose top `min(m, n)` rows are kept.
+pub fn compress_rows(a: &Matrix, rhs: &mut Matrix) -> Matrix {
+    let (m, n) = (a.rows(), a.cols());
+    assert_eq!(rhs.rows(), m, "compress_rows rhs row mismatch");
+    if m <= n {
+        // Nothing to compress: already at most n rows.
+        return a.clone();
+    }
+    let qr = QrFactor::new(a.clone());
+    qr.apply_qt(rhs);
+    // R is n x n upper triangular; keep those rows of the rhs.
+    qr.r()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[
+            &[2.0, -1.0, 0.5],
+            &[1.0, 3.0, -2.0],
+            &[0.0, 1.0, 1.0],
+            &[4.0, 0.0, 2.0],
+            &[-1.0, 2.0, 0.0],
+        ])
+    }
+
+    #[test]
+    fn reconstruction_a_equals_qr() {
+        let a = sample();
+        let qr = QrFactor::new(a.clone());
+        let q = qr.q_thin();
+        let r = qr.r();
+        let qr_prod = matmul(&q, &r);
+        assert!(qr_prod.approx_eq(&a, 1e-12), "QR != A");
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let qr = QrFactor::new(sample());
+        let q = qr.q_thin();
+        let qtq = matmul_tn(&q, &q);
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn apply_qt_then_q_roundtrips() {
+        let qr = QrFactor::new(sample());
+        let b = Matrix::from_fn(5, 2, |i, j| (i + 2 * j) as f64);
+        let mut t = b.clone();
+        qr.apply_qt(&mut t);
+        qr.apply_q(&mut t);
+        assert!(t.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn apply_qt_matches_explicit_q() {
+        let a = sample();
+        let qr = QrFactor::new(a.clone());
+        // Build full Q by applying Q to the 5x5 identity.
+        let mut full_q = Matrix::identity(5);
+        qr.apply_q(&mut full_q);
+        let b = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let mut qt_b = b.clone();
+        qr.apply_qt(&mut qt_b);
+        let expect = matmul_tn(&full_q, &b);
+        assert!(qt_b.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn solve_ls_matches_normal_equations() {
+        let a = sample();
+        let b = Matrix::col_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let qr = QrFactor::new(a.clone());
+        let x = qr.solve_ls(&b).unwrap();
+        // Check normal equations: Aᵀ(Ax − b) = 0.
+        let ax = matmul(&a, &x);
+        let resid = &ax - &b;
+        let grad = matmul_tn(&a, &resid);
+        assert!(grad.max_abs() < 1e-12, "gradient {:?}", grad);
+    }
+
+    #[test]
+    fn square_exact_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let b = Matrix::col_from_slice(&[9.0, 13.0]);
+        let qr = QrFactor::new(a);
+        let x = qr.solve_ls(&b).unwrap();
+        assert!((x[(0, 0)] - 1.4).abs() < 1e-12);
+        assert!((x[(1, 0)] - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_reports_column() {
+        // Second column is a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = QrFactor::new(a);
+        let b = Matrix::col_from_slice(&[1.0, 1.0, 1.0]);
+        match qr.solve_ls(&b) {
+            Err(DenseError::RankDeficient { column }) => assert_eq!(column, 1),
+            other => panic!("expected rank deficiency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn residual_norm_is_ls_residual() {
+        let a = sample();
+        let b = Matrix::col_from_slice(&[1.0, -1.0, 2.0, 0.0, 1.0]);
+        let qr = QrFactor::new(a.clone());
+        let x = qr.solve_ls(&b).unwrap();
+        let resid = &matmul(&a, &x) - &b;
+        assert!((qr.ls_residual_norm(&b) - resid.frob_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_column_gives_zero_tau_not_nan() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]);
+        let qr = QrFactor::new(a);
+        let r = qr.r();
+        assert_eq!(r[(0, 0)], 0.0);
+        assert!(r.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn compress_rows_tall_gives_triangular_same_gram() {
+        let a = sample(); // 5x3
+        let mut rhs = Matrix::from_fn(5, 1, |i, _| i as f64 + 1.0);
+        let orig_rhs = rhs.clone();
+        let r = compress_rows(&a, &mut rhs);
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.cols(), 3);
+        // RᵀR == AᵀA (the compression preserves the Gram matrix).
+        let gram_r = matmul_tn(&r, &r);
+        let gram_a = matmul_tn(&a, &a);
+        assert!(gram_r.approx_eq(&gram_a, 1e-10));
+        // And the rhs norm is preserved by the orthogonal transform.
+        assert!((rhs.frob_norm() - orig_rhs.frob_norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compress_rows_wide_is_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut rhs = Matrix::col_from_slice(&[5.0]);
+        let r = compress_rows(&a, &mut rhs);
+        assert!(r.approx_eq(&a, 0.0));
+        assert_eq!(rhs[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn qr_stacked_equals_qr_of_vstack() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let qr1 = qr_stacked(&[&a, &b]);
+        let qr2 = QrFactor::new(Matrix::vstack(&[&a, &b]));
+        assert!(qr1.r().approx_eq(&qr2.r(), 0.0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Random matrix generators for synthetic benchmark problems.
+//!
+//! The paper's test problems (§5.2) use *random fixed orthonormal* evolution
+//! and observation matrices (to avoid growth/shrinkage of the state, hence
+//! overflow/underflow over millions of steps), random observations, and
+//! identity covariances.  These generators provide exactly those building
+//! blocks, plus ill-conditioned SPD matrices for the stability experiments.
+
+use crate::{Cholesky, Matrix, QrFactor};
+use rand::Rng;
+
+/// Draws a standard-normal sample using the Box–Muller transform.
+///
+/// (The `rand` crate alone does not ship a normal distribution; this keeps
+/// the dependency footprint to the crates blessed for this reproduction.)
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// An `m × n` matrix with i.i.d. standard-normal entries.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, m: usize, n: usize) -> Matrix {
+    Matrix::from_fn(m, n, |_, _| standard_normal(rng))
+}
+
+/// A length-`n` vector with i.i.d. standard-normal entries.
+pub fn gaussian_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// A Haar-distributed random `n × n` orthonormal matrix.
+///
+/// Computed as the `Q` factor of a Gaussian matrix with the sign fix
+/// `Q ← Q·sign(diag(R))` that makes the distribution exactly Haar.
+pub fn orthonormal<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    orthonormal_rect(rng, n, n)
+}
+
+/// A random `m × n` matrix with orthonormal columns (`m >= n`).
+///
+/// # Panics
+///
+/// Panics if `m < n`.
+pub fn orthonormal_rect<R: Rng + ?Sized>(rng: &mut R, m: usize, n: usize) -> Matrix {
+    assert!(m >= n, "orthonormal_rect requires m >= n");
+    let g = gaussian(rng, m, n);
+    let qr = QrFactor::new(g);
+    let mut q = qr.q_thin();
+    let r = qr.r();
+    // Sign fix: multiply column j by sign(R[j,j]).
+    for j in 0..n {
+        if r[(j, j)] < 0.0 {
+            for v in q.col_mut(j) {
+                *v = -*v;
+            }
+        }
+    }
+    q
+}
+
+/// A random SPD matrix with 2-norm condition number approximately `cond`.
+///
+/// Built as `Q·D·Qᵀ` with `Q` Haar-orthonormal and `D` log-spaced between
+/// `1` and `1/cond`.  Used by the stability experiment, which sweeps the
+/// conditioning of the noise covariances.
+///
+/// # Panics
+///
+/// Panics if `cond < 1`.
+pub fn spd_with_condition<R: Rng + ?Sized>(rng: &mut R, n: usize, cond: f64) -> Matrix {
+    assert!(cond >= 1.0, "condition number must be >= 1");
+    let q = orthonormal(rng, n);
+    let diag: Vec<f64> = if n == 1 {
+        vec![1.0]
+    } else {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                // log-spaced from 1 down to 1/cond
+                (-t * cond.ln()).exp()
+            })
+            .collect()
+    };
+    let d = Matrix::from_diag(&diag);
+    let mut a = crate::gemm::matmul(&crate::gemm::matmul(&q, &d), &q.transpose());
+    a.symmetrize();
+    a
+}
+
+/// A random SPD matrix that is well conditioned (condition number ≤ ~10).
+pub fn spd<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Matrix {
+    spd_with_condition(rng, n, 10.0)
+}
+
+/// Draws a sample from `N(0, C)` given the Cholesky factor of `C`.
+pub fn sample_gaussian_cov<R: Rng + ?Sized>(rng: &mut R, chol: &Cholesky) -> Vec<f64> {
+    let z = gaussian_vec(rng, chol.dim());
+    chol.l().mul_vec(&z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul_tn;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn orthonormal_is_orthonormal() {
+        let mut r = rng();
+        for n in [1, 2, 6, 13] {
+            let q = orthonormal(&mut r, n);
+            let qtq = matmul_tn(&q, &q);
+            assert!(
+                qtq.approx_eq(&Matrix::identity(n), 1e-12),
+                "QᵀQ != I for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn orthonormal_rect_columns() {
+        let mut r = rng();
+        let q = orthonormal_rect(&mut r, 8, 3);
+        let qtq = matmul_tn(&q, &q);
+        assert!(qtq.approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn spd_with_condition_is_spd_and_conditioned() {
+        let mut r = rng();
+        let a = spd_with_condition(&mut r, 5, 1e6);
+        let ch = Cholesky::new(&a);
+        assert!(ch.is_ok(), "not SPD");
+        // Eigenvalue extremes are 1 and 1e-6 by construction; check via
+        // Rayleigh-ish bounds: max diag of QDQᵀ ≤ λmax = 1 + eps.
+        assert!(a.max_abs() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sampling_with_covariance_runs() {
+        let mut r = rng();
+        let c = spd(&mut r, 4);
+        let ch = Cholesky::new(&c).unwrap();
+        let s = sample_gaussian_cov(&mut r, &ch);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = gaussian(&mut rng(), 3, 3);
+        let b = gaussian(&mut rng(), 3, 3);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

@@ -1,0 +1,286 @@
+//! Triangular solves and inverses.
+//!
+//! These kernels are used heavily by both SelInv variants (which need
+//! `R_jj⁻¹ · B`, `R_jj⁻ᵀ · B`, and `R_jj⁻¹R_jj⁻ᵀ`) and by the
+//! back-substitution phases of the QR smoothers.  All of them check for zero
+//! diagonal entries and report [`DenseError::Singular`].
+
+use crate::{DenseError, Matrix, Result};
+
+fn check_diag(u: &Matrix) -> Result<()> {
+    assert!(u.is_square(), "triangular solve requires a square matrix");
+    for i in 0..u.rows() {
+        if u[(i, i)] == 0.0 {
+            return Err(DenseError::Singular { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Solves `U x = b` in place for each column of `b`, with `U` upper triangular.
+///
+/// Only the upper triangle of `u` is referenced.
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `U` has a zero diagonal entry.
+pub fn solve_upper_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
+    check_diag(u)?;
+    let n = u.rows();
+    assert_eq!(b.rows(), n, "solve_upper rhs row mismatch");
+    for k in 0..b.cols() {
+        let bk = b.col_mut(k);
+        for i in (0..n).rev() {
+            let mut acc = bk[i];
+            for j in (i + 1)..n {
+                acc -= u[(i, j)] * bk[j];
+            }
+            bk[i] = acc / u[(i, i)];
+        }
+    }
+    Ok(())
+}
+
+/// Solves `Uᵀ x = b` in place for each column of `b`, with `U` upper
+/// triangular (so `Uᵀ` is lower triangular).
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `U` has a zero diagonal entry.
+pub fn solve_upper_transpose_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
+    check_diag(u)?;
+    let n = u.rows();
+    assert_eq!(b.rows(), n, "solve_upper_transpose rhs row mismatch");
+    for k in 0..b.cols() {
+        let bk = b.col_mut(k);
+        for i in 0..n {
+            let mut acc = bk[i];
+            // (Uᵀ)[i][j] = U[j][i] for j < i.
+            for j in 0..i {
+                acc -= u[(j, i)] * bk[j];
+            }
+            bk[i] = acc / u[(i, i)];
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L x = b` in place for each column of `b`, with `L` lower triangular.
+///
+/// Only the lower triangle of `l` is referenced.
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `L` has a zero diagonal entry.
+pub fn solve_lower_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> {
+    check_diag(l)?;
+    let n = l.rows();
+    assert_eq!(b.rows(), n, "solve_lower rhs row mismatch");
+    for k in 0..b.cols() {
+        let bk = b.col_mut(k);
+        for i in 0..n {
+            let mut acc = bk[i];
+            for j in 0..i {
+                acc -= l[(i, j)] * bk[j];
+            }
+            bk[i] = acc / l[(i, i)];
+        }
+    }
+    Ok(())
+}
+
+/// Solves `Lᵀ x = b` in place for each column of `b`, with `L` lower triangular.
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `L` has a zero diagonal entry.
+pub fn solve_lower_transpose_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> {
+    check_diag(l)?;
+    let n = l.rows();
+    assert_eq!(b.rows(), n, "solve_lower_transpose rhs row mismatch");
+    for k in 0..b.cols() {
+        let bk = b.col_mut(k);
+        for i in (0..n).rev() {
+            let mut acc = bk[i];
+            for j in (i + 1)..n {
+                acc -= l[(j, i)] * bk[j];
+            }
+            bk[i] = acc / l[(i, i)];
+        }
+    }
+    Ok(())
+}
+
+/// Solves `X U = B` in place on `b` (i.e. `X = B U⁻¹`), `U` upper triangular.
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `U` has a zero diagonal entry.
+pub fn solve_upper_right_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
+    check_diag(u)?;
+    let n = u.rows();
+    assert_eq!(b.cols(), n, "solve_upper_right rhs col mismatch");
+    // Column j of X depends on earlier columns of X: X[:,j] = (B[:,j] − Σ_{l<j} X[:,l] U[l,j]) / U[j,j].
+    for j in 0..n {
+        for l in 0..j {
+            let ulj = u[(l, j)];
+            if ulj != 0.0 {
+                let (xl, xj) = b.two_cols_mut(l, j);
+                for (xji, &xli) in xj.iter_mut().zip(xl.iter()) {
+                    *xji -= xli * ulj;
+                }
+            }
+        }
+        let inv = 1.0 / u[(j, j)];
+        for v in b.col_mut(j) {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+/// Returns `U⁻¹` for upper triangular `U` (result is upper triangular).
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `U` has a zero diagonal entry.
+pub fn invert_upper(u: &Matrix) -> Result<Matrix> {
+    let mut inv = Matrix::identity(u.rows());
+    solve_upper_in_place(u, &mut inv)?;
+    Ok(inv)
+}
+
+/// Returns `L⁻¹` for lower triangular `L` (result is lower triangular).
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `L` has a zero diagonal entry.
+pub fn invert_lower(l: &Matrix) -> Result<Matrix> {
+    let mut inv = Matrix::identity(l.rows());
+    solve_lower_in_place(l, &mut inv)?;
+    Ok(inv)
+}
+
+/// Computes `(UᵀU)⁻¹ = U⁻¹ U⁻ᵀ` for upper triangular `U`.
+///
+/// This is the `R_jj⁻¹R_jj⁻ᵀ` kernel from the SelInv recurrences; the result
+/// is symmetric.
+///
+/// # Errors
+///
+/// [`DenseError::Singular`] if `U` has a zero diagonal entry.
+pub fn inv_gram_upper(u: &Matrix) -> Result<Matrix> {
+    let w = invert_upper(u)?;
+    let mut s = crate::gemm::matmul_nt(&w, &w);
+    s.symmetrize();
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+
+    fn upper() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[0.0, 3.0, 0.5], &[0.0, 0.0, 1.5]])
+    }
+
+    fn lower() -> Matrix {
+        upper().transpose()
+    }
+
+    #[test]
+    fn solve_upper_residual() {
+        let u = upper();
+        let b = Matrix::from_fn(3, 2, |i, j| (i + j + 1) as f64);
+        let mut x = b.clone();
+        solve_upper_in_place(&u, &mut x).unwrap();
+        assert!(matmul(&u, &x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_upper_transpose_residual() {
+        let u = upper();
+        let b = Matrix::from_fn(3, 2, |i, j| (2 * i + j) as f64);
+        let mut x = b.clone();
+        solve_upper_transpose_in_place(&u, &mut x).unwrap();
+        assert!(matmul_tn(&u, &x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_lower_residual() {
+        let l = lower();
+        let b = Matrix::from_fn(3, 2, |i, j| (i * 2 + j + 1) as f64);
+        let mut x = b.clone();
+        solve_lower_in_place(&l, &mut x).unwrap();
+        assert!(matmul(&l, &x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_lower_transpose_residual() {
+        let l = lower();
+        let b = Matrix::from_fn(3, 1, |i, _| (i + 1) as f64);
+        let mut x = b.clone();
+        solve_lower_transpose_in_place(&l, &mut x).unwrap();
+        assert!(matmul(&l.transpose(), &x).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn solve_upper_right_residual() {
+        let u = upper();
+        let b = Matrix::from_fn(2, 3, |i, j| (i + 3 * j) as f64 + 0.5);
+        let mut x = b.clone();
+        solve_upper_right_in_place(&u, &mut x).unwrap();
+        assert!(matmul(&x, &u).approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn invert_upper_gives_inverse() {
+        let u = upper();
+        let inv = invert_upper(&u).unwrap();
+        assert!(matmul(&u, &inv).approx_eq(&Matrix::identity(3), 1e-12));
+        // Result stays upper triangular.
+        assert_eq!(inv[(2, 0)], 0.0);
+        assert_eq!(inv[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn invert_lower_gives_inverse() {
+        let l = lower();
+        let inv = invert_lower(&l).unwrap();
+        assert!(matmul(&l, &inv).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn inv_gram_matches_dense_inverse() {
+        let u = upper();
+        let s = inv_gram_upper(&u).unwrap();
+        // s * (UᵀU) == I
+        let gram = matmul_tn(&u, &u);
+        assert!(matmul(&s, &gram).approx_eq(&Matrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let mut u = upper();
+        u[(1, 1)] = 0.0;
+        let mut b = Matrix::col_from_slice(&[1.0, 2.0, 3.0]);
+        match solve_upper_in_place(&u, &mut b) {
+            Err(DenseError::Singular { index }) => assert_eq!(index, 1),
+            other => panic!("expected singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lower_ignores_upper_entries() {
+        // Garbage above the diagonal must not affect solve_lower.
+        let mut l = lower();
+        l[(0, 2)] = 99.0;
+        let b = Matrix::col_from_slice(&[2.0, 1.0, 3.0]);
+        let mut x = b.clone();
+        solve_lower_in_place(&l, &mut x).unwrap();
+        let mut clean = lower();
+        clean[(0, 2)] = 0.0;
+        assert!(matmul(&clean, &x).approx_eq(&b, 1e-12));
+    }
+}

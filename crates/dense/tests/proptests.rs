@@ -1,0 +1,200 @@
+//! Property-based tests for the dense kernels.
+//!
+//! Strategy: generate random well-scaled matrices and verify algebraic
+//! invariants (reconstruction, orthogonality, residuals) rather than
+//! comparing against golden values.
+
+use kalman_dense::{
+    gemm, matmul, matmul_nt, matmul_tn, random, tri, Cholesky, LuFactor, Matrix, QrFactor, Trans,
+};
+use proptest::prelude::*;
+
+/// A strategy producing an `m × n` matrix with entries in [-10, 10].
+fn matrix_strategy(m: usize, n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, m * n)
+        .prop_map(move |data| Matrix::from_col_major(m, n, data))
+}
+
+/// Dims (m, n) with m >= n >= 1, both small.
+fn tall_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..8).prop_flat_map(|n| (n..12usize, Just(n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qr_reconstructs_and_q_orthonormal((m, n) in tall_dims(), seed in 0u64..1000) {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand_chacha::ChaCha8Rng = &mut rng;
+        let a = random::gaussian(rng, m, n);
+        let qr = QrFactor::new(a.clone());
+        let q = qr.q_thin();
+        let r = qr.r();
+        prop_assert!(matmul(&q, &r).approx_eq(&a, 1e-10 * (1.0 + a.max_abs())));
+        prop_assert!(matmul_tn(&q, &q).approx_eq(&Matrix::identity(n), 1e-12));
+        // R is upper triangular.
+        for j in 0..n {
+            for i in (j + 1)..n {
+                prop_assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_apply_qt_preserves_norms((m, n) in tall_dims(), seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, m, n);
+        let b = random::gaussian(&mut rng, m, 3);
+        let qr = QrFactor::new(a);
+        let mut t = b.clone();
+        qr.apply_qt(&mut t);
+        // Orthogonal transformations preserve column norms.
+        for k in 0..3 {
+            let before: f64 = b.col(k).iter().map(|v| v * v).sum::<f64>().sqrt();
+            let after: f64 = t.col(k).iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!((before - after).abs() < 1e-10 * (1.0 + before));
+        }
+    }
+
+    #[test]
+    fn least_squares_satisfies_normal_equations((m, n) in tall_dims(), seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, m, n);
+        let b = random::gaussian(&mut rng, m, 1);
+        let qr = QrFactor::new(a.clone());
+        if let Ok(x) = qr.solve_ls(&b) {
+            let resid = &matmul(&a, &x) - &b;
+            let grad = matmul_tn(&a, &resid);
+            prop_assert!(grad.max_abs() < 1e-8 * (1.0 + b.max_abs()),
+                "gradient norm {}", grad.max_abs());
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive(m in 1usize..6, k in 1usize..6, n in 1usize..6,
+                          a in proptest::collection::vec(-5.0..5.0f64, 36),
+                          b in proptest::collection::vec(-5.0..5.0f64, 36)) {
+        let a = Matrix::from_col_major(m, k, a[..m * k].to_vec());
+        let b = Matrix::from_col_major(k, n, b[..k * n].to_vec());
+        let c = matmul(&a, &b);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: f64 = (0..k).map(|l| a[(i, l)] * b[(l, j)]).sum();
+                prop_assert!((c[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_consistency(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, k, m); // will be used transposed
+        let b = random::gaussian(&mut rng, k, n);
+        let c1 = matmul_tn(&a, &b);
+        let c2 = matmul(&a.transpose(), &b);
+        prop_assert!(c1.approx_eq(&c2, 1e-12));
+
+        let d = random::gaussian(&mut rng, n, k);
+        let e1 = matmul_nt(&b.transpose(), &d);
+        let e2 = matmul(&b.transpose(), &d.transpose());
+        prop_assert!(e1.approx_eq(&e2, 1e-12));
+    }
+
+    #[test]
+    fn gemm_beta_accumulation(m in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, m, n);
+        let b = random::gaussian(&mut rng, n, m);
+        let c0 = random::gaussian(&mut rng, m, m);
+        let mut c = c0.clone();
+        gemm(2.0, &a, Trans::No, &b, Trans::No, -1.0, &mut c);
+        let expect = &matmul(&a, &b).scaled(2.0) - &c0;
+        prop_assert!(c.approx_eq(&expect, 1e-10));
+    }
+
+    #[test]
+    fn lu_solve_and_det(n in 1usize..7, seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, n, n);
+        let b = random::gaussian(&mut rng, n, 2);
+        if let Ok(lu) = LuFactor::new(a.clone()) {
+            let x = lu.solve(&b);
+            prop_assert!(matmul(&a, &x).approx_eq(&b, 1e-7 * (1.0 + b.max_abs())));
+            // det(A) via LU equals det via cofactor for n<=2 (sanity anchor).
+            if n == 2 {
+                let expect = a[(0, 0)] * a[(1, 1)] - a[(0, 1)] * a[(1, 0)];
+                prop_assert!((lu.det() - expect).abs() < 1e-9 * (1.0 + expect.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrip(n in 1usize..7, seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let c = random::spd(&mut rng, n);
+        let ch = Cholesky::new(&c).unwrap();
+        prop_assert!(kalman_dense::llt(ch.l()).approx_eq(&c, 1e-10));
+        let w = ch.inverse_factor();
+        // WᵀW·C == I
+        let wtw = matmul_tn(&w, &w);
+        prop_assert!(matmul(&wtw, &c).approx_eq(&Matrix::identity(n), 1e-6));
+    }
+
+    #[test]
+    fn triangular_solves_are_inverses(n in 1usize..7, seed in 0u64..1000, mat in matrix_strategy(7, 3)) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        // Well-conditioned upper-triangular: QR of a Gaussian + diagonal boost.
+        let g = random::gaussian(&mut rng, n, n);
+        let mut u = QrFactor::new(g).r();
+        for i in 0..n {
+            u[(i, i)] += u[(i, i)].signum() * 1.0;
+        }
+        let b = mat.sub_matrix(0, 0, n, 3);
+
+        let mut x = b.clone();
+        tri::solve_upper_in_place(&u, &mut x).unwrap();
+        prop_assert!(matmul(&u, &x).approx_eq(&b, 1e-8 * (1.0 + b.max_abs())));
+
+        let mut xt = b.clone();
+        tri::solve_upper_transpose_in_place(&u, &mut xt).unwrap();
+        prop_assert!(matmul_tn(&u, &xt).approx_eq(&b, 1e-8 * (1.0 + b.max_abs())));
+
+        let l = u.transpose();
+        let mut xl = b.clone();
+        tri::solve_lower_in_place(&l, &mut xl).unwrap();
+        prop_assert!(matmul(&l, &xl).approx_eq(&b, 1e-8 * (1.0 + b.max_abs())));
+
+        let wide = b.transpose();
+        let mut xr = wide.clone();
+        tri::solve_upper_right_in_place(&u, &mut xr).unwrap();
+        prop_assert!(matmul(&xr, &u).approx_eq(&wide, 1e-8 * (1.0 + b.max_abs())));
+    }
+
+    #[test]
+    fn compress_rows_preserves_gram_and_norm((m, n) in tall_dims(), seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, m, n);
+        let rhs0 = random::gaussian(&mut rng, m, 1);
+        let mut rhs = rhs0.clone();
+        let r = kalman_dense::compress_rows(&a, &mut rhs);
+        let gram_a = matmul_tn(&a, &a);
+        let gram_r = matmul_tn(&r, &r);
+        prop_assert!(gram_a.approx_eq(&gram_r, 1e-8 * (1.0 + gram_a.max_abs())));
+        prop_assert!((rhs.frob_norm() - rhs0.frob_norm()).abs() < 1e-10 * (1.0 + rhs0.frob_norm()));
+        // Also Aᵀ·rhs is preserved in the kept part: Rᵀ·(kept rows of rhs) == Aᵀ·rhs0.
+        let kept = rhs.sub_matrix(0, 0, n.min(m), 1);
+        let lhs = matmul_tn(&r, &kept);
+        let expect = matmul_tn(&a, &rhs0);
+        prop_assert!(lhs.approx_eq(&expect, 1e-8 * (1.0 + expect.max_abs())));
+    }
+
+    #[test]
+    fn orthonormal_products_stay_orthonormal(n in 1usize..8, seed in 0u64..1000) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let q1 = random::orthonormal(&mut rng, n);
+        let q2 = random::orthonormal(&mut rng, n);
+        let p = matmul(&q1, &q2);
+        prop_assert!(matmul_tn(&p, &p).approx_eq(&Matrix::identity(n), 1e-11));
+    }
+}

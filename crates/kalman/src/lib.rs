@@ -1,0 +1,66 @@
+//! Parallel-in-time Kalman smoothing using orthogonal transformations.
+//!
+//! Umbrella crate re-exporting the full public API of the reproduction of
+//! Gargir & Toledo, *"Parallel-in-Time Kalman Smoothing Using Orthogonal
+//! Transformations"* (IPDPS 2025):
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`model`] | Problem definition: [`model::LinearModel`], covariance specs, generators, dense oracle |
+//! | [`odd_even`] | **The paper's contribution**: odd-even parallel QR smoother + parallel SelInv |
+//! | [`seq`] | Sequential baselines: RTS smoother, Paige–Saunders QR smoother |
+//! | [`associative`] | Särkkä & García-Fernández parallel-scan smoother |
+//! | [`tridiag`] | Normal-equations cyclic-reduction smoother (unstable; for the stability study) |
+//! | [`dense`] | Dense kernels (QR, LU, Cholesky, GEMM, triangular solves) |
+//! | [`par`] | TBB-like parallel primitives (`parallel_for` with grain, parallel scans) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kalman::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+//! let problem = kalman::model::generators::tracking_2d(&mut rng, 200, 0.1, 0.5, 0.25);
+//!
+//! // Smooth with the parallel odd-even algorithm…
+//! let est = odd_even_smooth(&problem.model, OddEvenOptions::default()).unwrap();
+//! // …and cross-check against the conventional RTS smoother.
+//! let rts = rts_smooth(&problem.model).unwrap();
+//! assert!(est.max_mean_diff(&rts) < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Scalable thread-caching allocator, standing in for the TBB scalable
+/// allocator (`libtbbmalloc_proxy`) the paper's test programs link against
+/// (§5.1).  The parallel smoothers allocate many small matrix blocks from
+/// many threads; the system allocator's arena handling dominates the running
+/// time without this (see DESIGN.md).
+#[global_allocator]
+static GLOBAL: tikv_jemallocator::Jemalloc = tikv_jemallocator::Jemalloc;
+
+pub use kalman_associative as associative;
+pub use kalman_dense as dense;
+pub use kalman_model as model;
+pub use kalman_nonlinear as nonlinear;
+pub use kalman_odd_even as odd_even;
+pub use kalman_par as par;
+pub use kalman_seq as seq;
+pub use kalman_tridiag as tridiag;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use kalman_associative::{associative_smooth, AssociativeOptions};
+    pub use kalman_dense::Matrix;
+    pub use kalman_model::{
+        solve_dense, CovarianceSpec, Evolution, KalmanError, LinearModel, LinearStep, Observation,
+        Smoothed,
+    };
+    pub use kalman_nonlinear::{gauss_newton_smooth, GaussNewtonOptions, NonlinearModel};
+    pub use kalman_odd_even::{odd_even_smooth, OddEvenOptions};
+    pub use kalman_par::{run_with_threads, ExecPolicy};
+    pub use kalman_seq::{paige_saunders_smooth, rts_smooth, SmootherOptions};
+    pub use kalman_tridiag::{normal_equations_smooth, TridiagMethod};
+}

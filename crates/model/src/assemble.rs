@@ -1,0 +1,253 @@
+//! Dense assembly of the least-squares system `min ‖U(Au − b)‖₂` and a dense
+//! reference solver.
+//!
+//! This materializes the block matrix `U·A` of §3 of the paper explicitly —
+//! `Θ((kn)²)` storage, so it is only usable for small problems — and solves
+//! it with a dense QR factorization.  Every structured smoother in the
+//! workspace is tested against this oracle: identical means, and identical
+//! covariance blocks `cov(û_i) = ((UA)ᵀ(UA))⁻¹` diagonal blocks.
+
+use crate::{KalmanError, LinearModel, Result, Smoothed};
+use kalman_dense::{tri, Matrix, QrFactor};
+
+/// The dense least-squares system assembled from a model.
+#[derive(Debug, Clone)]
+pub struct DenseSystem {
+    /// The whitened coefficient matrix `U·A`.
+    pub a: Matrix,
+    /// The whitened right-hand side `U·b` (a column vector).
+    pub b: Matrix,
+    /// `col_offsets[i]` is the first column of state `i`; the final entry is
+    /// the total state dimension.
+    pub col_offsets: Vec<usize>,
+}
+
+/// Assembles the dense whitened system `(U·A, U·b)` in original column order.
+///
+/// Row order: prior rows (if any), then for each step its evolution rows
+/// followed by its observation rows.  Row order does not affect the
+/// least-squares solution.
+///
+/// # Errors
+///
+/// Any model validation or covariance-whitening failure.
+pub fn assemble_dense(model: &LinearModel) -> Result<DenseSystem> {
+    model.validate()?;
+    let total_cols = model.total_state_dim();
+    let total_rows = model.total_row_dim();
+    let mut col_offsets = Vec::with_capacity(model.num_states() + 1);
+    let mut acc = 0;
+    for s in &model.steps {
+        col_offsets.push(acc);
+        acc += s.state_dim;
+    }
+    col_offsets.push(acc);
+
+    let mut a = Matrix::zeros(total_rows, total_cols);
+    let mut b = Matrix::zeros(total_rows, 1);
+    let mut r0 = 0usize;
+
+    if let Some(prior) = &model.prior {
+        // Prior as an observation of state 0: W_p·u_0 ≈ W_p·mean.
+        let n0 = model.state_dim(0);
+        let wi = prior.cov.whiten(&Matrix::identity(n0), 0)?;
+        let wm = prior.cov.whiten_vec(&prior.mean, 0)?;
+        a.set_block(r0, col_offsets[0], &wi);
+        for (i, v) in wm.iter().enumerate() {
+            b[(r0 + i, 0)] = *v;
+        }
+        r0 += n0;
+    }
+
+    for (i, step) in model.steps.iter().enumerate() {
+        if let Some(evo) = &step.evolution {
+            let l = evo.row_dim();
+            // Whitened evolution rows: V_i·[−F_i  H_i], rhs V_i·c_i.
+            let vf = evo.noise.whiten(&evo.f, i)?;
+            let h = evo
+                .h
+                .clone()
+                .unwrap_or_else(|| Matrix::identity(step.state_dim));
+            let vh = evo.noise.whiten(&h, i)?;
+            let vc = evo.noise.whiten_vec(&evo.c, i)?;
+            a.set_block(r0, col_offsets[i - 1], &vf.scaled(-1.0));
+            a.set_block(r0, col_offsets[i], &vh);
+            for (r, v) in vc.iter().enumerate() {
+                b[(r0 + r, 0)] = *v;
+            }
+            r0 += l;
+        }
+        if let Some(obs) = &step.observation {
+            let m = obs.dim();
+            let wg = obs.noise.whiten(&obs.g, i)?;
+            let wo = obs.noise.whiten_vec(&obs.o, i)?;
+            a.set_block(r0, col_offsets[i], &wg);
+            for (r, v) in wo.iter().enumerate() {
+                b[(r0 + r, 0)] = *v;
+            }
+            r0 += m;
+        }
+    }
+    debug_assert_eq!(r0, total_rows);
+    Ok(DenseSystem { a, b, col_offsets })
+}
+
+/// Solves the smoothing problem densely (reference oracle).
+///
+/// Means come from a dense QR least-squares solve; covariances are the
+/// diagonal blocks of `(RᵀR)⁻¹ = R⁻¹R⁻ᵀ`.
+///
+/// # Errors
+///
+/// [`KalmanError::RankDeficient`] when the system does not have full column
+/// rank, plus any assembly error.
+pub fn solve_dense(model: &LinearModel) -> Result<Smoothed> {
+    let sys = assemble_dense(model)?;
+    let qr = QrFactor::new(sys.a.clone());
+    let x = qr.solve_ls(&sys.b).map_err(|e| match e {
+        kalman_dense::DenseError::RankDeficient { column } => KalmanError::RankDeficient {
+            state: state_of_column(&sys.col_offsets, column),
+        },
+        other => KalmanError::Dense(other),
+    })?;
+
+    let r = qr.r();
+    let rinv = tri::invert_upper(&r).map_err(|_| KalmanError::RankDeficient {
+        state: model.num_states() - 1,
+    })?;
+    let s = kalman_dense::matmul_nt(&rinv, &rinv);
+
+    let k = model.num_states();
+    let mut means = Vec::with_capacity(k);
+    let mut covs = Vec::with_capacity(k);
+    for i in 0..k {
+        let c0 = sys.col_offsets[i];
+        let n = sys.col_offsets[i + 1] - c0;
+        means.push(x.col(0)[c0..c0 + n].to_vec());
+        let mut block = s.sub_matrix(c0, c0, n, n);
+        block.symmetrize();
+        covs.push(block);
+    }
+    Ok(Smoothed {
+        means,
+        covariances: Some(covs),
+    })
+}
+
+fn state_of_column(offsets: &[usize], column: usize) -> usize {
+    match offsets.binary_search(&column) {
+        Ok(i) => i.min(offsets.len().saturating_sub(2)),
+        Err(i) => i - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CovarianceSpec, Evolution, LinearStep, Observation};
+
+    fn scalar_model() -> LinearModel {
+        // u_0 = 1 observed (L=1); u_1 = u_0 + 1 (K=1); u_1 = 3 observed (L=1).
+        let mut m = LinearModel::new();
+        m.push_step(LinearStep::initial(1).with_observation(Observation {
+            g: Matrix::identity(1),
+            o: vec![1.0],
+            noise: CovarianceSpec::Identity(1),
+        }));
+        m.push_step(
+            LinearStep::evolving(Evolution {
+                f: Matrix::identity(1),
+                h: None,
+                c: vec![1.0],
+                noise: CovarianceSpec::Identity(1),
+            })
+            .with_observation(Observation {
+                g: Matrix::identity(1),
+                o: vec![3.0],
+                noise: CovarianceSpec::Identity(1),
+            }),
+        );
+        m
+    }
+
+    #[test]
+    fn assemble_shapes_and_content() {
+        let m = scalar_model();
+        let sys = assemble_dense(&m).unwrap();
+        assert_eq!(sys.a.rows(), 3);
+        assert_eq!(sys.a.cols(), 2);
+        assert_eq!(sys.col_offsets, vec![0, 1, 2]);
+        // Rows: obs0 [1 0 | 1]; evo1 [-1 1 | 1]; obs1 [0 1 | 3].
+        assert_eq!(sys.a[(0, 0)], 1.0);
+        assert_eq!(sys.a[(1, 0)], -1.0);
+        assert_eq!(sys.a[(1, 1)], 1.0);
+        assert_eq!(sys.a[(2, 1)], 1.0);
+        assert_eq!(sys.b[(1, 0)], 1.0);
+        assert_eq!(sys.b[(2, 0)], 3.0);
+    }
+
+    #[test]
+    fn solve_scalar_by_hand() {
+        // Minimize (u0-1)² + (u1-u0-1)² + (u1-3)².
+        // ∂/∂u0: 2(u0-1) - 2(u1-u0-1) = 0 → 2u0 - u1 = 0
+        // ∂/∂u1: 2(u1-u0-1) + 2(u1-3) = 0 → -u0 + 2u1 = 4
+        // → u0 = 4/3, u1 = 8/3.
+        let s = solve_dense(&scalar_model()).unwrap();
+        assert!((s.mean(0)[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean(1)[0] - 8.0 / 3.0).abs() < 1e-12);
+        // Covariance: (AᵀA)⁻¹ with AᵀA = [[2,-1],[-1,2]] → inv = [[2,1],[1,2]]/3.
+        let c0 = s.covariance(0).unwrap();
+        assert!((c0[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prior_contributes_rows() {
+        let mut m = scalar_model();
+        m.set_prior(vec![0.0], CovarianceSpec::Identity(1));
+        let sys = assemble_dense(&m).unwrap();
+        assert_eq!(sys.a.rows(), 4);
+        // Prior pulls u0 toward 0.
+        let with_prior = solve_dense(&m).unwrap();
+        let without = solve_dense(&scalar_model()).unwrap();
+        assert!(with_prior.mean(0)[0] < without.mean(0)[0]);
+    }
+
+    #[test]
+    fn whitening_changes_weighting() {
+        let mut m = scalar_model();
+        // Make observation of u1 very precise: it should dominate.
+        m.steps[1].observation.as_mut().unwrap().noise =
+            CovarianceSpec::ScaledIdentity(1, 1e-8);
+        let s = solve_dense(&m).unwrap();
+        assert!((s.mean(1)[0] - 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rank_deficient_is_reported() {
+        // Two states, zero observation matrix on state 1: u1 enters only
+        // through... actually make G_1 = 0 and only evolution ties them:
+        let mut m = scalar_model();
+        m.steps[1].observation.as_mut().unwrap().g = Matrix::zeros(1, 1);
+        // Still full rank: evolution row pins u1 given u0. Break it harder:
+        // zero F and zero G on a 3rd state with zero H is invalid; instead
+        // drop step-1 column entirely by zero G AND zero H... H=None is
+        // identity, so instead check that the valid system still solves:
+        assert!(solve_dense(&m).is_ok());
+        // A genuinely deficient system: no prior, no observation at all on
+        // a two-state chain would be underdetermined and caught by validate.
+        let mut m2 = LinearModel::new();
+        m2.push_step(LinearStep::initial(1));
+        m2.push_step(LinearStep::evolving(Evolution::random_walk(1)));
+        assert!(solve_dense(&m2).is_err());
+    }
+
+    #[test]
+    fn state_of_column_maps_correctly() {
+        let offsets = vec![0, 2, 5, 9];
+        assert_eq!(state_of_column(&offsets, 0), 0);
+        assert_eq!(state_of_column(&offsets, 1), 0);
+        assert_eq!(state_of_column(&offsets, 2), 1);
+        assert_eq!(state_of_column(&offsets, 4), 1);
+        assert_eq!(state_of_column(&offsets, 8), 2);
+    }
+}

@@ -1,0 +1,86 @@
+use kalman_dense::DenseError;
+use std::fmt;
+
+/// Errors shared by every smoother implementation in the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KalmanError {
+    /// The model failed structural validation (inconsistent dimensions,
+    /// empty model, …).  The string describes the defect and names the step.
+    InvalidModel(String),
+    /// The least-squares problem is rank deficient: the data does not
+    /// determine the state at the given step index.
+    RankDeficient {
+        /// Index of the state whose diagonal block was found singular.
+        state: usize,
+    },
+    /// A covariance matrix was not symmetric positive definite.
+    NotPositiveDefinite {
+        /// Step index the covariance belongs to.
+        step: usize,
+    },
+    /// The algorithm requires a prior on the initial state but the model has
+    /// none (conventional RTS and associative smoothers).
+    PriorRequired,
+    /// The algorithm requires uniform state dimensions and `H_i = I`
+    /// (conventional RTS and associative smoothers), but the model varies.
+    UnsupportedStructure(String),
+    /// An underlying dense kernel failed.
+    Dense(DenseError),
+}
+
+impl fmt::Display for KalmanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KalmanError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            KalmanError::RankDeficient { state } => {
+                write!(f, "problem is rank deficient at state {state}")
+            }
+            KalmanError::NotPositiveDefinite { step } => {
+                write!(f, "covariance at step {step} is not positive definite")
+            }
+            KalmanError::PriorRequired => {
+                write!(f, "this smoother requires a prior on the initial state")
+            }
+            KalmanError::UnsupportedStructure(msg) => {
+                write!(f, "unsupported model structure: {msg}")
+            }
+            KalmanError::Dense(e) => write!(f, "dense kernel failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KalmanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KalmanError::Dense(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DenseError> for KalmanError {
+    fn from(e: DenseError) -> Self {
+        KalmanError::Dense(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KalmanError::RankDeficient { state: 7 };
+        assert!(e.to_string().contains("7"));
+        let e = KalmanError::from(DenseError::Singular { index: 2 });
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn source_chains_dense_errors() {
+        use std::error::Error;
+        let e = KalmanError::from(DenseError::Singular { index: 0 });
+        assert!(e.source().is_some());
+        assert!(KalmanError::PriorRequired.source().is_none());
+    }
+}

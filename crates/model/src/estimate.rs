@@ -1,0 +1,132 @@
+use kalman_dense::Matrix;
+
+/// The output of a smoother: per-state means and, optionally, covariances.
+///
+/// The paper's "NC" (no covariance) smoother variants produce
+/// `covariances == None`; the full variants fill both fields.
+#[derive(Debug, Clone)]
+pub struct Smoothed {
+    /// Smoothed state estimates `û_i`, one vector per state.
+    pub means: Vec<Vec<f64>>,
+    /// Covariances `cov(û_i)`, when computed.
+    pub covariances: Option<Vec<Matrix>>,
+}
+
+impl Smoothed {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.means.len()
+    }
+
+    /// `true` when the estimate holds no states.
+    pub fn is_empty(&self) -> bool {
+        self.means.is_empty()
+    }
+
+    /// The smoothed mean of state `i`.
+    pub fn mean(&self, i: usize) -> &[f64] {
+        &self.means[i]
+    }
+
+    /// The covariance of state `i`, if covariances were computed.
+    pub fn covariance(&self, i: usize) -> Option<&Matrix> {
+        self.covariances.as_ref().map(|c| &c[i])
+    }
+
+    /// Marginal standard deviations of state `i` (square roots of the
+    /// covariance diagonal), if covariances were computed.
+    pub fn stddevs(&self, i: usize) -> Option<Vec<f64>> {
+        self.covariance(i)
+            .map(|c| c.diag().iter().map(|v| v.max(0.0).sqrt()).collect())
+    }
+
+    /// Largest absolute difference between any mean entry of `self` and
+    /// `other` (test/benchmark helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimates have different shapes.
+    pub fn max_mean_diff(&self, other: &Smoothed) -> f64 {
+        assert_eq!(self.len(), other.len(), "state count mismatch");
+        let mut worst = 0.0_f64;
+        for (a, b) in self.means.iter().zip(&other.means) {
+            assert_eq!(a.len(), b.len(), "state dimension mismatch");
+            for (x, y) in a.iter().zip(b) {
+                worst = worst.max((x - y).abs());
+            }
+        }
+        worst
+    }
+
+    /// Largest absolute difference between any covariance entry of `self`
+    /// and `other`; `None` when either side lacks covariances.
+    pub fn max_cov_diff(&self, other: &Smoothed) -> Option<f64> {
+        let (a, b) = (self.covariances.as_ref()?, other.covariances.as_ref()?);
+        let mut worst = 0.0_f64;
+        for (x, y) in a.iter().zip(b) {
+            worst = worst.max(x.max_abs_diff(y));
+        }
+        Some(worst)
+    }
+
+    /// Root-mean-square error of the means against a ground-truth
+    /// trajectory (same shapes), across all states and components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn rmse(&self, truth: &[Vec<f64>]) -> f64 {
+        assert_eq!(self.len(), truth.len(), "state count mismatch");
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for (m, t) in self.means.iter().zip(truth) {
+            assert_eq!(m.len(), t.len(), "state dimension mismatch");
+            for (x, y) in m.iter().zip(t) {
+                acc += (x - y) * (x - y);
+                count += 1;
+            }
+        }
+        (acc / count.max(1) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Smoothed {
+        Smoothed {
+            means: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            covariances: Some(vec![Matrix::identity(2), Matrix::identity(2).scaled(4.0)]),
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.mean(1), &[3.0, 4.0]);
+        assert_eq!(s.covariance(0).unwrap()[(0, 0)], 1.0);
+        assert_eq!(s.stddevs(1).unwrap(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn diffs() {
+        let a = sample();
+        let mut b = sample();
+        b.means[1][0] += 0.5;
+        assert!((a.max_mean_diff(&b) - 0.5).abs() < 1e-15);
+        assert_eq!(a.max_cov_diff(&b), Some(0.0));
+        b.covariances = None;
+        assert_eq!(a.max_cov_diff(&b), None);
+    }
+
+    #[test]
+    fn rmse_of_exact_match_is_zero() {
+        let s = sample();
+        assert_eq!(s.rmse(&s.means), 0.0);
+        let truth = vec![vec![1.0, 2.0], vec![3.0, 2.0]];
+        assert!((s.rmse(&truth) - (4.0f64 / 4.0).sqrt()).abs() < 1e-12);
+    }
+}

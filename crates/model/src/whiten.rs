@@ -1,0 +1,186 @@
+//! Whitened per-step blocks: the inputs to the QR-based smoothers.
+//!
+//! The least-squares matrix `U·A` of §3 of the paper is built from
+//! `C_i = W_i G_i`, `B_i = V_i F_i`, and `D_i = V_i H_i`, where
+//! `V_iᵀV_i = K_i⁻¹` and `W_iᵀW_i = L_i⁻¹`.  A prior on `u_0` appears as an
+//! extra observation row block on state 0.  Each step whitens independently,
+//! so the conversion parallelizes trivially (the paper's §3.2 notes the
+//! array of steps is built in parallel); callers that want that use
+//! [`WhitenedStep::from_model_step`] per index from a parallel loop.
+
+use crate::{LinearModel, Result};
+use kalman_dense::Matrix;
+
+/// Whitened observation rows for one state: `C_i` and its right-hand side.
+#[derive(Debug, Clone)]
+pub struct WhitenedObs {
+    /// `C_i = W_i G_i` (`m_i × n_i`); includes prior rows for state 0.
+    pub c: Matrix,
+    /// Whitened observed values (length `m_i`) as a column.
+    pub rhs: Matrix,
+}
+
+/// Whitened evolution rows coupling states `i−1` and `i`.
+#[derive(Debug, Clone)]
+pub struct WhitenedEvo {
+    /// `B_i = V_i F_i` (`ℓ_i × n_{i-1}`); enters the matrix negated.
+    pub b: Matrix,
+    /// `D_i = V_i H_i` (`ℓ_i × n_i`).
+    pub d: Matrix,
+    /// Whitened input `V_i c_i` (length `ℓ_i`) as a column.
+    pub rhs: Matrix,
+}
+
+/// All whitened blocks belonging to one step.
+#[derive(Debug, Clone)]
+pub struct WhitenedStep {
+    /// State dimension `n_i`.
+    pub state_dim: usize,
+    /// Observation rows (absent when `m_i = 0` and, for state 0, no prior).
+    pub obs: Option<WhitenedObs>,
+    /// Evolution rows (absent for state 0).
+    pub evo: Option<WhitenedEvo>,
+}
+
+impl WhitenedStep {
+    /// Whitens step `i` of `model`.  For `i == 0` the prior (if any) is
+    /// stacked on top of the observation rows.
+    ///
+    /// # Errors
+    ///
+    /// Covariance whitening failures ([`crate::KalmanError::NotPositiveDefinite`]).
+    pub fn from_model_step(model: &LinearModel, i: usize) -> Result<WhitenedStep> {
+        let step = &model.steps[i];
+        let mut obs_blocks: Vec<(Matrix, Matrix)> = Vec::with_capacity(2);
+        if i == 0 {
+            if let Some(prior) = &model.prior {
+                let n0 = step.state_dim;
+                let wi = prior.cov.whiten(&Matrix::identity(n0), 0)?;
+                let wm = prior.cov.whiten_vec(&prior.mean, 0)?;
+                obs_blocks.push((wi, Matrix::col_from_slice(&wm)));
+            }
+        }
+        if let Some(obs) = &step.observation {
+            let wg = obs.noise.whiten(&obs.g, i)?;
+            let wo = obs.noise.whiten_vec(&obs.o, i)?;
+            obs_blocks.push((wg, Matrix::col_from_slice(&wo)));
+        }
+        let obs = match obs_blocks.len() {
+            0 => None,
+            1 => {
+                let (c, rhs) = obs_blocks.pop().expect("len checked");
+                Some(WhitenedObs { c, rhs })
+            }
+            _ => {
+                let mats: Vec<&Matrix> = obs_blocks.iter().map(|(m, _)| m).collect();
+                let rhss: Vec<&Matrix> = obs_blocks.iter().map(|(_, r)| r).collect();
+                Some(WhitenedObs {
+                    c: Matrix::vstack(&mats),
+                    rhs: Matrix::vstack(&rhss),
+                })
+            }
+        };
+        let evo = match &step.evolution {
+            None => None,
+            Some(evo) => {
+                let b = evo.noise.whiten(&evo.f, i)?;
+                let h = evo
+                    .h
+                    .clone()
+                    .unwrap_or_else(|| Matrix::identity(step.state_dim));
+                let d = evo.noise.whiten(&h, i)?;
+                let rhs = Matrix::col_from_slice(&evo.noise.whiten_vec(&evo.c, i)?);
+                Some(WhitenedEvo { b, d, rhs })
+            }
+        };
+        Ok(WhitenedStep {
+            state_dim: step.state_dim,
+            obs,
+            evo,
+        })
+    }
+}
+
+/// Whitens an entire model sequentially.
+///
+/// # Errors
+///
+/// Model validation errors or covariance whitening failures.
+pub fn whiten_model(model: &LinearModel) -> Result<Vec<WhitenedStep>> {
+    model.validate()?;
+    (0..model.num_states())
+        .map(|i| WhitenedStep::from_model_step(model, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_dense, generators};
+    use kalman_dense::matmul_tn;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The whitened blocks, reassembled densely, must reproduce `assemble_dense`
+    /// up to row order — we verify via the Gram matrix (UA)ᵀ(UA) and (UA)ᵀUb,
+    /// which are row-order invariant.
+    #[test]
+    fn whitened_blocks_match_dense_assembly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let model = generators::paper_benchmark(&mut rng, 3, 4, true);
+        let sys = assemble_dense(&model).unwrap();
+        let steps = whiten_model(&model).unwrap();
+
+        // Rebuild a dense matrix from the whitened blocks.
+        let total_cols = model.total_state_dim();
+        let mut col_off = vec![0usize];
+        for s in &model.steps {
+            col_off.push(col_off.last().unwrap() + s.state_dim);
+        }
+        let mut rows: Vec<(Matrix, Matrix)> = Vec::new(); // (dense row block, rhs)
+        for (i, ws) in steps.iter().enumerate() {
+            if let Some(evo) = &ws.evo {
+                let mut block = Matrix::zeros(evo.b.rows(), total_cols);
+                block.set_block(0, col_off[i - 1], &evo.b.scaled(-1.0));
+                block.set_block(0, col_off[i], &evo.d);
+                rows.push((block, evo.rhs.clone()));
+            }
+            if let Some(obs) = &ws.obs {
+                let mut block = Matrix::zeros(obs.c.rows(), total_cols);
+                block.set_block(0, col_off[i], &obs.c);
+                rows.push((block, obs.rhs.clone()));
+            }
+        }
+        let mats: Vec<&Matrix> = rows.iter().map(|(m, _)| m).collect();
+        let rhss: Vec<&Matrix> = rows.iter().map(|(_, r)| r).collect();
+        let a2 = Matrix::vstack(&mats);
+        let b2 = Matrix::vstack(&rhss);
+
+        let gram1 = matmul_tn(&sys.a, &sys.a);
+        let gram2 = matmul_tn(&a2, &a2);
+        assert!(gram1.approx_eq(&gram2, 1e-10));
+        let atb1 = matmul_tn(&sys.a, &sys.b);
+        let atb2 = matmul_tn(&a2, &b2);
+        assert!(atb1.approx_eq(&atb2, 1e-10));
+    }
+
+    #[test]
+    fn prior_rows_are_stacked_into_state0_obs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = generators::paper_benchmark(&mut rng, 2, 2, true);
+        let ws = WhitenedStep::from_model_step(&model, 0).unwrap();
+        // n=2 prior rows + 2 observation rows.
+        assert_eq!(ws.obs.as_ref().unwrap().c.rows(), 4);
+        assert!(ws.evo.is_none());
+    }
+
+    #[test]
+    fn unobserved_step_has_no_obs_block() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = generators::sparse_observations(&mut rng, 2, 6, 3);
+        let steps = whiten_model(&model).unwrap();
+        assert!(steps[1].obs.is_none());
+        assert!(steps[3].obs.is_some());
+        assert!(steps[1].evo.is_some());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the model layer: whitening identities and oracle
+//! consistency on random covariance specifications.
+
+use kalman_dense::{matmul, matmul_tn, random, Cholesky, Matrix};
+use kalman_model::{
+    solve_dense, CovarianceSpec, Evolution, LinearModel, LinearStep, Observation,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cov_strategy(n: usize) -> impl Strategy<Value = CovarianceSpec> {
+    prop_oneof![
+        Just(CovarianceSpec::Identity(n)),
+        (0.1f64..10.0).prop_map(move |s| CovarianceSpec::ScaledIdentity(n, s)),
+        proptest::collection::vec(0.1f64..10.0, n).prop_map(CovarianceSpec::Diagonal),
+        (0u64..10_000).prop_map(move |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            CovarianceSpec::Dense(random::spd(&mut rng, n))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whitening identity: (W·A)ᵀ(W·A) == Aᵀ C⁻¹ A for every spec variant.
+    #[test]
+    fn whitening_gram_identity(spec in cov_strategy(4), seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, 4, 3);
+        let wa = spec.whiten(&a, 0).unwrap();
+        let cinv = Cholesky::new(&spec.to_dense()).unwrap().inverse();
+        let expect = matmul_tn(&a, &matmul(&cinv, &a));
+        let got = matmul_tn(&wa, &wa);
+        prop_assert!(got.approx_eq(&expect, 1e-7 * (1.0 + expect.max_abs())));
+    }
+
+    /// The weighted least-squares solution is invariant to *rescaling* all
+    /// covariances by the same factor (only relative weights matter).
+    #[test]
+    fn solution_invariant_to_global_covariance_scale(
+        seed in 0u64..10_000,
+        scale in 0.1f64..10.0,
+        k in 1usize..12,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = kalman_model::generators::paper_benchmark(&mut rng, 2, k, false);
+        let mut scaled = base.clone();
+        for step in scaled.steps.iter_mut() {
+            if let Some(evo) = &mut step.evolution {
+                evo.noise = CovarianceSpec::ScaledIdentity(2, scale);
+            }
+            if let Some(obs) = &mut step.observation {
+                obs.noise = CovarianceSpec::ScaledIdentity(2, scale);
+            }
+        }
+        let a = solve_dense(&base).unwrap();
+        let b = solve_dense(&scaled).unwrap();
+        prop_assert!(a.max_mean_diff(&b) < 1e-7, "diff {}", a.max_mean_diff(&b));
+        // Covariances scale linearly with the global factor.
+        for (ca, cb) in a.covariances.as_ref().unwrap().iter()
+            .zip(b.covariances.as_ref().unwrap())
+        {
+            prop_assert!(ca.scaled(scale).approx_eq(cb, 1e-6 * (1.0 + cb.max_abs())));
+        }
+    }
+
+    /// Tightening one observation's noise moves the estimate toward that
+    /// observation (monotonicity of weighted least squares).
+    #[test]
+    fn tighter_observation_pulls_estimate(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let o_target = random::gaussian_vec(&mut rng, 1)[0] + 5.0;
+        let build = |noise: f64| {
+            let mut m = LinearModel::new();
+            m.push_step(LinearStep::initial(1).with_observation(Observation {
+                g: Matrix::identity(1),
+                o: vec![0.0],
+                noise: CovarianceSpec::Identity(1),
+            }));
+            m.push_step(
+                LinearStep::evolving(Evolution::random_walk(1)).with_observation(Observation {
+                    g: Matrix::identity(1),
+                    o: vec![o_target],
+                    noise: CovarianceSpec::ScaledIdentity(1, noise),
+                }),
+            );
+            m
+        };
+        let loose = solve_dense(&build(10.0)).unwrap();
+        let tight = solve_dense(&build(0.01)).unwrap();
+        prop_assert!(
+            (tight.mean(1)[0] - o_target).abs() < (loose.mean(1)[0] - o_target).abs()
+        );
+    }
+
+    /// Validation accepts exactly the models the solver can handle: random
+    /// dimension corruption must be caught by validate(), never panic.
+    #[test]
+    fn corrupted_models_fail_validation_not_panic(
+        seed in 0u64..10_000,
+        which in 0usize..4,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = kalman_model::generators::paper_benchmark(&mut rng, 2, 4, false);
+        match which {
+            0 => model.steps[2].evolution.as_mut().unwrap().f = Matrix::zeros(3, 3),
+            1 => model.steps[1].observation.as_mut().unwrap().o = vec![0.0; 7],
+            2 => model.steps[3].evolution.as_mut().unwrap().c = vec![0.0; 9],
+            _ => {
+                model.steps[1].observation.as_mut().unwrap().noise =
+                    CovarianceSpec::Diagonal(vec![1.0])
+            }
+        }
+        prop_assert!(model.validate().is_err());
+        prop_assert!(solve_dense(&model).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Gauss–Newton iterated nonlinear Kalman smoothing.
+//!
+//! The paper's §2.2 reduces nonlinear smoothing to a sequence of *linear*
+//! smoothing problems: each Gauss–Newton step linearizes the evolution and
+//! observation functions around the current trajectory estimate (the
+//! Jacobians become the `F_i`/`G_i` of a linear model over trajectory
+//! *increments*) and solves it with a linear smoother.  Crucially, the inner
+//! solves do not need state covariances — this is exactly why the odd-even
+//! and Paige–Saunders smoothers have their "NC" variants (§5.4): inside an
+//! iterated/Levenberg–Marquardt nonlinear smoother the covariance phase is
+//! skipped on every iteration and run once at convergence.
+//!
+//! This crate implements that outer loop with a backtracking line search
+//! (the simple damping strategy of the paper's reference \[17\]) on top of
+//! [`kalman_odd_even::odd_even_smooth`], so the whole nonlinear smoother is
+//! parallel in time.
+//!
+//! # Example
+//!
+//! ```
+//! use kalman_nonlinear::{NonlinearModel, NonlinearStep, NonlinearEvolution,
+//!                        NonlinearObservation, gauss_newton_smooth, GaussNewtonOptions};
+//! use kalman_model::CovarianceSpec;
+//! use kalman_dense::Matrix;
+//!
+//! // A mildly nonlinear scalar system: u_i = u_{i-1} + 0.1 sin(u_{i-1}).
+//! let mut model = NonlinearModel::new();
+//! for i in 0..5usize {
+//!     let mut step = if i == 0 {
+//!         NonlinearStep::initial(1)
+//!     } else {
+//!         NonlinearStep::evolving(NonlinearEvolution {
+//!             f: Box::new(|u: &[f64]| {
+//!                 (vec![u[0] + 0.1 * u[0].sin()],
+//!                  Matrix::from_rows(&[&[1.0 + 0.1 * u[0].cos()]]))
+//!             }),
+//!             out_dim: 1,
+//!             noise: CovarianceSpec::ScaledIdentity(1, 0.1),
+//!         })
+//!     };
+//!     step = step.with_observation(NonlinearObservation {
+//!         g: Box::new(|u: &[f64]| (vec![u[0]], Matrix::identity(1))),
+//!         o: vec![0.3 * i as f64],
+//!         noise: CovarianceSpec::ScaledIdentity(1, 0.5),
+//!     });
+//!     model.push_step(step);
+//! }
+//! let init = vec![vec![0.0]; 5];
+//! let result = gauss_newton_smooth(&model, &init, GaussNewtonOptions::default()).unwrap();
+//! assert!(result.converged);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod gauss_newton;
+mod nl_model;
+
+pub use gauss_newton::{gauss_newton_smooth, GaussNewtonOptions, GaussNewtonResult};
+pub use nl_model::{NonlinearEvolution, NonlinearModel, NonlinearObservation, NonlinearStep};

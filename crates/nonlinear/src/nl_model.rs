@@ -1,0 +1,156 @@
+//! Nonlinear dynamic-system models (§2.1 with nonlinear `F_i`, `G_i`).
+
+use kalman_dense::Matrix;
+use kalman_model::{CovarianceSpec, KalmanError, Prior};
+
+/// A differentiable vector function `u ↦ (value, Jacobian)`.
+///
+/// The Jacobian is evaluated together with the value because Gauss–Newton
+/// always needs both at the same point.
+pub type DiffFn = Box<dyn Fn(&[f64]) -> (Vec<f64>, Matrix) + Sync>;
+
+/// A nonlinear evolution `u_i = F_i(u_{i-1}) + ε_i`, `cov(ε_i) = K_i`.
+///
+/// (The nonlinear reduction keeps `H_i = I`, as the nonlinear-smoothing
+/// literature the paper cites does.)
+pub struct NonlinearEvolution {
+    /// `F_i` with its Jacobian (`out_dim × n_{i-1}`).
+    pub f: DiffFn,
+    /// Output dimension of `F_i` (the next state's dimension).
+    pub out_dim: usize,
+    /// Evolution noise covariance.
+    pub noise: CovarianceSpec,
+}
+
+/// A nonlinear observation `o_i = G_i(u_i) + δ_i`, `cov(δ_i) = L_i`.
+pub struct NonlinearObservation {
+    /// `G_i` with its Jacobian (`m_i × n_i`).
+    pub g: DiffFn,
+    /// Observed values.
+    pub o: Vec<f64>,
+    /// Observation noise covariance.
+    pub noise: CovarianceSpec,
+}
+
+/// One step of a nonlinear dynamic system.
+pub struct NonlinearStep {
+    /// State dimension `n_i`.
+    pub state_dim: usize,
+    /// Evolution from the previous state (`None` for step 0).
+    pub evolution: Option<NonlinearEvolution>,
+    /// Observation of this state.
+    pub observation: Option<NonlinearObservation>,
+}
+
+impl NonlinearStep {
+    /// The initial step with state dimension `n`.
+    pub fn initial(n: usize) -> Self {
+        NonlinearStep {
+            state_dim: n,
+            evolution: None,
+            observation: None,
+        }
+    }
+
+    /// A step evolving from its predecessor.
+    pub fn evolving(evolution: NonlinearEvolution) -> Self {
+        NonlinearStep {
+            state_dim: evolution.out_dim,
+            evolution: Some(evolution),
+            observation: None,
+        }
+    }
+
+    /// Attaches an observation.
+    pub fn with_observation(mut self, observation: NonlinearObservation) -> Self {
+        self.observation = Some(observation);
+        self
+    }
+}
+
+/// A complete nonlinear smoothing problem.
+#[derive(Default)]
+pub struct NonlinearModel {
+    /// Per-state steps; `steps[0]` must have no evolution.
+    pub steps: Vec<NonlinearStep>,
+    /// Optional Gaussian prior on `u_0`.
+    pub prior: Option<Prior>,
+}
+
+impl NonlinearModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push_step(&mut self, step: NonlinearStep) {
+        self.steps.push(step);
+    }
+
+    /// Sets the prior on the initial state.
+    pub fn set_prior(&mut self, mean: Vec<f64>, cov: CovarianceSpec) {
+        self.prior = Some(Prior { mean, cov });
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Light structural validation (full dimension checking happens on the
+    /// linearized models every iteration).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::InvalidModel`] for structural defects.
+    pub fn validate(&self) -> Result<(), KalmanError> {
+        if self.steps.is_empty() {
+            return Err(KalmanError::InvalidModel("model has no steps".into()));
+        }
+        if self.steps[0].evolution.is_some() {
+            return Err(KalmanError::InvalidModel(
+                "step 0 must not have an evolution equation".into(),
+            ));
+        }
+        for (i, s) in self.steps.iter().enumerate().skip(1) {
+            if s.evolution.is_none() {
+                return Err(KalmanError::InvalidModel(format!(
+                    "step {i} is missing its evolution equation"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_step() -> NonlinearStep {
+        NonlinearStep::evolving(NonlinearEvolution {
+            f: Box::new(|u| (vec![u[0]], Matrix::identity(1))),
+            out_dim: 1,
+            noise: CovarianceSpec::Identity(1),
+        })
+    }
+
+    #[test]
+    fn validation_catches_structure_errors() {
+        let mut m = NonlinearModel::new();
+        assert!(m.validate().is_err());
+        m.push_step(scalar_step());
+        assert!(m.validate().is_err()); // step 0 with evolution
+        let mut ok = NonlinearModel::new();
+        ok.push_step(NonlinearStep::initial(1));
+        ok.push_step(scalar_step());
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn evolving_infers_state_dim() {
+        let s = scalar_step();
+        assert_eq!(s.state_dim, 1);
+    }
+}

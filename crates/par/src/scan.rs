@@ -1,0 +1,273 @@
+//! Generic parallel prefix scan (`tbb::parallel_scan` equivalent).
+//!
+//! The Särkkä & García-Fernández smoother is a pair of prefix sums under
+//! custom associative operations (§2.3 of the paper); this module provides
+//! the scan primitive they run on.  The parallel implementation is the
+//! classic two-pass (Blelloch-style) algorithm on an implicit binary tree:
+//!
+//! 1. **Up-sweep** — compute the combined value of every subrange (parallel
+//!    via fork-join),
+//! 2. **Down-sweep** — propagate carry-in prefixes to the leaves, where each
+//!    leaf of `grain` elements is scanned sequentially.
+//!
+//! Work is `Θ(k)` combine operations and the critical path is `Θ(log k)`
+//! combines, matching the analysis the paper relies on.  No identity element
+//! is required (carries are `Option<T>`), which matters because the
+//! smoother's elements have no cheap identity.
+
+use crate::ExecPolicy;
+
+/// A subrange's combined value plus its children (for the down-sweep).
+enum Node<T> {
+    Leaf { sum: T },
+    Inner { sum: T, left: Box<Node<T>>, right: Box<Node<T>>, mid: usize },
+}
+
+impl<T> Node<T> {
+    fn sum(&self) -> &T {
+        match self {
+            Node::Leaf { sum } => sum,
+            Node::Inner { sum, .. } => sum,
+        }
+    }
+}
+
+fn fold_leaf<T: Clone, F: Fn(&T, &T) -> T>(items: &[T], op: &F) -> T {
+    let mut acc = items[0].clone();
+    for x in &items[1..] {
+        acc = op(&acc, x);
+    }
+    acc
+}
+
+fn upsweep<T, F>(items: &[T], grain: usize, op: &F) -> Node<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if items.len() <= grain {
+        Node::Leaf {
+            sum: fold_leaf(items, op),
+        }
+    } else {
+        let mid = items.len() / 2;
+        let (l, r) = items.split_at(mid);
+        let (left, right) = rayon::join(|| upsweep(l, grain, op), || upsweep(r, grain, op));
+        let sum = op(left.sum(), right.sum());
+        Node::Inner {
+            sum,
+            left: Box::new(left),
+            right: Box::new(right),
+            mid,
+        }
+    }
+}
+
+/// Down-sweep for the *forward* (prefix) scan: `items[i] ← carry ⊗ a_0 ⊗ … ⊗ a_i`.
+fn downsweep_fwd<T, F>(items: &mut [T], node: &Node<T>, carry: Option<&T>, op: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    match node {
+        Node::Leaf { .. } => {
+            if let Some(c) = carry {
+                items[0] = op(c, &items[0]);
+            }
+            for i in 1..items.len() {
+                let (done, rest) = items.split_at_mut(i);
+                rest[0] = op(&done[i - 1], &rest[0]);
+            }
+        }
+        Node::Inner { left, right, mid, .. } => {
+            let right_carry = match carry {
+                None => left.sum().clone(),
+                Some(c) => op(c, left.sum()),
+            };
+            let (l, r) = items.split_at_mut(*mid);
+            rayon::join(
+                || downsweep_fwd(l, left, carry, op),
+                || downsweep_fwd(r, right, Some(&right_carry), op),
+            );
+        }
+    }
+}
+
+/// Down-sweep for the *suffix* scan: `items[i] ← a_i ⊗ … ⊗ a_{k-1} ⊗ carry`.
+fn downsweep_suffix<T, F>(items: &mut [T], node: &Node<T>, carry: Option<&T>, op: &F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    match node {
+        Node::Leaf { .. } => {
+            let last = items.len() - 1;
+            if let Some(c) = carry {
+                items[last] = op(&items[last], c);
+            }
+            for i in (0..last).rev() {
+                let (rest, done) = items.split_at_mut(i + 1);
+                rest[i] = op(&rest[i], &done[0]);
+            }
+        }
+        Node::Inner { left, right, mid, .. } => {
+            let left_carry = match carry {
+                None => right.sum().clone(),
+                Some(c) => op(right.sum(), c),
+            };
+            let (l, r) = items.split_at_mut(*mid);
+            rayon::join(
+                || downsweep_suffix(l, left, Some(&left_carry), op),
+                || downsweep_suffix(r, right, carry, op),
+            );
+        }
+    }
+}
+
+/// In-place inclusive prefix scan: `items[i] ← a_0 ⊗ a_1 ⊗ … ⊗ a_i`.
+///
+/// `op` must be associative (it need not be commutative, and no identity is
+/// required).  With [`ExecPolicy::Seq`] this is a single plain loop.
+pub fn inclusive_scan_in_place<T, F>(policy: ExecPolicy, items: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if items.len() <= 1 {
+        return;
+    }
+    match policy {
+        ExecPolicy::Seq => {
+            for i in 1..items.len() {
+                let (done, rest) = items.split_at_mut(i);
+                rest[0] = op(&done[i - 1], &rest[0]);
+            }
+        }
+        ExecPolicy::Par { grain } => {
+            let grain = grain.max(1);
+            let tree = upsweep(items, grain, &op);
+            downsweep_fwd(items, &tree, None, &op);
+        }
+    }
+}
+
+/// In-place inclusive suffix scan: `items[i] ← a_i ⊗ a_{i+1} ⊗ … ⊗ a_{k-1}`.
+///
+/// Operands are combined in increasing index order (matching the backward
+/// pass of the associative smoother, which runs its scan from the last step
+/// toward the first).
+pub fn suffix_scan_in_place<T, F>(policy: ExecPolicy, items: &mut [T], op: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if items.len() <= 1 {
+        return;
+    }
+    match policy {
+        ExecPolicy::Seq => {
+            for i in (0..items.len() - 1).rev() {
+                let (rest, done) = items.split_at_mut(i + 1);
+                rest[i] = op(&rest[i], &done[0]);
+            }
+        }
+        ExecPolicy::Par { grain } => {
+            let grain = grain.max(1);
+            let tree = upsweep(items, grain, &op);
+            downsweep_suffix(items, &tree, None, &op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_matches_sequential() {
+        let base: Vec<u64> = (1..=1000).collect();
+        let mut seq = base.clone();
+        inclusive_scan_in_place(ExecPolicy::Seq, &mut seq, |a, b| a + b);
+        for grain in [1, 3, 10, 100, 5000] {
+            let mut par = base.clone();
+            inclusive_scan_in_place(ExecPolicy::par_with_grain(grain), &mut par, |a, b| a + b);
+            assert_eq!(seq, par, "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn suffix_sum_matches_sequential() {
+        let base: Vec<u64> = (1..=777).collect();
+        let mut seq = base.clone();
+        suffix_scan_in_place(ExecPolicy::Seq, &mut seq, |a, b| a + b);
+        assert_eq!(seq[776], 777);
+        assert_eq!(seq[0], (1..=777).sum::<u64>());
+        for grain in [1, 4, 64, 10_000] {
+            let mut par = base.clone();
+            suffix_scan_in_place(ExecPolicy::par_with_grain(grain), &mut par, |a, b| a + b);
+            assert_eq!(seq, par, "grain {grain}");
+        }
+    }
+
+    /// A non-commutative associative operation: 2x2 integer matrix multiply.
+    fn matmul2(a: &[i64; 4], b: &[i64; 4]) -> [i64; 4] {
+        // Row-major [a0 a1; a2 a3] * [b0 b1; b2 b3]
+        [
+            a[0] * b[0] + a[1] * b[2],
+            a[0] * b[1] + a[1] * b[3],
+            a[2] * b[0] + a[3] * b[2],
+            a[2] * b[1] + a[3] * b[3],
+        ]
+    }
+
+    #[test]
+    fn non_commutative_op_order_is_respected() {
+        // Fibonacci via products of [[1,1],[1,0]] — order matters.
+        let base: Vec<[i64; 4]> = vec![[1, 1, 1, 0]; 30];
+        let mut seq = base.clone();
+        inclusive_scan_in_place(ExecPolicy::Seq, &mut seq, matmul2);
+        let mut par = base.clone();
+        inclusive_scan_in_place(ExecPolicy::par_with_grain(2), &mut par, matmul2);
+        assert_eq!(seq, par);
+        // 30th product gives Fibonacci numbers.
+        assert_eq!(seq[29][1], 832_040); // F(30)
+    }
+
+    #[test]
+    fn non_commutative_suffix_matches_fold() {
+        let base: Vec<[i64; 4]> = (0..25)
+            .map(|i| [i % 3, 1 + (i % 2), 1, i % 5])
+            .collect();
+        let mut expect = base.clone();
+        for i in (0..24).rev() {
+            expect[i] = matmul2(&base[i], &expect[i + 1]);
+        }
+        let mut got = base.clone();
+        suffix_scan_in_place(ExecPolicy::par_with_grain(3), &mut got, matmul2);
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut empty: Vec<u64> = vec![];
+        inclusive_scan_in_place(ExecPolicy::par(), &mut empty, |a, b| a + b);
+        let mut one = vec![5u64];
+        inclusive_scan_in_place(ExecPolicy::par(), &mut one, |a, b| a + b);
+        assert_eq!(one, vec![5]);
+        let mut two = vec![5u64, 6];
+        suffix_scan_in_place(ExecPolicy::par_with_grain(1), &mut two, |a, b| a + b);
+        assert_eq!(two, vec![11, 6]);
+    }
+
+    #[test]
+    fn string_concat_prefix_scan() {
+        // Strings under concatenation: associative, non-commutative, no identity needed.
+        let base: Vec<String> = "abcdefghij".chars().map(|c| c.to_string()).collect();
+        let mut v = base.clone();
+        inclusive_scan_in_place(ExecPolicy::par_with_grain(2), &mut v, |a, b| {
+            format!("{a}{b}")
+        });
+        assert_eq!(v[9], "abcdefghij");
+        assert_eq!(v[3], "abcd");
+    }
+}

@@ -1,0 +1,185 @@
+//! The block-bidiagonal `R` factor produced by the Paige–Saunders sweep,
+//! with back-substitution and the sequential block SelInv of the paper's
+//! Algorithm 1.
+
+use kalman_dense::{matmul, matmul_nt, tri, Matrix};
+use kalman_model::{KalmanError, Result};
+
+/// Upper block-bidiagonal triangular factor:
+///
+/// ```text
+/// R = ⎡R_00 R_01          ⎤
+///     ⎢     R_11 R_12     ⎥
+///     ⎢          ⋱    ⋱   ⎥
+///     ⎣               R_kk⎦
+/// ```
+///
+/// together with the transformed right-hand-side segments `(QᵀUb)_i`.
+#[derive(Debug, Clone)]
+pub struct BidiagonalR {
+    /// Diagonal blocks `R_ii` (square upper triangular).
+    pub diag: Vec<Matrix>,
+    /// Super-diagonal blocks `R_{i,i+1}`; `offdiag.len() == diag.len() - 1`.
+    pub offdiag: Vec<Matrix>,
+    /// Right-hand-side segments, one `n_i × 1` column per state.
+    pub rhs: Vec<Matrix>,
+}
+
+impl BidiagonalR {
+    /// Number of block columns (states).
+    pub fn num_blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Back substitution: solves `R y = rhs` blockwise from the last state
+    /// to the first, returning the per-state solution vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] naming the first state whose diagonal
+    /// block is singular.
+    pub fn solve(&self) -> Result<Vec<Vec<f64>>> {
+        let k = self.num_blocks();
+        let mut y: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for j in (0..k).rev() {
+            let mut b = self.rhs[j].clone();
+            if j + 1 < k {
+                // b -= R_{j,j+1} y_{j+1}
+                let yj1 = Matrix::col_from_slice(&y[j + 1]);
+                b -= &matmul(&self.offdiag[j], &yj1);
+            }
+            tri::solve_upper_in_place(&self.diag[j], &mut b)
+                .map_err(|_| KalmanError::RankDeficient { state: j })?;
+            y[j] = b.into_vec();
+        }
+        Ok(y)
+    }
+
+    /// Sequential block SelInv (the paper's Algorithm 1): computes the
+    /// diagonal blocks of `S = (RᵀR)⁻¹`, which are the covariances
+    /// `cov(û_i)` of the smoothed states.
+    ///
+    /// Each iteration performs two matrix multiplications and three
+    /// triangular solves with `n` right-hand sides, preserving the
+    /// asymptotic complexity of the Paige–Saunders approach (§4).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] naming the first singular block.
+    pub fn selinv_diag(&self) -> Result<Vec<Matrix>> {
+        let k = self.num_blocks();
+        let mut s: Vec<Matrix> = vec![Matrix::zeros(0, 0); k];
+        // S_kk = R_kk⁻¹ R_kk⁻ᵀ
+        s[k - 1] = tri::inv_gram_upper(&self.diag[k - 1])
+            .map_err(|_| KalmanError::RankDeficient { state: k - 1 })?;
+        for j in (0..k - 1).rev() {
+            // X = R_jj⁻¹ R_{j,j+1}
+            let mut x = self.offdiag[j].clone();
+            tri::solve_upper_in_place(&self.diag[j], &mut x)
+                .map_err(|_| KalmanError::RankDeficient { state: j })?;
+            // S_{j,j+1} = −X · S_{j+1,j+1}
+            let sj_next = matmul(&x, &s[j + 1]).scaled(-1.0);
+            // S_jj = R_jj⁻¹R_jj⁻ᵀ − S_{j,j+1} Xᵀ
+            let mut sjj = tri::inv_gram_upper(&self.diag[j])
+                .map_err(|_| KalmanError::RankDeficient { state: j })?;
+            sjj -= &matmul_nt(&sj_next, &x);
+            sjj.symmetrize();
+            s[j] = sjj;
+        }
+        Ok(s)
+    }
+
+    /// Materializes `R` as a dense matrix (test/debug helper; `Θ((kn)²)`).
+    pub fn to_dense(&self) -> Matrix {
+        let k = self.num_blocks();
+        let total: usize = self.diag.iter().map(|d| d.cols()).sum();
+        let mut offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0;
+        for d in &self.diag {
+            offsets.push(acc);
+            acc += d.cols();
+        }
+        offsets.push(acc);
+        let mut out = Matrix::zeros(total, total);
+        for j in 0..k {
+            out.set_block(offsets[j], offsets[j], &self.diag[j]);
+            if j + 1 < k {
+                out.set_block(offsets[j], offsets[j + 1], &self.offdiag[j]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_dense::{matmul_tn, QrFactor};
+
+    /// Build a small well-conditioned bidiagonal R by hand.
+    fn sample() -> BidiagonalR {
+        let r00 = Matrix::from_rows(&[&[2.0, 0.5], &[0.0, 1.5]]);
+        let r11 = Matrix::from_rows(&[&[1.0, -0.3], &[0.0, 2.5]]);
+        let r01 = Matrix::from_rows(&[&[0.2, -0.1], &[0.4, 0.3]]);
+        BidiagonalR {
+            diag: vec![r00, r11],
+            offdiag: vec![r01],
+            rhs: vec![
+                Matrix::col_from_slice(&[1.0, 2.0]),
+                Matrix::col_from_slice(&[3.0, 4.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn solve_matches_dense() {
+        let r = sample();
+        let dense = r.to_dense();
+        let rhs = Matrix::vstack(&[&r.rhs[0], &r.rhs[1]]);
+        let y = r.solve().unwrap();
+        let flat: Vec<f64> = y.concat();
+        let qr = QrFactor::new(dense);
+        let expect = qr.solve_ls(&rhs).unwrap();
+        for (i, v) in flat.iter().enumerate() {
+            assert!((v - expect[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn selinv_matches_dense_inverse() {
+        let r = sample();
+        let dense = r.to_dense();
+        // S = (RᵀR)⁻¹ dense.
+        let gram = matmul_tn(&dense, &dense);
+        let s_dense = kalman_dense::LuFactor::new(gram).unwrap().inverse();
+        let blocks = r.selinv_diag().unwrap();
+        assert!(blocks[0].approx_eq(&s_dense.sub_matrix(0, 0, 2, 2), 1e-10));
+        assert!(blocks[1].approx_eq(&s_dense.sub_matrix(2, 2, 2, 2), 1e-10));
+    }
+
+    #[test]
+    fn singular_block_is_reported_with_state() {
+        let mut r = sample();
+        r.diag[0][(1, 1)] = 0.0;
+        match r.solve() {
+            Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 0),
+            other => panic!("expected rank deficiency, got {other:?}"),
+        }
+        match r.selinv_diag() {
+            Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 0),
+            other => panic!("expected rank deficiency, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_block() {
+        let r = BidiagonalR {
+            diag: vec![Matrix::from_rows(&[&[2.0]])],
+            offdiag: vec![],
+            rhs: vec![Matrix::col_from_slice(&[4.0])],
+        };
+        assert_eq!(r.solve().unwrap(), vec![vec![2.0]]);
+        let s = r.selinv_diag().unwrap();
+        assert!((s[0][(0, 0)] - 0.25).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,262 @@
+//! Conventional Kalman filter and Rauch–Tung–Striebel smoother.
+//!
+//! This is the paper's "Kalman" baseline: a forward filtering sweep tracking
+//! `(m_i, P_i)` followed by a backward smoothing sweep.  The measurement
+//! update uses the Joseph-form covariance update for symmetry and improved
+//! robustness.  The smoothed states and covariances are computed *together*;
+//! unlike the QR smoothers there is no cheaper no-covariance variant (§5.4).
+
+use kalman_dense::{gemm, matmul, matmul_nt, Cholesky, Matrix, Trans};
+use kalman_model::{KalmanError, LinearModel, Result, Smoothed};
+
+/// Output of the forward Kalman filter.
+#[derive(Debug, Clone)]
+pub struct FilterResult {
+    /// Filtered means `m_i = E[u_i | o_0..o_i]`.
+    pub means: Vec<Vec<f64>>,
+    /// Filtered covariances `P_i`.
+    pub covs: Vec<Matrix>,
+    /// One-step predicted means `m_i⁻ = E[u_i | o_0..o_{i-1}]` (entry 0 is
+    /// the prior mean).
+    pub pred_means: Vec<Vec<f64>>,
+    /// One-step predicted covariances `P_i⁻` (entry 0 is the prior cov).
+    pub pred_covs: Vec<Matrix>,
+}
+
+fn require_uniform(model: &LinearModel) -> Result<usize> {
+    if !model.is_uniform() {
+        return Err(KalmanError::UnsupportedStructure(
+            "the conventional Kalman filter requires uniform state dimensions, square F, and H = I"
+                .into(),
+        ));
+    }
+    Ok(model.state_dim(0))
+}
+
+/// Runs the forward (filtering) pass.
+///
+/// # Errors
+///
+/// [`KalmanError::PriorRequired`] without a prior;
+/// [`KalmanError::UnsupportedStructure`] for non-uniform models; covariance
+/// failures propagate.
+pub fn kalman_filter(model: &LinearModel) -> Result<FilterResult> {
+    model.validate()?;
+    let n = require_uniform(model)?;
+    let prior = model.prior.as_ref().ok_or(KalmanError::PriorRequired)?;
+    let k = model.num_states();
+
+    let mut means: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut covs: Vec<Matrix> = Vec::with_capacity(k);
+    let mut pred_means: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut pred_covs: Vec<Matrix> = Vec::with_capacity(k);
+
+    let mut m_pred = prior.mean.clone();
+    let mut p_pred = prior.cov.to_dense();
+
+    for (i, step) in model.steps.iter().enumerate() {
+        if i > 0 {
+            let evo = step.evolution.as_ref().expect("validated");
+            // Predict: m⁻ = F m + c, P⁻ = F P Fᵀ + K.
+            let prev_m = means.last().expect("i > 0");
+            let prev_p: &Matrix = covs.last().expect("i > 0");
+            let mut mp = evo.f.mul_vec(prev_m);
+            for (x, c) in mp.iter_mut().zip(&evo.c) {
+                *x += c;
+            }
+            let fp = matmul(&evo.f, prev_p);
+            let mut pp = evo.noise.to_dense();
+            gemm(1.0, &fp, Trans::No, &evo.f, Trans::Yes, 1.0, &mut pp);
+            pp.symmetrize();
+            m_pred = mp;
+            p_pred = pp;
+        }
+        pred_means.push(m_pred.clone());
+        pred_covs.push(p_pred.clone());
+
+        // Update with the observation, if any.
+        let (m_f, p_f) = match &step.observation {
+            None => (m_pred.clone(), p_pred.clone()),
+            Some(obs) => {
+                let g = &obs.g;
+                // S = G P⁻ Gᵀ + L
+                let gp = matmul(g, &p_pred);
+                let mut s = obs.noise.to_dense();
+                gemm(1.0, &gp, Trans::No, g, Trans::Yes, 1.0, &mut s);
+                s.symmetrize();
+                let s_chol =
+                    Cholesky::new(&s).map_err(|_| KalmanError::NotPositiveDefinite { step: i })?;
+                // K = P⁻ Gᵀ S⁻¹  (computed as (S⁻¹ (G P⁻))ᵀ).
+                let kt = s_chol.solve(&gp); // S⁻¹ G P⁻  (m × n)
+                let gain = kt.transpose(); // n × m
+                // Innovation.
+                let mut innov = obs.o.clone();
+                let gm = g.mul_vec(&m_pred);
+                for (v, p) in innov.iter_mut().zip(&gm) {
+                    *v -= p;
+                }
+                let mut m_f = m_pred.clone();
+                for (x, d) in m_f.iter_mut().zip(gain.mul_vec(&innov)) {
+                    *x += d;
+                }
+                // Joseph form: P = (I−KG) P⁻ (I−KG)ᵀ + K L Kᵀ.
+                let mut ikg = Matrix::identity(m_pred.len());
+                gemm(-1.0, &gain, Trans::No, g, Trans::No, 1.0, &mut ikg);
+                let t = matmul(&ikg, &p_pred);
+                let mut p_f = matmul_nt(&t, &ikg);
+                let lk = matmul(&obs.noise.to_dense(), &gain.transpose());
+                gemm(1.0, &gain, Trans::No, &lk, Trans::No, 1.0, &mut p_f);
+                p_f.symmetrize();
+                (m_f, p_f)
+            }
+        };
+        means.push(m_f);
+        covs.push(p_f);
+        let _ = n; // dimension uniformity is enforced above
+    }
+    Ok(FilterResult {
+        means,
+        covs,
+        pred_means,
+        pred_covs,
+    })
+}
+
+/// Runs the full RTS smoother (forward filter + backward pass).
+///
+/// # Errors
+///
+/// Same as [`kalman_filter`].
+pub fn rts_smooth(model: &LinearModel) -> Result<Smoothed> {
+    let fr = kalman_filter(model)?;
+    let k = model.num_states();
+    let mut s_means = fr.means.clone();
+    let mut s_covs = fr.covs.clone();
+
+    for i in (0..k.saturating_sub(1)).rev() {
+        let evo = model.steps[i + 1].evolution.as_ref().expect("validated");
+        // C = P_i Fᵀ (P⁻_{i+1})⁻¹, computed via Cholesky of P⁻.
+        let pred_chol = Cholesky::new(&fr.pred_covs[i + 1])
+            .map_err(|_| KalmanError::NotPositiveDefinite { step: i + 1 })?;
+        let fpt = matmul_nt(&evo.f, &fr.covs[i]); // F P_iᵀ = F P_i (sym)
+        let c = pred_chol.solve(&fpt).transpose(); // P_i Fᵀ (P⁻)⁻¹
+
+        // m_s = m_i + C (m_s_{i+1} − m⁻_{i+1})
+        let mut dm = s_means[i + 1].clone();
+        for (x, p) in dm.iter_mut().zip(&fr.pred_means[i + 1]) {
+            *x -= p;
+        }
+        for (x, d) in s_means[i].iter_mut().zip(c.mul_vec(&dm)) {
+            *x += d;
+        }
+        // P_s = P_i + C (P_s_{i+1} − P⁻_{i+1}) Cᵀ
+        let dp = &s_covs[i + 1] - &fr.pred_covs[i + 1];
+        let cdp = matmul(&c, &dp);
+        let mut ps = fr.covs[i].clone();
+        gemm(1.0, &cdp, Trans::No, &c, Trans::Yes, 1.0, &mut ps);
+        ps.symmetrize();
+        s_covs[i] = ps;
+    }
+
+    Ok(Smoothed {
+        means: s_means,
+        covariances: Some(s_covs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_model::{generators, solve_dense, CovarianceSpec};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn filter_requires_prior() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let model = generators::paper_benchmark(&mut rng, 2, 3, false);
+        assert!(matches!(
+            kalman_filter(&model),
+            Err(KalmanError::PriorRequired)
+        ));
+    }
+
+    #[test]
+    fn filter_rejects_nonuniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut model = generators::dimension_change(&mut rng, 2, 3);
+        model.set_prior(vec![0.0; 2], CovarianceSpec::Identity(2));
+        assert!(matches!(
+            kalman_filter(&model),
+            Err(KalmanError::UnsupportedStructure(_))
+        ));
+    }
+
+    /// The RTS smoother must agree with the dense least-squares oracle:
+    /// with Gaussian assumptions both compute the exact posterior.
+    #[test]
+    fn rts_matches_dense_oracle_means_and_covs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let model = generators::paper_benchmark(&mut rng, 3, 8, true);
+        let rts = rts_smooth(&model).unwrap();
+        let dense = solve_dense(&model).unwrap();
+        assert!(
+            rts.max_mean_diff(&dense) < 1e-9,
+            "mean diff {}",
+            rts.max_mean_diff(&dense)
+        );
+        assert!(
+            rts.max_cov_diff(&dense).unwrap() < 1e-9,
+            "cov diff {:?}",
+            rts.max_cov_diff(&dense)
+        );
+    }
+
+    #[test]
+    fn rts_matches_dense_on_tracking_problem() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let p = generators::tracking_2d(&mut rng, 30, 0.1, 0.4, 0.3);
+        let rts = rts_smooth(&p.model).unwrap();
+        let dense = solve_dense(&p.model).unwrap();
+        assert!(rts.max_mean_diff(&dense) < 1e-8);
+        assert!(rts.max_cov_diff(&dense).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn rts_handles_missing_observations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let mut model = generators::sparse_observations(&mut rng, 2, 12, 3);
+        model.set_prior(vec![0.0; 2], CovarianceSpec::Identity(2));
+        let rts = rts_smooth(&model).unwrap();
+        let dense = solve_dense(&model).unwrap();
+        assert!(rts.max_mean_diff(&dense) < 1e-9);
+        assert!(rts.max_cov_diff(&dense).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn smoothing_reduces_uncertainty_vs_filtering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let p = generators::oscillator(&mut rng, 60, 0.05, 2.0, 0.05, 1e-3, 1e-2);
+        let fr = kalman_filter(&p.model).unwrap();
+        let sm = rts_smooth(&p.model).unwrap();
+        // At an interior state, smoothed variance <= filtered variance.
+        let i = 30;
+        let pf = &fr.covs[i];
+        let ps = sm.covariance(i).unwrap();
+        assert!(ps[(0, 0)] <= pf[(0, 0)] + 1e-12);
+        // At the final state they coincide.
+        let pk_f = &fr.covs[60];
+        let pk_s = sm.covariance(60).unwrap();
+        assert!(pk_f.approx_eq(pk_s, 1e-10));
+    }
+
+    #[test]
+    fn single_state_model_smooths() {
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let model = generators::paper_benchmark(&mut rng, 2, 0, true);
+        let sm = rts_smooth(&model).unwrap();
+        assert_eq!(sm.len(), 1);
+        let dense = solve_dense(&model).unwrap();
+        assert!(sm.max_mean_diff(&dense) < 1e-10);
+    }
+}

@@ -1,0 +1,354 @@
+//! Symmetric block-tridiagonal systems: sequential block Cholesky and
+//! parallel block odd-even (cyclic) reduction.
+
+use kalman_dense::{gemm, matmul, Cholesky, LuFactor, Matrix, Trans};
+use kalman_model::{KalmanError, Result};
+use kalman_par::{map_collect, ExecPolicy};
+
+/// A symmetric block-tridiagonal matrix
+///
+/// ```text
+/// T = ⎡B_0  A_1ᵀ          ⎤
+///     ⎢A_1  B_1  A_2ᵀ     ⎥
+///     ⎢     ⋱    ⋱    ⋱   ⎥
+///     ⎣          A_k  B_k ⎦
+/// ```
+///
+/// with square diagonal blocks `B_i` and sub-diagonal blocks
+/// `A_i = T_{i,i−1}`.  Block dimensions may vary.
+#[derive(Debug, Clone)]
+pub struct BlockTridiagonal {
+    /// Diagonal blocks `B_i` (symmetric).
+    pub diag: Vec<Matrix>,
+    /// Sub-diagonal blocks `A_i = T_{i,i−1}`; `sub.len() == diag.len() − 1`
+    /// and `sub[i]` couples block rows `i+1` and `i`.
+    pub sub: Vec<Matrix>,
+}
+
+impl BlockTridiagonal {
+    /// Number of block rows.
+    pub fn num_blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Materializes the dense matrix (test helper, `Θ((kn)²)`).
+    pub fn to_dense(&self) -> Matrix {
+        let mut offsets = vec![0usize];
+        for d in &self.diag {
+            offsets.push(offsets.last().unwrap() + d.rows());
+        }
+        let total = *offsets.last().unwrap();
+        let mut out = Matrix::zeros(total, total);
+        for (i, d) in self.diag.iter().enumerate() {
+            out.set_block(offsets[i], offsets[i], d);
+        }
+        for (i, a) in self.sub.iter().enumerate() {
+            out.set_block(offsets[i + 1], offsets[i], a);
+            out.set_block(offsets[i], offsets[i + 1], &a.transpose());
+        }
+        out
+    }
+
+    /// Solves `T x = f` by sequential block Cholesky (block Thomas
+    /// algorithm): the baseline direct method.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::NotPositiveDefinite`] (reported with the failing block
+    /// index) when a Schur complement loses positive definiteness — which is
+    /// exactly what happens when the normal equations are too ill
+    /// conditioned, so callers treat it as the instability signal.
+    pub fn solve_cholesky(&self, f: &[Matrix]) -> Result<Vec<Vec<f64>>> {
+        let k = self.num_blocks();
+        assert_eq!(f.len(), k, "rhs block count mismatch");
+        // Forward: factor the Schur-complement recurrence
+        //   S_0 = B_0,  S_i = B_i − A_i S_{i-1}⁻¹ A_iᵀ,
+        // carrying y_i = f_i − A_i S_{i-1}⁻¹ y_{i-1}.
+        let mut chols: Vec<Cholesky> = Vec::with_capacity(k);
+        let mut ys: Vec<Matrix> = Vec::with_capacity(k);
+        for i in 0..k {
+            let (s, y) = if i == 0 {
+                (self.diag[0].clone(), f[0].clone())
+            } else {
+                let prev_chol = &chols[i - 1];
+                let a = &self.sub[i - 1];
+                // W = S_{i-1}⁻¹ Aᵀ
+                let w = prev_chol.solve(&a.transpose());
+                let mut s = self.diag[i].clone();
+                gemm(-1.0, a, Trans::No, &w, Trans::No, 1.0, &mut s);
+                s.symmetrize();
+                let mut y = f[i].clone();
+                let z = prev_chol.solve(&ys[i - 1]);
+                gemm(-1.0, a, Trans::No, &z, Trans::No, 1.0, &mut y);
+                (s, y)
+            };
+            let chol =
+                Cholesky::new(&s).map_err(|_| KalmanError::NotPositiveDefinite { step: i })?;
+            chols.push(chol);
+            ys.push(y);
+        }
+        // Backward: x_k = S_k⁻¹ y_k;  x_i = S_i⁻¹ (y_i − A_{i+1}ᵀ x_{i+1}).
+        let mut xs: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for i in (0..k).rev() {
+            let mut rhs = ys[i].clone();
+            if i + 1 < k {
+                let xi1 = Matrix::col_from_slice(&xs[i + 1]);
+                gemm(-1.0, &self.sub[i], Trans::Yes, &xi1, Trans::No, 1.0, &mut rhs);
+            }
+            xs[i] = chols[i].solve(&rhs).into_vec();
+        }
+        Ok(xs)
+    }
+
+    /// Solves `T x = f` by parallel block odd-even (cyclic) reduction
+    /// (references \[4\], \[5\] of the paper).
+    ///
+    /// At every level all even blocks are eliminated concurrently:
+    /// `x_i = B_i⁻¹(f_i − A_i x_{i−1} − A_{i+1}ᵀ x_{i+1})` is substituted
+    /// into the odd equations, producing a block-tridiagonal system of half
+    /// the size; back substitution recovers the evens level by level.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] if a pivot block is singular (LU is
+    /// used on the pivot blocks, so mild indefiniteness from rounding does
+    /// not abort — accuracy just degrades, which the stability experiment
+    /// measures).
+    pub fn solve_cyclic_reduction(&self, f: &[Matrix], policy: ExecPolicy) -> Result<Vec<Vec<f64>>> {
+        let k = self.num_blocks();
+        assert_eq!(f.len(), k, "rhs block count mismatch");
+        // Generic (non-symmetric) level representation: a_i x_{i-1} + b_i x_i + c_i x_{i+1} = f_i.
+        struct Level {
+            orig: Vec<usize>,
+            a: Vec<Option<Matrix>>,
+            b: Vec<Matrix>,
+            c: Vec<Option<Matrix>>,
+            f: Vec<Matrix>,
+        }
+        let mut level = Level {
+            orig: (0..k).collect(),
+            a: (0..k)
+                .map(|i| if i == 0 { None } else { Some(self.sub[i - 1].clone()) })
+                .collect(),
+            b: self.diag.clone(),
+            c: (0..k)
+                .map(|i| self.sub.get(i).map(|m| m.transpose()))
+                .collect(),
+            f: f.to_vec(),
+        };
+        let mut stack: Vec<Level> = Vec::new();
+
+        while level.b.len() > 1 {
+            let kk = level.b.len();
+            let n_even = kk.div_ceil(2);
+            let n_odd = kk / 2;
+            // Invert the even pivots and precompute B_e⁻¹ [A_e | C_e | f_e].
+            let pivots: Vec<Result<(Option<Matrix>, Option<Matrix>, Matrix)>> = {
+                let lv = &level;
+                map_collect(policy, n_even, |s| {
+                    let t = 2 * s;
+                    let lu = LuFactor::new(lv.b[t].clone()).map_err(|_| {
+                        KalmanError::RankDeficient {
+                            state: lv.orig[t],
+                        }
+                    })?;
+                    let ia = lv.a[t].as_ref().map(|m| lu.solve(m));
+                    let ic = lv.c[t].as_ref().map(|m| lu.solve(m));
+                    let iff = lu.solve(&lv.f[t]);
+                    Ok((ia, ic, iff))
+                })
+            };
+            let mut binv_a: Vec<Option<Matrix>> = Vec::with_capacity(n_even);
+            let mut binv_c: Vec<Option<Matrix>> = Vec::with_capacity(n_even);
+            let mut binv_f: Vec<Matrix> = Vec::with_capacity(n_even);
+            for p in pivots {
+                let (ia, ic, iff) = p?;
+                binv_a.push(ia);
+                binv_c.push(ic);
+                binv_f.push(iff);
+            }
+            // Build the odd system in parallel.
+            let next: Vec<(Option<Matrix>, Matrix, Option<Matrix>, Matrix)> = {
+                let lv = &level;
+                let (ba, bc, bf) = (&binv_a, &binv_c, &binv_f);
+                map_collect(policy, n_odd, |s| {
+                    let j = 2 * s + 1; // odd position in this level
+                    let mut b = lv.b[j].clone();
+                    let mut fj = lv.f[j].clone();
+                    let a_j = lv.a[j].as_ref().expect("odd blocks have left neighbours");
+                    // Left neighbour j−1 = even 2s.
+                    // b −= A_j B⁻¹ C   (C of even = coupling to j)
+                    if let Some(ic) = &bc[s] {
+                        gemm(-1.0, a_j, Trans::No, ic, Trans::No, 1.0, &mut b);
+                    }
+                    fj -= &matmul(a_j, &bf[s]);
+                    let new_a = ba[s].as_ref().map(|ia| matmul(a_j, ia).scaled(-1.0));
+                    // Right neighbour j+1 = even 2s+2 (may not exist).
+                    let mut new_c: Option<Matrix> = None;
+                    if j + 1 < kk {
+                        let c_j = lv.c[j].as_ref().expect("right neighbour exists");
+                        let e = s + 1;
+                        if let Some(ia) = &ba[e] {
+                            gemm(-1.0, c_j, Trans::No, ia, Trans::No, 1.0, &mut b);
+                        }
+                        fj -= &matmul(c_j, &bf[e]);
+                        new_c = bc[e].as_ref().map(|ic| matmul(c_j, ic).scaled(-1.0));
+                    }
+                    (new_a, b, new_c, fj)
+                })
+            };
+            let mut nl = Level {
+                orig: Vec::with_capacity(n_odd),
+                a: Vec::with_capacity(n_odd),
+                b: Vec::with_capacity(n_odd),
+                c: Vec::with_capacity(n_odd),
+                f: Vec::with_capacity(n_odd),
+            };
+            for (s, (na, nb, nc, nf)) in next.into_iter().enumerate() {
+                nl.orig.push(level.orig[2 * s + 1]);
+                nl.a.push(if s == 0 { None } else { na });
+                nl.b.push(nb);
+                nl.c.push(if s + 1 < n_odd { nc } else { None });
+                nl.f.push(nf);
+            }
+            // Keep the eliminated level for back substitution.
+            stack.push(std::mem::replace(&mut level, nl));
+        }
+
+        // Solve the 1×1 root.
+        let mut x: Vec<Vec<f64>> = vec![Vec::new(); k];
+        let root_lu = LuFactor::new(level.b[0].clone()).map_err(|_| {
+            KalmanError::RankDeficient {
+                state: level.orig[0],
+            }
+        })?;
+        x[level.orig[0]] = root_lu.solve(&level.f[0]).into_vec();
+
+        // Back substitution: recover evens of each stacked level, deepest first.
+        for lv in stack.iter().rev() {
+            let kk = lv.b.len();
+            let n_even = kk.div_ceil(2);
+            let solved: Vec<Result<(usize, Vec<f64>)>> = {
+                let x_ref = &x;
+                map_collect(policy, n_even, |s| {
+                    let t = 2 * s;
+                    let mut rhs = lv.f[t].clone();
+                    if let Some(a) = &lv.a[t] {
+                        let xl = Matrix::col_from_slice(&x_ref[lv.orig[t - 1]]);
+                        rhs -= &matmul(a, &xl);
+                    }
+                    if let Some(c) = &lv.c[t] {
+                        let xr = Matrix::col_from_slice(&x_ref[lv.orig[t + 1]]);
+                        rhs -= &matmul(c, &xr);
+                    }
+                    let lu = LuFactor::new(lv.b[t].clone()).map_err(|_| {
+                        KalmanError::RankDeficient {
+                            state: lv.orig[t],
+                        }
+                    })?;
+                    Ok((lv.orig[t], lu.solve(&rhs).into_vec()))
+                })
+            };
+            for r in solved {
+                let (orig, v) = r?;
+                x[orig] = v;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_dense::random;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A random SPD block-tridiagonal matrix (diagonally dominant).
+    fn random_system(seed: u64, n: usize, k: usize) -> (BlockTridiagonal, Vec<Matrix>) {
+        let mut r = rng(seed);
+        let sub: Vec<Matrix> = (0..k - 1).map(|_| random::gaussian(&mut r, n, n)).collect();
+        let diag: Vec<Matrix> = (0..k)
+            .map(|i| {
+                let mut d = random::spd(&mut r, n);
+                // Diagonal dominance keeps the whole matrix SPD.
+                let boost = 2.0
+                    * (sub.get(i).map(|m| m.frob_norm()).unwrap_or(0.0)
+                        + if i > 0 { sub[i - 1].frob_norm() } else { 0.0 })
+                    + 1.0;
+                for j in 0..n {
+                    d[(j, j)] += boost;
+                }
+                d
+            })
+            .collect();
+        let f: Vec<Matrix> = (0..k).map(|_| random::gaussian(&mut r, n, 1)).collect();
+        (BlockTridiagonal { diag, sub }, f)
+    }
+
+    fn dense_solution(t: &BlockTridiagonal, f: &[Matrix]) -> Vec<f64> {
+        let dense = t.to_dense();
+        let refs: Vec<&Matrix> = f.iter().collect();
+        let rhs = Matrix::vstack(&refs);
+        kalman_dense::solve(&dense, &rhs).unwrap().into_vec()
+    }
+
+    #[test]
+    fn cholesky_matches_dense() {
+        for (k, seed) in [(1usize, 70u64), (2, 71), (5, 72), (9, 73)] {
+            let (t, f) = random_system(seed, 3, k);
+            let x = t.solve_cholesky(&f).unwrap();
+            let expect = dense_solution(&t, &f);
+            let flat: Vec<f64> = x.concat();
+            for (a, b) in flat.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_reduction_matches_dense() {
+        for (k, seed) in [(1usize, 80u64), (2, 81), (3, 82), (6, 83), (13, 84), (32, 85)] {
+            let (t, f) = random_system(seed, 3, k);
+            let x = t.solve_cyclic_reduction(&f, ExecPolicy::Seq).unwrap();
+            let expect = dense_solution(&t, &f);
+            let flat: Vec<f64> = x.concat();
+            for (a, b) in flat.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-8, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_cyclic_reduction_matches_sequential() {
+        let (t, f) = random_system(90, 4, 25);
+        let seq = t.solve_cyclic_reduction(&f, ExecPolicy::Seq).unwrap();
+        let par = t.solve_cyclic_reduction(&f, ExecPolicy::par_with_grain(1)).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn not_spd_is_reported_by_cholesky() {
+        let (mut t, f) = random_system(91, 2, 4);
+        t.diag[2] = Matrix::from_rows(&[&[1.0, 3.0], &[3.0, 1.0]]); // indefinite
+        match t.solve_cholesky(&f) {
+            Err(KalmanError::NotPositiveDefinite { .. }) => {}
+            other => panic!("expected not-SPD, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singular_pivot_reported_by_cyclic_reduction() {
+        let (mut t, f) = random_system(92, 2, 5);
+        t.diag[0] = Matrix::zeros(2, 2);
+        match t.solve_cyclic_reduction(&f, ExecPolicy::Seq) {
+            Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 0),
+            other => panic!("expected singular pivot, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Block-tridiagonal solvers and the normal-equations Kalman smoother.
+//!
+//! The paper's closing observation (§6): `(UA)ᵀ(UA)` — the coefficient
+//! matrix of the normal equations of the smoothing least-squares problem —
+//! is block tridiagonal, so the smoothed states can also be computed by
+//! *block odd-even (cyclic) reduction* of that system (the paper's
+//! references \[4\], \[5\]).  This yields a third parallel-in-time smoother,
+//! but an **unstable** one: forming the normal equations squares the
+//! condition number.  This crate implements that algorithm — plus a
+//! sequential block-Cholesky (Thomas) solver as its baseline — so the
+//! stability experiment can demonstrate the instability the paper asserts.
+//!
+//! # Example
+//!
+//! ```
+//! use kalman_tridiag::{normal_equations_smooth, TridiagMethod};
+//! use kalman_par::ExecPolicy;
+//! use kalman_model::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+//! let model = generators::paper_benchmark(&mut rng, 3, 30, false);
+//! let s = normal_equations_smooth(&model, TridiagMethod::CyclicReduction, ExecPolicy::par())
+//!     .unwrap();
+//! assert_eq!(s.len(), 31);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod blocktri;
+mod normal_eq;
+
+pub use blocktri::BlockTridiagonal;
+pub use normal_eq::{build_normal_equations, normal_equations_smooth, TridiagMethod};

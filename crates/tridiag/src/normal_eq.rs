@@ -1,0 +1,186 @@
+//! The normal-equations Kalman smoother (the paper's unstable third
+//! parallel algorithm, §6).
+//!
+//! `T = (UA)ᵀ(UA)` is block tridiagonal with
+//!
+//! ```text
+//! T_ii      = C_iᵀC_i + D_iᵀD_i + B_{i+1}ᵀB_{i+1}
+//! T_{i,i−1} = −D_iᵀB_i
+//! rhs_i     = C_iᵀõ_i + D_iᵀc̃_i − B_{i+1}ᵀc̃_{i+1}
+//! ```
+//!
+//! (whitened blocks; the `D_iᵀD_i` term exists for `i ≥ 1`, the
+//! `B_{i+1}ᵀ…` terms when an evolution into `i+1` exists).  Solving
+//! `T û = rhs` gives the smoothed means, but squares the condition number
+//! of the problem — the instability the stability experiment demonstrates.
+
+use crate::blocktri::BlockTridiagonal;
+use kalman_dense::{gemm, matmul_tn, Matrix, Trans};
+use kalman_model::{whiten_model, LinearModel, Result, Smoothed, WhitenedStep};
+use kalman_par::{map_collect, ExecPolicy};
+
+/// Which block-tridiagonal solver to use on the normal equations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TridiagMethod {
+    /// Sequential block Cholesky (block Thomas algorithm).
+    Cholesky,
+    /// Parallel block odd-even (cyclic) reduction.
+    CyclicReduction,
+}
+
+/// Assembles the block-tridiagonal normal equations from whitened steps.
+///
+/// Returns the matrix and the per-state right-hand-side blocks.
+pub fn build_normal_equations(
+    steps: &[WhitenedStep],
+    policy: ExecPolicy,
+) -> (BlockTridiagonal, Vec<Matrix>) {
+    let k1 = steps.len();
+    let parts: Vec<(Matrix, Option<Matrix>, Matrix)> = map_collect(policy, k1, |i| {
+        let n = steps[i].state_dim;
+        let mut tii = Matrix::zeros(n, n);
+        let mut rhs = Matrix::zeros(n, 1);
+        let mut sub: Option<Matrix> = None; // T_{i,i−1}
+        if let Some(obs) = &steps[i].obs {
+            gemm(1.0, &obs.c, Trans::Yes, &obs.c, Trans::No, 1.0, &mut tii);
+            gemm(1.0, &obs.c, Trans::Yes, &obs.rhs, Trans::No, 1.0, &mut rhs);
+        }
+        if let Some(evo) = &steps[i].evo {
+            gemm(1.0, &evo.d, Trans::Yes, &evo.d, Trans::No, 1.0, &mut tii);
+            gemm(1.0, &evo.d, Trans::Yes, &evo.rhs, Trans::No, 1.0, &mut rhs);
+            sub = Some(matmul_tn(&evo.d, &evo.b).scaled(-1.0));
+        }
+        if i + 1 < k1 {
+            if let Some(evo) = &steps[i + 1].evo {
+                gemm(1.0, &evo.b, Trans::Yes, &evo.b, Trans::No, 1.0, &mut tii);
+                gemm(-1.0, &evo.b, Trans::Yes, &evo.rhs, Trans::No, 1.0, &mut rhs);
+            }
+        }
+        tii.symmetrize();
+        (tii, sub, rhs)
+    });
+    let mut diag = Vec::with_capacity(k1);
+    let mut sub = Vec::with_capacity(k1.saturating_sub(1));
+    let mut rhs = Vec::with_capacity(k1);
+    for (i, (tii, s, r)) in parts.into_iter().enumerate() {
+        diag.push(tii);
+        rhs.push(r);
+        if i > 0 {
+            sub.push(s.expect("validated: evolution exists for i >= 1"));
+        }
+    }
+    (BlockTridiagonal { diag, sub }, rhs)
+}
+
+/// Smooths `model` by forming and solving the normal equations.
+///
+/// Produces means only (no covariances): this algorithm exists to serve as
+/// the unstable comparison point in the stability experiment, not as a
+/// recommended smoother.
+///
+/// # Errors
+///
+/// Model/covariance errors; solver failures
+/// ([`kalman_model::KalmanError::NotPositiveDefinite`] /
+/// [`kalman_model::KalmanError::RankDeficient`]) when the squared
+/// conditioning destroys positive definiteness.
+pub fn normal_equations_smooth(
+    model: &LinearModel,
+    method: TridiagMethod,
+    policy: ExecPolicy,
+) -> Result<Smoothed> {
+    let steps = whiten_model(model)?;
+    let (t, rhs) = build_normal_equations(&steps, policy);
+    let means = match method {
+        TridiagMethod::Cholesky => t.solve_cholesky(&rhs)?,
+        TridiagMethod::CyclicReduction => t.solve_cyclic_reduction(&rhs, policy)?,
+    };
+    Ok(Smoothed {
+        means,
+        covariances: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_dense::matmul;
+    use kalman_model::{assemble_dense, generators, solve_dense};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn normal_equations_match_dense_gram() {
+        let mut model = generators::paper_benchmark(&mut rng(100), 3, 7, true);
+        model.steps[3].observation = None; // exercise a gap
+        let steps = whiten_model(&model).unwrap();
+        let (t, rhs) = build_normal_equations(&steps, ExecPolicy::Seq);
+        let sys = assemble_dense(&model).unwrap();
+        let gram = matmul_tn(&sys.a, &sys.a);
+        assert!(t.to_dense().approx_eq(&gram, 1e-10));
+        let atb = matmul_tn(&sys.a, &sys.b);
+        let refs: Vec<&Matrix> = rhs.iter().collect();
+        assert!(Matrix::vstack(&refs).approx_eq(&atb, 1e-10));
+        let _ = matmul(&t.to_dense(), &atb); // dims line up
+    }
+
+    #[test]
+    fn both_methods_match_oracle_when_well_conditioned() {
+        let model = generators::paper_benchmark(&mut rng(101), 3, 20, false);
+        let dense = solve_dense(&model).unwrap();
+        for method in [TridiagMethod::Cholesky, TridiagMethod::CyclicReduction] {
+            let s = normal_equations_smooth(&model, method, ExecPolicy::par()).unwrap();
+            assert!(
+                s.max_mean_diff(&dense) < 1e-7,
+                "{method:?}: {}",
+                s.max_mean_diff(&dense)
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_degrades_faster_than_qr_when_ill_conditioned() {
+        // At condition number 1e9 the normal equations (condition ~1e18)
+        // lose most digits while the QR path stays accurate.
+        let model = generators::ill_conditioned(&mut rng(102), 3, 24, 1e9);
+        let oracle = solve_dense(&model).unwrap();
+        let qr = kalman_odd_even::odd_even_smooth(
+            &model,
+            kalman_odd_even::OddEvenOptions::nc(ExecPolicy::Seq),
+        )
+        .unwrap();
+        let qr_err = qr.max_mean_diff(&oracle);
+        let neq = normal_equations_smooth(&model, TridiagMethod::Cholesky, ExecPolicy::Seq);
+        match neq {
+            Ok(s) => {
+                let neq_err = s.max_mean_diff(&oracle);
+                assert!(
+                    neq_err > 10.0 * qr_err.max(1e-14),
+                    "normal equations err {neq_err} vs QR err {qr_err}"
+                );
+            }
+            // Losing positive definiteness outright is also an accepted
+            // demonstration of the instability.
+            Err(kalman_model::KalmanError::NotPositiveDefinite { .. }) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let model = generators::paper_benchmark(&mut rng(103), 4, 33, false);
+        let a = normal_equations_smooth(&model, TridiagMethod::CyclicReduction, ExecPolicy::Seq)
+            .unwrap();
+        let b = normal_equations_smooth(
+            &model,
+            TridiagMethod::CyclicReduction,
+            ExecPolicy::par_with_grain(2),
+        )
+        .unwrap();
+        assert_eq!(a.max_mean_diff(&b), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Capabilities only the QR-based smoothers have: unknown initial state and
+//! state vectors whose dimension changes over time (rectangular `H_i`).
+//!
+//! The paper (§6) highlights both: an unknown prior arises in inertial
+//! navigation, and rectangular `H_i` models growing/shrinking state vectors.
+//! The conventional RTS and associative smoothers reject these models; the
+//! Paige–Saunders and odd-even smoothers handle them exactly.
+//!
+//! Run with: `cargo run --release -p kalman --example navigation_no_prior`
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+
+    // --- Part 1: no prior on the initial state. -------------------------
+    let model = generators::paper_benchmark(&mut rng, 6, 500, /*with_prior=*/ false);
+    println!("[1] 501-state problem, unknown initial state (no prior)");
+
+    match rts_smooth(&model) {
+        Err(KalmanError::PriorRequired) => {
+            println!("    RTS smoother:        rejected (prior required) — as expected")
+        }
+        other => panic!("RTS should require a prior, got {other:?}"),
+    }
+    match associative_smooth(&model, AssociativeOptions::default()) {
+        Err(KalmanError::PriorRequired) => {
+            println!("    Associative smoother: rejected (prior required) — as expected")
+        }
+        other => panic!("associative should require a prior, got {other:?}"),
+    }
+
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    let oracle = solve_dense(&model).unwrap();
+    println!(
+        "    Odd-Even smoother:   solved; max |err vs dense oracle| = {:.2e}",
+        oe.max_mean_diff(&oracle)
+    );
+
+    // --- Part 2: state dimension changes mid-trajectory. ----------------
+    let model2 = generators::dimension_change(&mut rng, 3, 40);
+    let dims: Vec<usize> = model2.steps.iter().map(|s| s.state_dim).collect();
+    println!(
+        "\n[2] 41-state problem with alternating state dimensions {:?}…",
+        &dims[..6]
+    );
+    match associative_smooth(&model2, AssociativeOptions::default()) {
+        Err(KalmanError::PriorRequired) | Err(KalmanError::UnsupportedStructure(_)) => {
+            println!("    Associative smoother: rejected — as expected")
+        }
+        other => panic!("associative should reject, got {other:?}"),
+    }
+    let oe2 = odd_even_smooth(&model2, OddEvenOptions::default()).unwrap();
+    let ps2 = paige_saunders_smooth(&model2, SmootherOptions::default()).unwrap();
+    let oracle2 = solve_dense(&model2).unwrap();
+    println!(
+        "    Odd-Even:            max |err vs oracle| = {:.2e}",
+        oe2.max_mean_diff(&oracle2)
+    );
+    println!(
+        "    Paige-Saunders:      max |err vs oracle| = {:.2e}",
+        ps2.max_mean_diff(&oracle2)
+    );
+    println!(
+        "    Odd-Even vs P-S:     max diff = {:.2e}",
+        oe2.max_mean_diff(&ps2)
+    );
+
+    // Per-state uncertainty is available for every state dimension.
+    let sd0 = oe2.stddevs(0).unwrap();
+    let sd1 = oe2.stddevs(1).unwrap();
+    println!(
+        "    stddev dims:         state0 has {} components, state1 has {}",
+        sd0.len(),
+        sd1.len()
+    );
+}

@@ -1,0 +1,48 @@
+//! Demonstrates parallel-in-time scaling of the odd-even smoother on the
+//! paper's benchmark problem, sweeping the number of cores.
+//!
+//! Run with: `cargo run --release -p kalman --example parallel_scaling`
+//! (use `--release`; debug builds are 10–100× slower)
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let (n, k) = (6, 50_000);
+    println!("paper benchmark problem: n={n}, k={k}");
+    let model = generators::paper_benchmark(&mut rng, n, k, false);
+
+    // Sequential reference: the compiled-sequential Paige–Saunders baseline.
+    let t0 = Instant::now();
+    let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
+    let t_seq = t0.elapsed();
+    println!("Paige-Saunders (sequential baseline): {:>8.1?}", t_seq);
+
+    let max_threads = kalman::par::available_parallelism();
+    let mut t1 = None;
+    println!("\ncores   odd-even time   speedup vs 1 core   vs sequential baseline");
+    let mut threads = 1;
+    while threads <= max_threads {
+        let model_ref = &model;
+        let (est, dt) = run_with_threads(threads, move || {
+            let t = Instant::now();
+            let est = odd_even_smooth(model_ref, OddEvenOptions::default()).unwrap();
+            (est, t.elapsed())
+        });
+        assert!(est.max_mean_diff(&ps) < 1e-6, "algorithms disagree");
+        if threads == 1 {
+            t1 = Some(dt);
+        }
+        let t1v = t1.expect("set on first iteration");
+        println!(
+            "{threads:>5}   {dt:>13.1?}   {:>17.2}x   {:>20.2}x",
+            t1v.as_secs_f64() / dt.as_secs_f64(),
+            t_seq.as_secs_f64() / dt.as_secs_f64(),
+        );
+        threads *= 2;
+    }
+    println!("\n(the 1-core overhead vs the sequential baseline is the paper's 1.8–2.5×)");
+}

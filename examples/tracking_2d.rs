@@ -1,0 +1,78 @@
+//! 2-D target tracking: the classic workload motivating Kalman smoothing.
+//!
+//! Simulates a constant-velocity target with noisy position observations,
+//! smooths the trajectory with all four algorithms, and reports RMSE
+//! against the ground truth — smoothing must beat the raw observations and
+//! all algorithms must agree with each other.
+//!
+//! Run with: `cargo run --release -p kalman --example tracking_2d`
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2024);
+    let k = 2_000;
+    let (dt, q, r) = (0.1, 0.4, 0.6);
+    let problem = generators::tracking_2d(&mut rng, k, dt, q, r);
+    println!(
+        "simulated {} steps of constant-velocity motion (dt={dt}, q={q}, r={r})",
+        k + 1
+    );
+
+    // Observation RMSE (positions only) — the baseline to beat.
+    let mut obs_err = 0.0;
+    let mut count = 0;
+    for (i, truth) in problem.truth.iter().enumerate() {
+        if let Some(obs) = &problem.model.steps[i].observation {
+            obs_err += (obs.o[0] - truth[0]).powi(2) + (obs.o[1] - truth[1]).powi(2);
+            count += 2;
+        }
+    }
+    let obs_rmse = (obs_err / count as f64).sqrt();
+    println!("raw observation RMSE (position): {obs_rmse:.4}\n");
+
+    let truth_pos: Vec<Vec<f64>> = problem.truth.iter().map(|s| s[..2].to_vec()).collect();
+    let position_rmse = |est: &Smoothed| {
+        let est_pos = Smoothed {
+            means: est.means.iter().map(|m| m[..2].to_vec()).collect(),
+            covariances: None,
+        };
+        est_pos.rmse(&truth_pos)
+    };
+
+    let oe = odd_even_smooth(&problem.model, OddEvenOptions::default()).unwrap();
+    let ps = paige_saunders_smooth(&problem.model, SmootherOptions::default()).unwrap();
+    let rts = rts_smooth(&problem.model).unwrap();
+    let assoc = associative_smooth(&problem.model, AssociativeOptions::default()).unwrap();
+
+    println!("algorithm        position RMSE   max diff vs odd-even");
+    for (name, est) in [
+        ("Odd-Even", &oe),
+        ("Paige-Saunders", &ps),
+        ("Kalman (RTS)", &rts),
+        ("Associative", &assoc),
+    ] {
+        println!(
+            "{name:<16} {:>12.4}   {:>12.2e}",
+            position_rmse(est),
+            est.max_mean_diff(&oe)
+        );
+    }
+
+    // 95% interval coverage check from the smoothed covariances.
+    let mut covered = 0usize;
+    for i in 0..oe.len() {
+        let sd = oe.stddevs(i).unwrap();
+        let m = oe.mean(i);
+        if (m[0] - problem.truth[i][0]).abs() <= 1.96 * sd[0] {
+            covered += 1;
+        }
+    }
+    println!(
+        "\n95% interval coverage of x-position: {:.1}% (expect ≈95%)",
+        100.0 * covered as f64 / oe.len() as f64
+    );
+    assert!(position_rmse(&oe) < obs_rmse, "smoothing must beat raw observations");
+}

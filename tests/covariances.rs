@@ -1,0 +1,110 @@
+//! Covariance correctness: SelInv (sequential and odd-even parallel) against
+//! the dense `((UA)ᵀ(UA))⁻¹` blocks, plus statistical calibration checks.
+
+use kalman::model::{generators, solve_dense};
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn selinv_blocks_match_dense_inverse_many_sizes() {
+    for k in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 17, 31, 33, 50] {
+        let model = generators::paper_benchmark(&mut rng(100 + k as u64), 3, k, false);
+        let oracle = solve_dense(&model).unwrap();
+        let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+        let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
+        assert!(
+            oe.max_cov_diff(&oracle).unwrap() < 1e-8,
+            "odd-even covariances diverge at k={k}: {:?}",
+            oe.max_cov_diff(&oracle)
+        );
+        assert!(
+            ps.max_cov_diff(&oracle).unwrap() < 1e-8,
+            "paige-saunders covariances diverge at k={k}"
+        );
+    }
+}
+
+#[test]
+fn covariances_are_symmetric_and_positive_definite() {
+    let model = generators::paper_benchmark(&mut rng(200), 5, 60, true);
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    for (i, c) in oe.covariances.as_ref().unwrap().iter().enumerate() {
+        assert!(c.approx_eq(&c.transpose(), 1e-13), "cov {i} not symmetric");
+        assert!(
+            kalman::dense::Cholesky::new(c).is_ok(),
+            "cov {i} not positive definite"
+        );
+    }
+}
+
+#[test]
+fn prior_information_shrinks_variances() {
+    let no_prior = generators::paper_benchmark(&mut rng(201), 3, 25, false);
+    let mut with_prior = no_prior.clone();
+    with_prior.set_prior(vec![0.0; 3], CovarianceSpec::ScaledIdentity(3, 0.1));
+    let a = odd_even_smooth(&no_prior, OddEvenOptions::default()).unwrap();
+    let b = odd_even_smooth(&with_prior, OddEvenOptions::default()).unwrap();
+    // A tight prior on u_0 must reduce the variance of u_0.
+    let va: f64 = a.covariance(0).unwrap().diag().iter().sum();
+    let vb: f64 = b.covariance(0).unwrap().diag().iter().sum();
+    assert!(vb < va, "prior must shrink variance: {vb} !< {va}");
+}
+
+#[test]
+fn interior_states_have_smaller_variance_than_ends() {
+    // With uniform observations, interior states see data from both
+    // directions and are better determined than the chain ends.
+    let model = generators::paper_benchmark(&mut rng(202), 3, 40, false);
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    let var = |i: usize| -> f64 { oe.covariance(i).unwrap().diag().iter().sum() };
+    let mid = var(20);
+    assert!(mid < var(0), "interior {mid} vs start {}", var(0));
+    assert!(mid < var(40), "interior {mid} vs end {}", var(40));
+}
+
+/// Monte-Carlo calibration: over repeated noise realizations of the same
+/// model, the empirical error standard deviation must match the reported
+/// covariance (z-scores ~ N(0,1)).
+#[test]
+fn reported_covariance_is_statistically_calibrated() {
+    let mut r = rng(203);
+    let trials = 60;
+    let k = 20;
+    let mut z_sq_sum = 0.0;
+    let mut count = 0usize;
+    for _ in 0..trials {
+        let p = generators::oscillator(&mut r, k, 0.1, 2.0, 0.1, 1e-3, 1e-2);
+        let est = odd_even_smooth(&p.model, OddEvenOptions::default()).unwrap();
+        for i in (0..=k).step_by(5) {
+            let sd = est.stddevs(i).unwrap();
+            for d in 0..2 {
+                let z = (est.mean(i)[d] - p.truth[i][d]) / sd[d];
+                z_sq_sum += z * z;
+                count += 1;
+            }
+        }
+    }
+    // E[z²] = 1 for calibrated uncertainties; allow generous slack for the
+    // finite sample (count ≈ 600, so the mean of χ²₁ concentrates well).
+    let mean_z_sq = z_sq_sum / count as f64;
+    assert!(
+        (0.6..1.6).contains(&mean_z_sq),
+        "uncalibrated covariances: E[z²] = {mean_z_sq}"
+    );
+}
+
+#[test]
+fn sparse_observation_gaps_inflate_variance() {
+    let mut model = generators::sparse_observations(&mut rng(204), 2, 20, 5);
+    model.set_prior(vec![0.0; 2], CovarianceSpec::Identity(2));
+    let est = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    // A state far from any observation has larger variance than an observed one.
+    let observed: f64 = est.covariance(5).unwrap().diag().iter().sum();
+    let gap: f64 = est.covariance(7).unwrap().diag().iter().sum();
+    assert!(gap > observed, "gap variance {gap} !> observed variance {observed}");
+}

@@ -1,0 +1,151 @@
+//! Failure injection: malformed or degenerate models must produce the right
+//! `KalmanError`, never panics or silent garbage.
+
+use kalman::model::generators;
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn assert_invalid(result: Result<Smoothed, KalmanError>, expect_substr: &str) {
+    match result {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains(expect_substr),
+                "error {msg:?} does not mention {expect_substr:?}"
+            );
+        }
+        Ok(_) => panic!("expected failure mentioning {expect_substr:?}"),
+    }
+}
+
+#[test]
+fn empty_model_is_rejected_by_every_algorithm() {
+    let model = LinearModel::new();
+    assert_invalid(odd_even_smooth(&model, OddEvenOptions::default()), "no steps");
+    assert_invalid(
+        paige_saunders_smooth(&model, SmootherOptions::default()),
+        "no steps",
+    );
+    assert_invalid(rts_smooth(&model), "no steps");
+    assert_invalid(
+        associative_smooth(&model, AssociativeOptions::default()),
+        "no steps",
+    );
+    assert_invalid(
+        normal_equations_smooth(&model, TridiagMethod::Cholesky, ExecPolicy::Seq),
+        "no steps",
+    );
+}
+
+#[test]
+fn negative_variance_is_rejected() {
+    let mut model = generators::paper_benchmark(&mut rng(1), 2, 5, false);
+    model.steps[2].observation.as_mut().unwrap().noise =
+        CovarianceSpec::Diagonal(vec![1.0, -0.5]);
+    match odd_even_smooth(&model, OddEvenOptions::default()) {
+        Err(KalmanError::NotPositiveDefinite { step }) => assert_eq!(step, 2),
+        other => panic!("expected not-PD at step 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn indefinite_dense_covariance_is_rejected() {
+    let mut model = generators::paper_benchmark(&mut rng(2), 2, 5, false);
+    let indefinite = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+    model.steps[3].evolution.as_mut().unwrap().noise = CovarianceSpec::Dense(indefinite);
+    match paige_saunders_smooth(&model, SmootherOptions::default()) {
+        Err(KalmanError::NotPositiveDefinite { step }) => assert_eq!(step, 3),
+        other => panic!("expected not-PD at step 3, got {other:?}"),
+    }
+}
+
+#[test]
+fn dimension_mismatches_are_reported_with_step_index() {
+    let mut model = generators::paper_benchmark(&mut rng(3), 3, 4, false);
+    model.steps[2].evolution.as_mut().unwrap().f = Matrix::identity(4);
+    assert_invalid(
+        odd_even_smooth(&model, OddEvenOptions::default()),
+        "step 2",
+    );
+
+    let mut model2 = generators::paper_benchmark(&mut rng(4), 3, 4, false);
+    model2.steps[1].observation.as_mut().unwrap().o = vec![0.0; 9];
+    assert_invalid(
+        odd_even_smooth(&model2, OddEvenOptions::default()),
+        "step 1",
+    );
+}
+
+#[test]
+fn disconnected_state_reports_rank_deficiency_in_all_qr_paths() {
+    let mut model = generators::paper_benchmark(&mut rng(5), 2, 8, false);
+    // State 5 appears in no equation with nonzero coefficients.
+    model.steps[5].evolution.as_mut().unwrap().h = Some(Matrix::zeros(2, 2));
+    model.steps[5].observation = None;
+    model.steps[6].evolution.as_mut().unwrap().f = Matrix::zeros(2, 2);
+
+    match odd_even_smooth(&model, OddEvenOptions::default()) {
+        Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 5),
+        other => panic!("odd-even: expected rank deficiency, got {other:?}"),
+    }
+    match paige_saunders_smooth(&model, SmootherOptions::default()) {
+        Err(KalmanError::RankDeficient { state }) => assert_eq!(state, 5),
+        other => panic!("paige-saunders: expected rank deficiency, got {other:?}"),
+    }
+    match normal_equations_smooth(&model, TridiagMethod::CyclicReduction, ExecPolicy::Seq) {
+        Err(KalmanError::RankDeficient { .. }) | Err(KalmanError::NotPositiveDefinite { .. }) => {}
+        other => panic!("normal equations: expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn prior_requirement_errors_are_specific() {
+    let model = generators::paper_benchmark(&mut rng(6), 2, 5, false);
+    assert!(matches!(rts_smooth(&model), Err(KalmanError::PriorRequired)));
+    assert!(matches!(
+        associative_smooth(&model, AssociativeOptions::default()),
+        Err(KalmanError::PriorRequired)
+    ));
+    // The QR smoothers do not require a prior.
+    assert!(odd_even_smooth(&model, OddEvenOptions::default()).is_ok());
+}
+
+#[test]
+fn nonuniform_models_rejected_only_where_unsupported() {
+    let mut model = generators::dimension_change(&mut rng(7), 2, 6);
+    model.set_prior(vec![0.0; 2], CovarianceSpec::Identity(2));
+    assert!(matches!(
+        rts_smooth(&model),
+        Err(KalmanError::UnsupportedStructure(_))
+    ));
+    assert!(matches!(
+        associative_smooth(&model, AssociativeOptions::default()),
+        Err(KalmanError::UnsupportedStructure(_))
+    ));
+    assert!(odd_even_smooth(&model, OddEvenOptions::default()).is_ok());
+    assert!(paige_saunders_smooth(&model, SmootherOptions::default()).is_ok());
+}
+
+#[test]
+fn errors_are_displayable_and_chainable() {
+    use std::error::Error;
+    let e = KalmanError::RankDeficient { state: 4 };
+    assert!(e.to_string().contains("state 4"));
+    let dense_err = KalmanError::from(kalman::dense::DenseError::Singular { index: 1 });
+    assert!(dense_err.source().is_some());
+}
+
+#[test]
+fn zero_state_dimension_is_invalid() {
+    let mut model = LinearModel::new();
+    model.push_step(LinearStep::initial(0));
+    assert_invalid(
+        odd_even_smooth(&model, OddEvenOptions::default()),
+        "zero state dimension",
+    );
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the Gauss–Newton nonlinear smoother driving the
+//! parallel-in-time linear solver (§2.2's reduction, built on the NC
+//! variants of §5.4).
+
+use kalman::nonlinear::{NonlinearEvolution, NonlinearObservation, NonlinearStep};
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Nearly-linear dynamics: Gauss–Newton and the plain linear smoother must
+/// agree in the zero-nonlinearity limit.
+#[test]
+fn reduces_to_linear_smoothing_when_linear() {
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let linear = kalman::model::generators::paper_benchmark(&mut rng, 3, 25, true);
+    let mut nl = NonlinearModel::new();
+    for (i, step) in linear.steps.iter().enumerate() {
+        let mut s = if i == 0 {
+            NonlinearStep::initial(3)
+        } else {
+            let evo = step.evolution.as_ref().unwrap();
+            let f = evo.f.clone();
+            NonlinearStep::evolving(NonlinearEvolution {
+                f: Box::new(move |u: &[f64]| (f.mul_vec(u), f.clone())),
+                out_dim: 3,
+                noise: evo.noise.clone(),
+            })
+        };
+        if let Some(obs) = &step.observation {
+            let g = obs.g.clone();
+            s = s.with_observation(NonlinearObservation {
+                g: Box::new(move |u: &[f64]| (g.mul_vec(u), g.clone())),
+                o: obs.o.clone(),
+                noise: obs.noise.clone(),
+            });
+        }
+        nl.push_step(s);
+    }
+    nl.prior = linear.prior.clone();
+
+    let init = vec![vec![0.0; 3]; 26];
+    let gn = gauss_newton_smooth(&nl, &init, GaussNewtonOptions::default()).unwrap();
+    let reference = odd_even_smooth(&linear, OddEvenOptions::default()).unwrap();
+    assert!(gn.converged);
+    assert!(gn.smoothed.max_mean_diff(&reference) < 1e-6);
+    assert!(gn.smoothed.max_cov_diff(&reference).unwrap() < 1e-6);
+}
+
+/// The result must be invariant to the inner solver's execution policy.
+#[test]
+fn policy_invariance() {
+    let model = bearing_model(60);
+    let init = vec![vec![1.0, 0.5]; 61];
+    let seq = gauss_newton_smooth(
+        &model,
+        &init,
+        GaussNewtonOptions {
+            policy: ExecPolicy::Seq,
+            ..GaussNewtonOptions::default()
+        },
+    )
+    .unwrap();
+    let par = gauss_newton_smooth(
+        &model,
+        &init,
+        GaussNewtonOptions {
+            policy: ExecPolicy::par_with_grain(2),
+            ..GaussNewtonOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(seq.smoothed.max_mean_diff(&par.smoothed), 0.0);
+    assert_eq!(seq.iterations, par.iterations);
+}
+
+/// A mildly nonlinear 2-D system observed through a bearing-like
+/// nonlinearity (atan of the first component).
+fn bearing_model(k: usize) -> NonlinearModel {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut state = [1.0_f64, 0.5];
+    let mut model = NonlinearModel::new();
+    for i in 0..=k {
+        let mut step = if i == 0 {
+            NonlinearStep::initial(2)
+        } else {
+            // Slow rotation with mild nonlinearity in the speed.
+            state = [
+                0.99 * state[0] - 0.05 * state[1],
+                0.05 * state[0] + 0.99 * state[1] + 0.01 * state[0].sin(),
+            ];
+            NonlinearStep::evolving(NonlinearEvolution {
+                f: Box::new(|u: &[f64]| {
+                    (
+                        vec![
+                            0.99 * u[0] - 0.05 * u[1],
+                            0.05 * u[0] + 0.99 * u[1] + 0.01 * u[0].sin(),
+                        ],
+                        Matrix::from_rows(&[
+                            &[0.99, -0.05],
+                            &[0.05 + 0.01 * u[0].cos(), 0.99],
+                        ]),
+                    )
+                }),
+                out_dim: 2,
+                noise: CovarianceSpec::ScaledIdentity(2, 1e-4),
+            })
+        };
+        let o = (state[0]).atan() + 0.05 * kalman::dense::random::standard_normal(&mut rng);
+        step = step.with_observation(NonlinearObservation {
+            g: Box::new(|u: &[f64]| {
+                (
+                    vec![u[0].atan()],
+                    Matrix::from_rows(&[&[1.0 / (1.0 + u[0] * u[0]), 0.0]]),
+                )
+            }),
+            o: vec![o],
+            noise: CovarianceSpec::ScaledIdentity(1, 2.5e-3),
+        });
+        model.push_step(step);
+    }
+    model.set_prior(vec![1.0, 0.5], CovarianceSpec::ScaledIdentity(2, 0.1));
+    model
+}
+
+#[test]
+fn bearing_tracking_converges_with_finite_uncertainty() {
+    let model = bearing_model(80);
+    let init = vec![vec![1.0, 0.5]; 81];
+    let result = gauss_newton_smooth(&model, &init, GaussNewtonOptions::default()).unwrap();
+    assert!(result.converged, "no convergence after {} iterations", result.iterations);
+    assert!(result.cost.is_finite());
+    let covs = result.smoothed.covariances.as_ref().expect("covariances at convergence");
+    for (i, c) in covs.iter().enumerate() {
+        assert!(
+            kalman::dense::Cholesky::new(c).is_ok(),
+            "covariance {i} not positive definite"
+        );
+    }
+}
+
+/// NC inner solves really skip covariances: requesting `covariances: false`
+/// must return none and still converge to the same trajectory.
+#[test]
+fn covariance_flag_controls_final_solve_only() {
+    let model = bearing_model(40);
+    let init = vec![vec![1.0, 0.5]; 41];
+    let with_c = gauss_newton_smooth(&model, &init, GaussNewtonOptions::default()).unwrap();
+    let without = gauss_newton_smooth(
+        &model,
+        &init,
+        GaussNewtonOptions {
+            covariances: false,
+            ..GaussNewtonOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(without.smoothed.covariances.is_none());
+    assert_eq!(with_c.smoothed.max_mean_diff(&without.smoothed), 0.0);
+}

@@ -1,0 +1,137 @@
+//! Rectangular `H_i` / varying state dimensions — the capability that sets
+//! the QR formulation apart (§2.1, §6 of the paper).
+
+use kalman::model::{generators, solve_dense};
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn alternating_dimensions_match_oracle() {
+    for k in [1usize, 2, 3, 6, 11, 20] {
+        let model = generators::dimension_change(&mut rng(600 + k as u64), 3, k);
+        let oracle = solve_dense(&model).unwrap();
+        let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+        let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
+        assert!(oe.max_mean_diff(&oracle) < 1e-8, "odd-even k={k}");
+        assert!(ps.max_mean_diff(&oracle) < 1e-8, "paige-saunders k={k}");
+        assert!(oe.max_cov_diff(&oracle).unwrap() < 1e-7, "covs k={k}");
+    }
+}
+
+#[test]
+fn growing_state_dimension() {
+    // State grows 2 → 3 → 4 → 5: H_i selects the leading coordinates of the
+    // new, larger state; the extra coordinates are pinned by observations.
+    let mut r = rng(700);
+    let mut model = LinearModel::new();
+    let dims = [2usize, 3, 4, 5];
+    let obs = |r: &mut ChaCha8Rng, d: usize| Observation {
+        g: kalman::dense::random::orthonormal(r, d),
+        o: kalman::dense::random::gaussian_vec(r, d),
+        noise: CovarianceSpec::Identity(d),
+    };
+    model.push_step(LinearStep::initial(dims[0]).with_observation(obs(&mut r, dims[0])));
+    for w in dims.windows(2) {
+        let (prev, next) = (w[0], w[1]);
+        let h = Matrix::from_fn(prev, next, |i, j| if i == j { 1.0 } else { 0.0 });
+        model.push_step(
+            LinearStep::evolving(kalman::model::Evolution {
+                f: kalman::dense::random::orthonormal(&mut r, prev),
+                h: Some(h),
+                c: vec![0.0; prev],
+                noise: CovarianceSpec::Identity(prev),
+            })
+            .with_observation(obs(&mut r, next)),
+        );
+    }
+    model.validate().unwrap();
+    assert_eq!(model.state_dim(3), 5);
+
+    let oracle = solve_dense(&model).unwrap();
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    assert!(oe.max_mean_diff(&oracle) < 1e-9);
+    assert!(oe.max_cov_diff(&oracle).unwrap() < 1e-9);
+    // Covariance block shapes follow the state dimensions.
+    for (i, &d) in dims.iter().enumerate() {
+        assert_eq!(oe.covariance(i).unwrap().rows(), d);
+    }
+}
+
+#[test]
+fn shrinking_state_dimension() {
+    // State shrinks 4 → 2: H_i is 4×2 — the evolution constrains the new
+    // small state through all four rows.
+    let mut r = rng(701);
+    let mut model = LinearModel::new();
+    model.push_step(LinearStep::initial(4).with_observation(Observation {
+        g: kalman::dense::random::orthonormal(&mut r, 4),
+        o: kalman::dense::random::gaussian_vec(&mut r, 4),
+        noise: CovarianceSpec::Identity(4),
+    }));
+    // H: 4×2 (tall): H u_1 = F u_0 + ε with u_1 ∈ R².
+    let h = Matrix::from_fn(4, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+    model.push_step(
+        LinearStep::evolving(kalman::model::Evolution {
+            f: kalman::dense::random::orthonormal(&mut r, 4),
+            h: Some(h),
+            c: vec![0.0; 4],
+            noise: CovarianceSpec::Identity(4),
+        })
+        .with_observation(Observation {
+            g: kalman::dense::random::orthonormal(&mut r, 2),
+            o: kalman::dense::random::gaussian_vec(&mut r, 2),
+            noise: CovarianceSpec::Identity(2),
+        }),
+    );
+    model.validate().unwrap();
+    let oracle = solve_dense(&model).unwrap();
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
+    assert!(oe.max_mean_diff(&oracle) < 1e-10);
+    assert!(ps.max_mean_diff(&oracle) < 1e-10);
+}
+
+#[test]
+fn varying_observation_dimensions() {
+    // m_i varies: 0, 1, n, 2n observations per state.
+    let mut r = rng(702);
+    let n = 3;
+    let mut model = LinearModel::new();
+    for i in 0..=12usize {
+        let mut step = if i == 0 {
+            LinearStep::initial(n)
+        } else {
+            LinearStep::evolving(kalman::model::Evolution {
+                f: kalman::dense::random::orthonormal(&mut r, n),
+                h: None,
+                c: vec![0.0; n],
+                noise: CovarianceSpec::Identity(n),
+            })
+        };
+        let m = match i % 4 {
+            0 => 2 * n, // overdetermined
+            1 => 0,     // unobserved
+            2 => 1,     // scalar observation
+            _ => n,
+        };
+        if m > 0 {
+            step = step.with_observation(Observation {
+                g: kalman::dense::random::orthonormal_rect(&mut r, m.max(n), n)
+                    .sub_matrix(0, 0, m, n),
+                o: kalman::dense::random::gaussian_vec(&mut r, m),
+                noise: CovarianceSpec::Identity(m),
+            });
+        }
+        model.push_step(step);
+    }
+    model.validate().unwrap();
+    let oracle = solve_dense(&model).unwrap();
+    let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    assert!(oe.max_mean_diff(&oracle) < 1e-8);
+    assert!(oe.max_cov_diff(&oracle).unwrap() < 1e-8);
+}
