@@ -129,8 +129,8 @@ impl FilterElement {
         // D = I + C1 J2.
         let mut d = Matrix::identity(n);
         gemm(1.0, c1, Trans::No, j2, Trans::No, 1.0, &mut d);
-        let lu_dt = LuFactor::new(d.transpose())
-            .expect("I + J2·C1 is nonsingular for SPD covariances");
+        let lu_dt =
+            LuFactor::new(d.transpose()).expect("I + J2·C1 is nonsingular for SPD covariances");
         let lu_d = LuFactor::new(d).expect("I + C1·J2 is nonsingular for SPD covariances");
 
         // D⁻¹ [A1 | b1+C1η2 | C1] in one multi-RHS solve.

@@ -113,7 +113,11 @@ mod tests {
         let assoc = associative_smooth(&model, AssociativeOptions::default()).unwrap();
         let rts = rts_smooth(&model).unwrap();
         let dense = solve_dense(&model).unwrap();
-        assert!(assoc.max_mean_diff(&rts) < 1e-8, "vs RTS {}", assoc.max_mean_diff(&rts));
+        assert!(
+            assoc.max_mean_diff(&rts) < 1e-8,
+            "vs RTS {}",
+            assoc.max_mean_diff(&rts)
+        );
         assert!(assoc.max_cov_diff(&rts).unwrap() < 1e-8);
         assert!(assoc.max_mean_diff(&dense) < 1e-8);
         assert!(assoc.max_cov_diff(&dense).unwrap() < 1e-8);

@@ -48,17 +48,13 @@ fn bench_kernels(c: &mut Criterion) {
 
         // Qᵀ application to an n-column companion — the fill-producing step.
         let comp = random::gaussian(&mut rng, 2 * n, n);
-        c.bench_with_input(
-            BenchmarkId::new("apply_qt", n),
-            &(qr, comp),
-            |b, (q, m)| {
-                b.iter(|| {
-                    let mut t = m.clone();
-                    q.apply_qt(&mut t);
-                    t
-                })
-            },
-        );
+        c.bench_with_input(BenchmarkId::new("apply_qt", n), &(qr, comp), |b, (q, m)| {
+            b.iter(|| {
+                let mut t = m.clone();
+                q.apply_qt(&mut t);
+                t
+            })
+        });
     }
 }
 

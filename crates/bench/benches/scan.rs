@@ -39,14 +39,14 @@ fn bench_scan(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("prefix", name), &policy, |b, &p| {
             b.iter(|| {
                 let mut v = elems.clone();
-                inclusive_scan_in_place(p, &mut v, |a, x| matmul(a, x));
+                inclusive_scan_in_place(p, &mut v, matmul);
                 v.len()
             })
         });
         group.bench_with_input(BenchmarkId::new("suffix", name), &policy, |b, &p| {
             b.iter(|| {
                 let mut v = elems.clone();
-                suffix_scan_in_place(p, &mut v, |a, x| matmul(a, x));
+                suffix_scan_in_place(p, &mut v, matmul);
                 v.len()
             })
         });

@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the streaming subsystem: steady-state ingestion
+//! across lag sizes, and batched pool polling across pool widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kalman::model::{generators, LinearModel};
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn opts(lag: usize) -> StreamOptions {
+    StreamOptions {
+        lag,
+        flush_every: lag,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: true,
+    }
+}
+
+fn drive(model: &LinearModel, o: StreamOptions) -> usize {
+    let p = model.prior.as_ref().expect("prior");
+    let mut s = StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), o).expect("opts");
+    let mut count = 0;
+    for (i, step) in model.steps.iter().enumerate() {
+        if i > 0 {
+            count += s
+                .evolve(step.evolution.clone().expect("chain"))
+                .expect("step")
+                .len();
+        }
+        if let Some(obs) = &step.observation {
+            s.observe(obs.clone()).expect("obs");
+        }
+    }
+    count + s.finish().expect("solvable").0.len()
+}
+
+fn bench_stream_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_steady_state_n4_k512");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let model = generators::paper_benchmark(&mut rng, 4, 512, true);
+    for lag in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(lag), &lag, |b, &lag| {
+            b.iter(|| drive(&model, opts(lag)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_poll_n4_k256");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(12);
+    let models: Vec<LinearModel> = (0..16)
+        .map(|_| generators::paper_benchmark(&mut rng, 4, 256, true))
+        .collect();
+    for width in [1usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            b.iter(|| {
+                let mut pool = SmootherPool::new(ExecPolicy::par_with_grain(1));
+                let ids: Vec<StreamId> = models[..width]
+                    .iter()
+                    .map(|m| {
+                        let p = m.prior.as_ref().expect("prior");
+                        pool.insert(
+                            StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts(32))
+                                .expect("opts"),
+                        )
+                    })
+                    .collect();
+                let mut count = 0;
+                for si in 0..models[0].num_states() {
+                    for (k, m) in models[..width].iter().enumerate() {
+                        let step = &m.steps[si];
+                        if si > 0 {
+                            pool.evolve(ids[k], step.evolution.clone().expect("chain"))
+                                .expect("step");
+                        }
+                        if let Some(obs) = &step.observation {
+                            pool.observe(ids[k], obs.clone()).expect("obs");
+                        }
+                    }
+                    for (_, steps) in pool.poll() {
+                        count += steps.expect("solvable").len();
+                    }
+                }
+                for id in ids {
+                    count += pool.finish(id).expect("solvable").0.len();
+                }
+                count
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_steady_state, bench_pool_widths);
+criterion_main!(benches);

@@ -32,7 +32,12 @@ fn main() {
     let policy = ExecPolicy::par_with_grain(8);
     println!("Figure 4: embarrassingly-parallel micro-benchmark, n={n} k={k}");
 
-    let phase_names = ["Allocate Structure", "Allocate Matrix", "Fill Matrix", "QR Factorization"];
+    let phase_names = [
+        "Allocate Structure",
+        "Allocate Matrix",
+        "Fill Matrix",
+        "QR Factorization",
+    ];
     let cores = core_sweep();
     // times[phase][core_idx]
     let mut times = vec![vec![0.0f64; cores.len()]; 4];
@@ -45,7 +50,10 @@ fn main() {
             t[0] = median_time(runs, || {
                 let mut v: Vec<Box<Step>> = Vec::with_capacity(k);
                 for _ in 0..k {
-                    v.push(Box::new(Step { matrix: None, qr: None }));
+                    v.push(Box::new(Step {
+                        matrix: None,
+                        qr: None,
+                    }));
                 }
                 // Parallel touch to mirror the paper's parallel_for shape.
                 for_each_mut(policy, &mut v, |_, s| {
@@ -83,7 +91,10 @@ fn main() {
         for p in 0..4 {
             times[p][ci] = measured[p];
         }
-        eprintln!("  cores {c:>2}: {:?}", measured.map(|x| (x * 1e3).round() / 1e3));
+        eprintln!(
+            "  cores {c:>2}: {:?}",
+            measured.map(|x| (x * 1e3).round() / 1e3)
+        );
     }
 
     println!("\nspeedup vs 1 core:");
@@ -92,8 +103,8 @@ fn main() {
     print_row(&header);
     for (ci, &c) in cores.iter().enumerate() {
         let mut row = vec![c.to_string()];
-        for p in 0..4 {
-            row.push(format!("{:.2}x", times[p][0] / times[p][ci]));
+        for phase_times in &times {
+            row.push(format!("{:.2}x", phase_times[0] / phase_times[ci]));
         }
         print_row(&row);
     }

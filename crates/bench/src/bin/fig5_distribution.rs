@@ -34,10 +34,13 @@ fn histogram(label: &str, times: &[f64]) {
         .iter()
         .map(|t| (t - median).abs() / median)
         .fold(0.0f64, f64::max);
-    println!("\n{label}: median {median:.4}s, max deviation ±{:.2}%", max_dev * 100.0);
+    println!(
+        "\n{label}: median {median:.4}s, max deviation ±{:.2}%",
+        max_dev * 100.0
+    );
     for (i, &count) in buckets.iter().enumerate() {
         let left = (lo + i as f64 * width) / median * 100.0 - 100.0;
-        let bar: String = std::iter::repeat('#').take(count).collect();
+        let bar: String = std::iter::repeat_n('#', count).collect();
         println!("  {left:>+6.1}% |{bar} {count}");
     }
     if outliers > 0 {

@@ -25,7 +25,9 @@ fn main() {
     println!("Figure 6 (left): Odd-Even on {cores} cores, n={n} k={k}, block-size sweep");
 
     print_row(&["block size".into(), "time (s)".into()]);
-    let sizes = [1usize, 3, 10, 30, 100, 300, 1_000, 5_000, 20_000, 100_000, 1_000_000];
+    let sizes = [
+        1usize, 3, 10, 30, 100, 300, 1_000, 5_000, 20_000, 100_000, 1_000_000,
+    ];
     for &grain in &sizes {
         if grain > 4 * k {
             continue;

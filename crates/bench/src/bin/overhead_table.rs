@@ -7,9 +7,9 @@
 //! `cargo run --release -p kalman-bench --bin overhead_table \
 //!     [--k6 200000] [--k48 10000] [--runs 3]`
 
+use kalman::prelude::*;
 use kalman_bench::sweep::{panel_model, Algorithm};
 use kalman_bench::{median_time, print_row, Args};
-use kalman::prelude::*;
 
 fn main() {
     let mut args = Args::parse();
@@ -64,5 +64,7 @@ fn main() {
             "1.8-2.7x".into(),
         ]);
     }
-    println!("\n(ratios > 1 are the price of parallelism: the parallel algorithms do more arithmetic)");
+    println!(
+        "\n(ratios > 1 are the price of parallelism: the parallel algorithms do more arithmetic)"
+    );
 }

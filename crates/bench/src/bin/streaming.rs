@@ -1,0 +1,201 @@
+//! Streaming serving benchmark: steady-state throughput and finalization
+//! latency of the fixed-lag smoother, and multi-stream serving throughput
+//! of the `SmootherPool` against naive per-stream batch re-smoothing.
+//!
+//! ```text
+//! cargo run --release -p kalman-bench --bin streaming -- \
+//!     --k 2000 --streams 8 --dim 4 --flush 32 --runs 3
+//! ```
+//!
+//! The pool comparison is the subsystem's claim to existence: a serving
+//! process that re-smooths each user's *entire history* on every update
+//! does `Θ(T²)` work per stream over a stream of length `T`, while the
+//! windowed smoother condenses finalized history into an R-factor head and
+//! does `Θ(T)` — and the pool batches all ready windows through one
+//! parallel loop per poll.
+
+use kalman::model::{generators, LinearModel};
+use kalman::prelude::*;
+use kalman_bench::{median_time, print_row, Args};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn stream_opts(lag: usize, flush: usize) -> StreamOptions {
+    StreamOptions {
+        lag,
+        flush_every: flush,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: true,
+    }
+}
+
+/// Runs one model through a standalone stream; returns (finalized count,
+/// per-flush latencies in seconds).
+fn run_stream(model: &LinearModel, opts: StreamOptions) -> (usize, Vec<f64>) {
+    let prior = model.prior.as_ref().expect("benchmark models carry priors");
+    let mut stream = StreamingSmoother::with_prior(prior.mean.clone(), prior.cov.clone(), opts)
+        .expect("valid options");
+    let mut count = 0;
+    let mut latencies = Vec::new();
+    for (i, step) in model.steps.iter().enumerate() {
+        if i > 0 {
+            let evo = step.evolution.clone().expect("chain step");
+            if stream.ready() {
+                let t = Instant::now();
+                count += stream.flush().expect("window solvable").len();
+                latencies.push(t.elapsed().as_secs_f64());
+            }
+            stream.evolve(evo).expect("well-formed step");
+        }
+        if let Some(obs) = &step.observation {
+            stream.observe(obs.clone()).expect("well-formed obs");
+        }
+    }
+    let (tail, _) = stream.finish().expect("final window solvable");
+    (count + tail.len(), latencies)
+}
+
+/// Naive baseline: keep each stream's whole history and re-smooth it from
+/// scratch at the same cadence the windowed smoother flushes.
+fn run_naive(model: &LinearModel, flush: usize) -> usize {
+    let mut history = LinearModel::new();
+    history.prior = model.prior.clone();
+    let mut smooths = 0;
+    for (i, step) in model.steps.iter().enumerate() {
+        history.push_step(step.clone());
+        if (i + 1) % flush == 0 || i + 1 == model.num_states() {
+            odd_even_smooth(&history, OddEvenOptions::nc(ExecPolicy::Seq))
+                .expect("well-posed model");
+            smooths += 1;
+        }
+    }
+    smooths
+}
+
+/// Streams every model through a pool, polling after each step round.
+fn run_pool(models: &[LinearModel], opts: StreamOptions, policy: ExecPolicy) -> usize {
+    let mut pool = SmootherPool::new(policy);
+    let ids: Vec<StreamId> = models
+        .iter()
+        .map(|m| {
+            let p = m.prior.as_ref().expect("prior");
+            let mut s = StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts)
+                .expect("valid options");
+            s.set_auto_flush(false);
+            pool.insert(s)
+        })
+        .collect();
+    let mut count = 0;
+    for si in 0..models[0].num_states() {
+        for (k, model) in models.iter().enumerate() {
+            let step = &model.steps[si];
+            if si > 0 {
+                pool.evolve(ids[k], step.evolution.clone().expect("chain step"))
+                    .expect("well-formed step");
+            }
+            if let Some(obs) = &step.observation {
+                pool.observe(ids[k], obs.clone()).expect("well-formed obs");
+            }
+        }
+        for (_, steps) in pool.poll() {
+            count += steps.expect("windows solvable").len();
+        }
+    }
+    for id in ids {
+        count += pool.finish(id).expect("final window solvable").0.len();
+    }
+    count
+}
+
+fn main() {
+    let mut args = Args::parse();
+    let k: usize = args.get("k", 2000);
+    let streams: usize = args.get("streams", 8);
+    let dim: usize = args.get("dim", 4);
+    let flush: usize = args.get("flush", 32);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let models: Vec<LinearModel> = (0..streams)
+        .map(|_| generators::paper_benchmark(&mut rng, dim, k, true))
+        .collect();
+
+    // ---- single-stream throughput / latency across lags -----------------
+    println!(
+        "single stream: n = {dim}, {} steps, flush_every = {flush}",
+        k + 1
+    );
+    print_row(&[
+        "lag".into(),
+        "steps/s".into(),
+        "median flush".into(),
+        "max flush".into(),
+    ]);
+    for lag in [8usize, 32, 128] {
+        let opts = stream_opts(lag, flush);
+        let secs = median_time(runs, || run_stream(&models[0], opts));
+        let (_, lats) = run_stream(&models[0], opts);
+        let mut sorted = lats.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median_flush = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+        let max_flush = sorted.last().copied().unwrap_or(0.0);
+        print_row(&[
+            format!("{lag}"),
+            format!("{:.0}", (k + 1) as f64 / secs),
+            format!("{:.2e} s", median_flush),
+            format!("{:.2e} s", max_flush),
+        ]);
+    }
+
+    // ---- serving pool vs naive per-stream re-smoothing ------------------
+    let opts = stream_opts(32, flush);
+    println!(
+        "\nserving {streams} concurrent streams ({} steps each):",
+        k + 1
+    );
+    let total_steps = (streams * (k + 1)) as f64;
+
+    let naive_secs = median_time(runs, || {
+        for m in &models {
+            run_naive(m, flush);
+        }
+    });
+    let seq_secs = median_time(runs, || {
+        for m in &models {
+            run_stream(m, opts);
+        }
+    });
+    let pool_seq_secs = median_time(runs, || run_pool(&models, opts, ExecPolicy::Seq));
+    let pool_par_secs = median_time(runs, || {
+        run_pool(&models, opts, ExecPolicy::par_with_grain(1))
+    });
+
+    print_row(&[
+        "variant".into(),
+        "time".into(),
+        "steps/s".into(),
+        "vs naive".into(),
+    ]);
+    for (name, secs) in [
+        ("naive re-smooth", naive_secs),
+        ("stream, one-by-one", seq_secs),
+        ("pool (seq)", pool_seq_secs),
+        ("pool (par)", pool_par_secs),
+    ] {
+        print_row(&[
+            name.into(),
+            format!("{secs:.3} s"),
+            format!("{:.0}", total_steps / secs),
+            format!("{:.1}x", naive_secs / secs),
+        ]);
+    }
+    let speedup = naive_secs / pool_par_secs;
+    println!(
+        "\npool speedup over naive sequential per-stream smoothing: {speedup:.1}x \
+         ({} streams; target > 2x)",
+        streams
+    );
+}

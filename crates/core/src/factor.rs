@@ -129,9 +129,7 @@ fn eliminate_even(task: &EvenTask, level: usize) -> EvenOut {
         qr1.apply_qt(comp);
     }
     let rho = rhs1.sub_matrix(0, 0, n, 1);
-    let x_fill = companion
-        .as_ref()
-        .map(|c| c.sub_matrix(0, 0, n, c.cols()));
+    let x_fill = companion.as_ref().map(|c| c.sub_matrix(0, 0, n, c.cols()));
     let dtilde = companion.as_ref().and_then(|c| {
         let rows = c.rows() - n;
         if rows == 0 {
@@ -233,7 +231,7 @@ fn eliminate_level(
     level: usize,
     policy: ExecPolicy,
     compress_odd: bool,
-    emit: &mut Vec<Option<RRow>>,
+    emit: &mut [Option<RRow>],
     levels: &mut Vec<Vec<usize>>,
     trace: bool,
 ) -> Vec<LevelCol> {
@@ -249,7 +247,11 @@ fn eliminate_level(
         let t = 2 * s;
         let obs = cols[t].obs.take();
         let evo = cols[t].evo.take();
-        let next_evo = if t + 1 < kk { cols[t + 1].evo.take() } else { None };
+        let next_evo = if t + 1 < kk {
+            cols[t + 1].evo.take()
+        } else {
+            None
+        };
         tasks.push(EvenTask {
             orig: cols[t].orig,
             dim: cols[t].dim,
@@ -266,9 +268,8 @@ fn eliminate_level(
 
     // Batch 1+2: eliminate the even columns in parallel.
     let t0 = std::time::Instant::now();
-    let mut outs: Vec<Option<EvenOut>> = map_collect(policy, n_even, |s| {
-        Some(eliminate_even(&tasks[s], level))
-    });
+    let mut outs: Vec<Option<EvenOut>> =
+        map_collect(policy, n_even, |s| Some(eliminate_even(&tasks[s], level)));
     let t_batch = t0.elapsed();
 
     levels.push(tasks.iter().map(|t| t.orig).collect());
@@ -291,7 +292,12 @@ fn eliminate_level(
         }
         // Left-only residual from the *next* even column (the chain's last).
         if s + 1 < n_even {
-            if let Some(z) = outs[s + 1].as_mut().expect("filled above").resid_left_only.take() {
+            if let Some(z) = outs[s + 1]
+                .as_mut()
+                .expect("filled above")
+                .resid_left_only
+                .take()
+            {
                 obs_parts.push(z);
             }
         }
@@ -314,23 +320,21 @@ fn eliminate_level(
 
     // Batch 3: compress each odd column's observation stack in parallel.
     let t0 = std::time::Instant::now();
-    let compressed: Vec<Option<(Matrix, Matrix)>> =
-        map_collect(policy, next_inputs.len(), |s| {
-            let (col, parts) = &next_inputs[s];
-            if parts.is_empty() {
-                return None;
-            }
-            let refs: Vec<(&Matrix, &Matrix)> =
-                parts.iter().map(|(m, r)| (m, r)).collect();
-            let (stack, mut rhs) = vstack_opt(&refs);
-            if compress_odd && stack.rows() > col.dim {
-                let r = kalman_dense::compress_rows(&stack, &mut rhs);
-                let kept = r.rows();
-                Some((r, rhs.sub_matrix(0, 0, kept, 1)))
-            } else {
-                Some((stack, rhs))
-            }
-        });
+    let compressed: Vec<Option<(Matrix, Matrix)>> = map_collect(policy, next_inputs.len(), |s| {
+        let (col, parts) = &next_inputs[s];
+        if parts.is_empty() {
+            return None;
+        }
+        let refs: Vec<(&Matrix, &Matrix)> = parts.iter().map(|(m, r)| (m, r)).collect();
+        let (stack, mut rhs) = vstack_opt(&refs);
+        if compress_odd && stack.rows() > col.dim {
+            let r = kalman_dense::compress_rows(&stack, &mut rhs);
+            let kept = r.rows();
+            Some((r, rhs.sub_matrix(0, 0, kept, 1)))
+        } else {
+            Some((stack, rhs))
+        }
+    });
 
     let t_compress = t0.elapsed();
     if trace {
@@ -402,13 +406,22 @@ pub fn factor_odd_even_owned(
     let mut level = 0usize;
     while cols.len() > 1 {
         cols = eliminate_level(
-            cols, level, policy, compress_odd, &mut emit, &mut levels, trace,
+            cols,
+            level,
+            policy,
+            compress_odd,
+            &mut emit,
+            &mut levels,
+            trace,
         );
         level += 1;
     }
     // Base case: a single column with observation rows only.
     let root = cols.pop().expect("non-empty model");
-    debug_assert!(root.evo.is_none(), "first chain column cannot carry evolution rows");
+    debug_assert!(
+        root.evo.is_none(),
+        "first chain column cannot carry evolution rows"
+    );
     let (stack, rhs) = root
         .obs
         .unwrap_or_else(|| (Matrix::zeros(0, root.dim), Matrix::zeros(0, 1)));
@@ -449,7 +462,15 @@ mod tests {
     /// matrix: (RPᵀ)ᵀ(RPᵀ) == (UA)ᵀ(UA), and likewise Rᵀ·rhs == (UA)ᵀ·Ub.
     #[test]
     fn gram_matrix_is_preserved() {
-        for (k, seed) in [(1usize, 1u64), (2, 2), (3, 3), (4, 4), (7, 5), (12, 6), (17, 7)] {
+        for (k, seed) in [
+            (1usize, 1u64),
+            (2, 2),
+            (3, 3),
+            (4, 4),
+            (7, 5),
+            (12, 6),
+            (17, 7),
+        ] {
             let model = generators::paper_benchmark(&mut rng(seed), 3, k, false);
             let steps = whiten_model(&model).unwrap();
             let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
@@ -521,7 +542,11 @@ mod tests {
             }
         }
         for (j, row) in r.rows.iter().enumerate() {
-            assert!(row.off.len() <= 2, "row {j} has {} off blocks", row.off.len());
+            assert!(
+                row.off.len() <= 2,
+                "row {j} has {} off blocks",
+                row.off.len()
+            );
             for (target, _) in &row.off {
                 assert!(
                     level_of[*target] > row.level,

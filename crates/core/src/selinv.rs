@@ -114,8 +114,7 @@ pub fn selinv_diag(r: &OddEvenR, policy: ExecPolicy) -> Result<Vec<Matrix>> {
         }
     }
 
-    Ok(s
-        .into_iter()
+    Ok(s.into_iter()
         .map(|row| row.expect("all states processed").diag)
         .collect())
 }
@@ -141,7 +140,14 @@ mod tests {
 
     #[test]
     fn matches_dense_inverse_blocks_small() {
-        for (k, seed) in [(1usize, 20u64), (2, 21), (3, 22), (5, 23), (8, 24), (13, 25)] {
+        for (k, seed) in [
+            (1usize, 20u64),
+            (2, 21),
+            (3, 22),
+            (5, 23),
+            (8, 24),
+            (13, 25),
+        ] {
             let model = generators::paper_benchmark(&mut rng(seed), 3, k, false);
             let steps = whiten_model(&model).unwrap();
             let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();

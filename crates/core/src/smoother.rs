@@ -97,7 +97,15 @@ mod tests {
 
     #[test]
     fn matches_dense_oracle_across_sizes() {
-        for (k, seed) in [(0usize, 40u64), (1, 41), (2, 42), (5, 43), (16, 44), (31, 45), (64, 46)] {
+        for (k, seed) in [
+            (0usize, 40u64),
+            (1, 41),
+            (2, 42),
+            (5, 43),
+            (16, 44),
+            (31, 45),
+            (64, 46),
+        ] {
             let model = generators::paper_benchmark(&mut rng(seed), 3, k, false);
             let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
             let dense = solve_dense(&model).unwrap();
@@ -119,7 +127,11 @@ mod tests {
         let model = generators::paper_benchmark(&mut rng(50), 6, 200, false);
         let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
         let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
-        assert!(oe.max_mean_diff(&ps) < 1e-8, "mean diff {}", oe.max_mean_diff(&ps));
+        assert!(
+            oe.max_mean_diff(&ps) < 1e-8,
+            "mean diff {}",
+            oe.max_mean_diff(&ps)
+        );
         assert!(oe.max_cov_diff(&ps).unwrap() < 1e-8);
     }
 

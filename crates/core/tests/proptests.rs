@@ -14,13 +14,7 @@ use rand_chacha::ChaCha8Rng;
 
 /// A random well-posed model: every state observed with probability
 /// `obs_prob` (state 0 always, to anchor the chain when there is no prior).
-fn random_model(
-    seed: u64,
-    n: usize,
-    k: usize,
-    obs_prob: f64,
-    with_prior: bool,
-) -> LinearModel {
+fn random_model(seed: u64, n: usize, k: usize, obs_prob: f64, with_prior: bool) -> LinearModel {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut model = LinearModel::new();
     for i in 0..=k {
@@ -34,8 +28,8 @@ fn random_model(
                 noise: CovarianceSpec::ScaledIdentity(n, 0.5),
             })
         };
-        let observe = i == 0 || kalman_dense::random::standard_normal(&mut rng).abs()
-            < obs_prob * 2.0;
+        let observe =
+            i == 0 || kalman_dense::random::standard_normal(&mut rng).abs() < obs_prob * 2.0;
         if observe {
             step = step.with_observation(Observation {
                 g: kalman_dense::random::orthonormal(&mut rng, n),

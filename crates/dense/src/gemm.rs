@@ -50,8 +50,8 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
             // c[:,j] += alpha * b[l,j] * a[:,l]  — all accesses contiguous.
             for j in 0..bn {
                 let bj = b.col(j);
-                for l in 0..ak {
-                    let w = alpha * bj[l];
+                for (l, &bl) in bj.iter().enumerate().take(ak) {
+                    let w = alpha * bl;
                     if w != 0.0 {
                         let al = a.col(l);
                         let cj = c.col_mut(j);
@@ -194,7 +194,15 @@ mod tests {
     #[test]
     fn gemm_alpha_zero_only_scales() {
         let mut c = a();
-        gemm(0.0, &a(), Trans::No, &Matrix::zeros(2, 2), Trans::No, 0.5, &mut c);
+        gemm(
+            0.0,
+            &a(),
+            Trans::No,
+            &Matrix::zeros(2, 2),
+            Trans::No,
+            0.5,
+            &mut c,
+        );
         assert!(c.approx_eq(&a().scaled(0.5), 1e-15));
     }
 

@@ -97,16 +97,16 @@ impl LuFactor {
             // Forward solve with unit lower factor.
             for i in 0..n {
                 let mut acc = xk[i];
-                for j in 0..i {
-                    acc -= self.packed[(i, j)] * xk[j];
+                for (j, &xj) in xk.iter().enumerate().take(i) {
+                    acc -= self.packed[(i, j)] * xj;
                 }
                 xk[i] = acc;
             }
             // Back solve with upper factor.
             for i in (0..n).rev() {
                 let mut acc = xk[i];
-                for j in (i + 1)..n {
-                    acc -= self.packed[(i, j)] * xk[j];
+                for (j, &xj) in xk.iter().enumerate().take(n).skip(i + 1) {
+                    acc -= self.packed[(i, j)] * xj;
                 }
                 xk[i] = acc / self.packed[(i, i)];
             }
@@ -144,11 +144,7 @@ mod tests {
     use crate::gemm::matmul;
 
     fn sample() -> Matrix {
-        Matrix::from_rows(&[
-            &[0.0, 2.0, 1.0],
-            &[1.0, -1.0, 0.0],
-            &[3.0, 0.0, -2.0],
-        ])
+        Matrix::from_rows(&[&[0.0, 2.0, 1.0], &[1.0, -1.0, 0.0], &[3.0, 0.0, -2.0]])
     }
 
     #[test]

@@ -205,8 +205,8 @@ impl QrFactor {
             let yk = y.col_mut(k);
             for i in (0..n).rev() {
                 let mut acc = yk[i];
-                for j in (i + 1)..n {
-                    acc -= self.packed[(i, j)] * yk[j];
+                for (j, &yj) in yk.iter().enumerate().take(n).skip(i + 1) {
+                    acc -= self.packed[(i, j)] * yj;
                 }
                 yk[i] = acc / self.packed[(i, i)];
             }

@@ -11,6 +11,7 @@
 //! | [`seq`] | Sequential baselines: RTS smoother, Paige–Saunders QR smoother |
 //! | [`associative`] | Särkkä & García-Fernández parallel-scan smoother |
 //! | [`tridiag`] | Normal-equations cyclic-reduction smoother (unstable; for the stability study) |
+//! | [`stream`] | Online serving: streaming fixed-lag smoother, R-factor forgetting, multi-stream pool |
 //! | [`dense`] | Dense kernels (QR, LU, Cholesky, GEMM, triangular solves) |
 //! | [`par`] | TBB-like parallel primitives (`parallel_for` with grain, parallel scans) |
 //!
@@ -28,6 +29,38 @@
 //! // …and cross-check against the conventional RTS smoother.
 //! let rts = rts_smooth(&problem.model).unwrap();
 //! assert!(est.max_mean_diff(&rts) < 1e-6);
+//! ```
+//!
+//! # Streaming quickstart
+//!
+//! When measurements arrive continuously instead of as a complete model,
+//! feed them through a [`stream::StreamingSmoother`]: estimates are
+//! finalized a fixed lag behind the newest data, and finalized history is
+//! condensed away so memory stays bounded no matter how long the stream
+//! runs (serve many streams at once with a [`stream::SmootherPool`]):
+//!
+//! ```
+//! use kalman::prelude::*;
+//! use kalman::dense::Matrix;
+//!
+//! let opts = StreamOptions { lag: 8, flush_every: 4, ..StreamOptions::default() };
+//! let mut stream = StreamingSmoother::with_prior(
+//!     vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+//! let mut finalized = Vec::new();
+//! for i in 0..100 {
+//!     if i > 0 {
+//!         finalized.extend(stream.evolve(Evolution::random_walk(1)).unwrap());
+//!     }
+//!     stream.observe(Observation {
+//!         g: Matrix::identity(1),
+//!         o: vec![(i as f64 * 0.2).sin()],
+//!         noise: CovarianceSpec::Identity(1),
+//!     }).unwrap();
+//!     assert!(stream.buffered_len() <= opts.window_capacity());
+//! }
+//! let (tail, _checkpoint) = stream.finish().unwrap();
+//! finalized.extend(tail);
+//! assert_eq!(finalized.len(), 100);
 //! ```
 
 #![warn(missing_docs)]
@@ -48,6 +81,7 @@ pub use kalman_nonlinear as nonlinear;
 pub use kalman_odd_even as odd_even;
 pub use kalman_par as par;
 pub use kalman_seq as seq;
+pub use kalman_stream as stream;
 pub use kalman_tridiag as tridiag;
 
 /// The most common imports in one place.
@@ -62,5 +96,8 @@ pub mod prelude {
     pub use kalman_odd_even::{odd_even_smooth, OddEvenOptions};
     pub use kalman_par::{run_with_threads, ExecPolicy};
     pub use kalman_seq::{paige_saunders_smooth, rts_smooth, SmootherOptions};
+    pub use kalman_stream::{
+        Checkpoint, FinalizedStep, SmootherPool, StreamId, StreamOptions, StreamingSmoother,
+    };
     pub use kalman_tridiag::{normal_equations_smooth, TridiagMethod};
 }

@@ -216,8 +216,7 @@ mod tests {
     fn whitening_changes_weighting() {
         let mut m = scalar_model();
         // Make observation of u1 very precise: it should dominate.
-        m.steps[1].observation.as_mut().unwrap().noise =
-            CovarianceSpec::ScaledIdentity(1, 1e-8);
+        m.steps[1].observation.as_mut().unwrap().noise = CovarianceSpec::ScaledIdentity(1, 1e-8);
         let s = solve_dense(&m).unwrap();
         assert!((s.mean(1)[0] - 3.0).abs() < 1e-4);
     }

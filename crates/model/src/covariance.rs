@@ -109,8 +109,7 @@ impl CovarianceSpec {
                 Ok(out)
             }
             CovarianceSpec::Dense(m) => {
-                let ch =
-                    Cholesky::new(m).map_err(|_| KalmanError::NotPositiveDefinite { step })?;
+                let ch = Cholesky::new(m).map_err(|_| KalmanError::NotPositiveDefinite { step })?;
                 let mut out = a.clone();
                 tri::solve_lower_in_place(ch.l(), &mut out)
                     .map_err(|_| KalmanError::NotPositiveDefinite { step })?;
@@ -127,6 +126,44 @@ impl CovarianceSpec {
     pub fn whiten_vec(&self, x: &[f64], step: usize) -> Result<Vec<f64>> {
         let m = self.whiten(&Matrix::col_from_slice(x), step)?;
         Ok(m.into_vec())
+    }
+
+    /// The block-diagonal combination `diag(a, b)` of two covariances,
+    /// staying in the cheapest representation that holds both (identity +
+    /// identity stays identity, diagonal-like inputs stay diagonal, anything
+    /// else goes dense).  Used when stacking independent observations of
+    /// the same state in the streaming ingestion path.
+    pub fn block_diag(a: &CovarianceSpec, b: &CovarianceSpec) -> CovarianceSpec {
+        use CovarianceSpec::*;
+        match (a, b) {
+            (Identity(m), Identity(n)) => Identity(m + n),
+            (ScaledIdentity(m, s), ScaledIdentity(n, t)) if s == t => ScaledIdentity(m + n, *s),
+            _ => match (a.diag_vec(), b.diag_vec()) {
+                (Some(mut diag), Some(tail)) => {
+                    diag.extend(tail);
+                    Diagonal(diag)
+                }
+                _ => {
+                    let (da, db) = (a.to_dense(), b.to_dense());
+                    let (m, n) = (da.rows(), db.rows());
+                    let mut out = Matrix::zeros(m + n, m + n);
+                    out.set_block(0, 0, &da);
+                    out.set_block(m, m, &db);
+                    Dense(out)
+                }
+            },
+        }
+    }
+
+    /// The diagonal as a vector, for the variants that are diagonal without
+    /// materializing anything (`None` for dense covariances).
+    fn diag_vec(&self) -> Option<Vec<f64>> {
+        match self {
+            CovarianceSpec::Identity(n) => Some(vec![1.0; *n]),
+            CovarianceSpec::ScaledIdentity(n, s) => Some(vec![*s; *n]),
+            CovarianceSpec::Diagonal(v) => Some(v.clone()),
+            CovarianceSpec::Dense(_) => None,
+        }
     }
 
     /// The Cholesky factorization of the dense covariance (for sampling and
@@ -165,7 +202,9 @@ mod tests {
     #[test]
     fn whiten_scaled_identity() {
         let a = Matrix::identity(2);
-        let w = CovarianceSpec::ScaledIdentity(2, 4.0).whiten(&a, 0).unwrap();
+        let w = CovarianceSpec::ScaledIdentity(2, 4.0)
+            .whiten(&a, 0)
+            .unwrap();
         assert!((w[(0, 0)] - 0.5).abs() < 1e-15);
     }
 
@@ -204,7 +243,9 @@ mod tests {
     #[test]
     fn invalid_covariances_are_rejected() {
         assert!(CovarianceSpec::ScaledIdentity(2, 0.0).validate(3).is_err());
-        assert!(CovarianceSpec::Diagonal(vec![1.0, -2.0]).validate(0).is_err());
+        assert!(CovarianceSpec::Diagonal(vec![1.0, -2.0])
+            .validate(0)
+            .is_err());
         let not_spd = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
         assert!(CovarianceSpec::Dense(not_spd).validate(0).is_err());
         match CovarianceSpec::ScaledIdentity(2, -1.0).validate(5) {

@@ -24,6 +24,10 @@ pub enum KalmanError {
     /// The algorithm requires uniform state dimensions and `H_i = I`
     /// (conventional RTS and associative smoothers), but the model varies.
     UnsupportedStructure(String),
+    /// A streaming smoother was driven incorrectly (evolving a finished
+    /// stream, dropping the window's base step, …).  The string describes
+    /// the misuse.
+    Stream(String),
     /// An underlying dense kernel failed.
     Dense(DenseError),
 }
@@ -44,6 +48,7 @@ impl fmt::Display for KalmanError {
             KalmanError::UnsupportedStructure(msg) => {
                 write!(f, "unsupported model structure: {msg}")
             }
+            KalmanError::Stream(msg) => write!(f, "streaming misuse: {msg}"),
             KalmanError::Dense(e) => write!(f, "dense kernel failure: {e}"),
         }
     }

@@ -119,7 +119,10 @@ pub fn tracking_2d<R: Rng + ?Sized>(
     model.push_step(LinearStep::initial(n).with_observation(observe(rng, &state)));
     for _ in 0..k {
         let mut next = f.mul_vec(&state);
-        for (x, w) in next.iter_mut().zip(random::sample_gaussian_cov(rng, &q_chol)) {
+        for (x, w) in next
+            .iter_mut()
+            .zip(random::sample_gaussian_cov(rng, &q_chol))
+        {
             *x += w;
         }
         state = next;
@@ -208,12 +211,7 @@ pub fn oscillator<R: Rng + ?Sized>(
 /// backward stable when the input covariances are well conditioned, whereas
 /// the normal-equations cyclic-reduction smoother squares the condition
 /// number and loses accuracy much earlier.
-pub fn ill_conditioned<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    k: usize,
-    cond: f64,
-) -> LinearModel {
+pub fn ill_conditioned<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize, cond: f64) -> LinearModel {
     let f = random::orthonormal(rng, n);
     let g = random::orthonormal(rng, n);
     let mut model = LinearModel::new();

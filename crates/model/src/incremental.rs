@@ -1,0 +1,449 @@
+//! Incremental model building for streaming smoothers.
+//!
+//! A streaming smoother never sees a complete [`LinearModel`]; it receives
+//! steps one at a time, keeps a bounded *window* of recent steps, and
+//! condenses everything older into an [`InfoHead`] — a single whitened block
+//! row `C u_b ≈ d` on the window's first state, obtained as the leading
+//! block of the `R` factor of the forgotten prefix.  This module provides:
+//!
+//! * [`InfoHead`]: the condensed prior and the two orthogonal-transformation
+//!   updates that maintain it ([`InfoHead::absorb`] for observation rows,
+//!   [`InfoHead::advance`] for marginalizing a state out through its
+//!   evolution — one step of a square-root information filter);
+//! * [`whiten_window`]: assembly of `head + buffered steps` into the
+//!   whitened block array the odd-even factorization consumes;
+//! * [`StreamEvent`] and [`events_of`]: a replayable event form of a model,
+//!   used to feed batch problems through streaming ingestion in tests and
+//!   benchmarks.
+
+use crate::{
+    KalmanError, LinearModel, Observation, Prior, Result, WhitenedEvo, WhitenedObs, WhitenedStep,
+};
+use kalman_dense::{compress_rows, Matrix, QrFactor};
+
+/// A whitened information block row `C u ≈ d` (noise implicitly `I`) on a
+/// single state: the "R-factor head" summarizing everything a stream has
+/// forgotten.
+///
+/// `C` has at most `state_dim` rows ([`InfoHead::absorb`] re-triangularizes
+/// with a QR compression), so a head costs `O(n²)` memory regardless of how
+/// much history it summarizes.  A head may have *fewer* rows than columns —
+/// a stream with no prior starts from the 0-row head and stays
+/// under-determined until enough observations arrive.
+#[derive(Debug, Clone)]
+pub struct InfoHead {
+    /// Whitened coefficient rows (`r × n`, `r ≤ n`).
+    c: Matrix,
+    /// Whitened right-hand side (`r × 1`).
+    d: Matrix,
+}
+
+impl InfoHead {
+    /// The empty head (no information) on a state of dimension `n`.
+    pub fn empty(state_dim: usize) -> Self {
+        InfoHead {
+            c: Matrix::zeros(0, state_dim),
+            d: Matrix::zeros(0, 1),
+        }
+    }
+
+    /// A head equivalent to a Gaussian prior (its whitened row block).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::NotPositiveDefinite`] if the prior covariance is not
+    /// SPD.
+    pub fn from_prior(prior: &Prior) -> Result<Self> {
+        let n = prior.mean.len();
+        let c = prior.cov.whiten(&Matrix::identity(n), 0)?;
+        let d = Matrix::col_from_slice(&prior.cov.whiten_vec(&prior.mean, 0)?);
+        Ok(InfoHead { c, d })
+    }
+
+    /// A head from raw whitened rows (used when restoring a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` and `d` disagree on the row count or `d` is not a
+    /// column.
+    pub fn from_rows(c: Matrix, d: Matrix) -> Self {
+        assert_eq!(c.rows(), d.rows(), "head row mismatch");
+        assert_eq!(d.cols(), 1, "head rhs must be a column");
+        InfoHead { c, d }
+    }
+
+    /// Dimension of the state the head constrains.
+    pub fn state_dim(&self) -> usize {
+        self.c.cols()
+    }
+
+    /// Number of information rows (`≤ state_dim`).
+    pub fn rows(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// `true` when the head carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.c.rows() == 0
+    }
+
+    /// The head's whitened rows, `(C, d)`.
+    pub fn rows_ref(&self) -> (&Matrix, &Matrix) {
+        (&self.c, &self.d)
+    }
+
+    /// Consumes the head into its whitened rows, `(C, d)`.
+    pub fn into_rows(self) -> (Matrix, Matrix) {
+        (self.c, self.d)
+    }
+
+    /// Stacks additional whitened rows `c·u ≈ d` under the head and
+    /// re-triangularizes so at most `state_dim` rows remain.  The discarded
+    /// rows are pure least-squares residual (zero coefficients), so the
+    /// normal equations `CᵀC`, `Cᵀd` — hence every downstream estimate —
+    /// are preserved exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts disagree.
+    pub fn absorb(&mut self, c: &Matrix, d: &Matrix) {
+        assert_eq!(c.cols(), self.state_dim(), "absorb dimension mismatch");
+        assert_eq!(c.rows(), d.rows(), "absorb row mismatch");
+        if c.rows() == 0 {
+            return;
+        }
+        let stacked_c = Matrix::vstack(&[&self.c, c]);
+        let mut stacked_d = Matrix::vstack(&[&self.d, d]);
+        let n = self.state_dim();
+        if stacked_c.rows() > n {
+            self.c = compress_rows(&stacked_c, &mut stacked_d);
+            self.d = stacked_d.sub_matrix(0, 0, n, 1);
+        } else {
+            self.c = stacked_c;
+            self.d = stacked_d;
+        }
+    }
+
+    /// Absorbs a (raw) observation of the head's state.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::NotPositiveDefinite`] if the observation noise is not
+    /// SPD (`step` names the step for the error message).
+    pub fn absorb_observation(&mut self, obs: &Observation, step: usize) -> Result<()> {
+        let wg = obs.noise.whiten(&obs.g, step)?;
+        let wo = Matrix::col_from_slice(&obs.noise.whiten_vec(&obs.o, step)?);
+        self.absorb(&wg, &wo);
+        Ok(())
+    }
+
+    /// Marginalizes the head's state out through the whitened evolution
+    /// connecting it to the next state, returning the head on the next
+    /// state.  One step of a square-root information filter: QR-eliminate
+    /// the current state's columns from
+    ///
+    /// ```text
+    /// [ C   0 | d ]      (the head)
+    /// [-B   D | r ]      (whitened evolution rows, as in §3 of the paper)
+    /// ```
+    ///
+    /// and keep the rows below the eliminated triangle.  Those top rows are
+    /// exactly satisfiable by the marginalized state (they are used only to
+    /// *recover* it, which the window smoother has already done), so
+    /// dropping them leaves the exact marginal on the next state.
+    pub fn advance(&self, evo: &WhitenedEvo) -> InfoHead {
+        let n_cur = self.state_dim();
+        let n_next = evo.d.cols();
+        debug_assert_eq!(evo.b.cols(), n_cur, "advance dimension mismatch");
+        let a = Matrix::vstack(&[&self.c, &evo.b.scaled(-1.0)]);
+        let rows = a.rows();
+        if rows <= n_cur {
+            // The eliminated state absorbs every row: no information flows
+            // forward (e.g. the no-prior, no-observation prefix of a fresh
+            // stream, whose evolution rows are exactly satisfiable).
+            return InfoHead::empty(n_next);
+        }
+        let mut companion = Matrix::zeros(rows, n_next + 1);
+        companion.set_block(0, n_next, &self.d);
+        companion.set_block(self.c.rows(), 0, &evo.d);
+        companion.set_block(self.c.rows(), n_next, &evo.rhs);
+        let qr = QrFactor::new(a);
+        qr.apply_qt(&mut companion);
+        let kept = rows - n_cur;
+        let c_new = companion.sub_matrix(n_cur, 0, kept, n_next);
+        let d_new = companion.sub_matrix(n_cur, n_next, kept, 1);
+        let mut head = InfoHead::empty(n_next);
+        head.absorb(&c_new, &d_new);
+        head
+    }
+}
+
+/// Whitens a window of buffered steps and stacks the head's rows onto the
+/// first step's observation block, producing the step array the odd-even
+/// factorization consumes.
+///
+/// `steps[0]` must carry no evolution (its evolution, if any, was absorbed
+/// into `head` when the preceding state was forgotten); later steps must
+/// each carry one, exactly like a standalone [`LinearModel`].
+///
+/// # Errors
+///
+/// [`KalmanError::InvalidModel`] on structural violations, and covariance
+/// whitening failures.
+pub fn whiten_window(head: &InfoHead, steps: &[crate::LinearStep]) -> Result<Vec<WhitenedStep>> {
+    if steps.is_empty() {
+        return Err(KalmanError::InvalidModel("empty window".into()));
+    }
+    if steps[0].evolution.is_some() {
+        return Err(KalmanError::InvalidModel(
+            "window step 0 must not have an evolution equation".into(),
+        ));
+    }
+    if steps[0].state_dim != head.state_dim() {
+        return Err(KalmanError::InvalidModel(format!(
+            "window head has dimension {} but step 0 has dimension {}",
+            head.state_dim(),
+            steps[0].state_dim
+        )));
+    }
+    let mut whitened = Vec::with_capacity(steps.len());
+    for (i, step) in steps.iter().enumerate() {
+        if i > 0 && step.evolution.is_none() {
+            return Err(KalmanError::InvalidModel(format!(
+                "window step {i} is missing its evolution equation"
+            )));
+        }
+        whitened.push(WhitenedStep::from_step(step, i)?);
+    }
+    if !head.is_empty() {
+        let (hc, hd) = head.rows_ref();
+        let first = &mut whitened[0];
+        first.obs = Some(WhitenedObs::with_rows_above(
+            hc.clone(),
+            hd.clone(),
+            first.obs.take(),
+        ));
+    }
+    Ok(whitened)
+}
+
+/// One ingestion event of a streaming smoother.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A new state arrives, evolving from the previous one.
+    Evolve(crate::Evolution),
+    /// The newest state is observed (several per state stack).
+    Observe(Observation),
+}
+
+/// Serializes a batch model into the event stream that rebuilds it through
+/// streaming ingestion (the test/benchmark bridge between the batch and
+/// streaming worlds).  The initial state's dimension and prior travel
+/// out-of-band: they parameterize the stream's construction.
+pub fn events_of(model: &LinearModel) -> Vec<StreamEvent> {
+    let mut events = Vec::new();
+    for (i, step) in model.steps.iter().enumerate() {
+        if i > 0 {
+            if let Some(evo) = &step.evolution {
+                events.push(StreamEvent::Evolve(evo.clone()));
+            }
+        }
+        if let Some(obs) = &step.observation {
+            events.push(StreamEvent::Observe(obs.clone()));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_dense, CovarianceSpec, Evolution, LinearStep};
+    use kalman_dense::matmul_tn;
+
+    fn head_with(c_rows: &[&[f64]], d: &[f64]) -> InfoHead {
+        InfoHead::from_rows(Matrix::from_rows(c_rows), Matrix::col_from_slice(d))
+    }
+
+    #[test]
+    fn empty_head_has_no_rows() {
+        let h = InfoHead::empty(3);
+        assert!(h.is_empty());
+        assert_eq!(h.state_dim(), 3);
+        assert_eq!(h.rows(), 0);
+    }
+
+    #[test]
+    fn prior_head_whitens_identity_covariance_trivially() {
+        let prior = Prior {
+            mean: vec![1.0, -2.0],
+            cov: CovarianceSpec::Identity(2),
+        };
+        let h = InfoHead::from_prior(&prior).unwrap();
+        assert_eq!(h.rows(), 2);
+        let (c, d) = h.rows_ref();
+        assert!(c.approx_eq(&Matrix::identity(2), 0.0));
+        assert_eq!(d.col(0), &[1.0, -2.0]);
+    }
+
+    /// Absorbing rows must preserve the normal equations CᵀC and Cᵀd.
+    #[test]
+    fn absorb_preserves_normal_equations() {
+        let mut h = head_with(&[&[2.0, 1.0], &[0.0, 3.0]], &[1.0, 2.0]);
+        let extra_c = Matrix::from_rows(&[&[1.0, -1.0], &[4.0, 0.5], &[0.0, 2.0]]);
+        let extra_d = Matrix::col_from_slice(&[0.5, -1.0, 3.0]);
+
+        let full_c = Matrix::vstack(&[&h.c, &extra_c]);
+        let full_d = Matrix::vstack(&[&h.d, &extra_d]);
+        let gram = matmul_tn(&full_c, &full_c);
+        let moment = matmul_tn(&full_c, &full_d);
+
+        h.absorb(&extra_c, &extra_d);
+        assert_eq!(h.rows(), 2, "compressed back to state_dim rows");
+        assert!(matmul_tn(&h.c, &h.c).approx_eq(&gram, 1e-10));
+        assert!(matmul_tn(&h.c, &h.d).approx_eq(&moment, 1e-10));
+    }
+
+    /// Advancing through an evolution must produce the exact marginal: solve
+    /// the tiny joint least-squares problem densely and compare.
+    #[test]
+    fn advance_matches_dense_marginal() {
+        // Head: u0 ≈ [1, 2] with a non-trivial C.
+        let head = head_with(&[&[1.5, 0.3], &[0.0, 0.9]], &[1.0, 2.0]);
+        // Evolution u1 = F u0 + c + noise(I), as whitened rows.
+        let f = Matrix::from_rows(&[&[0.8, -0.2], &[0.1, 1.1]]);
+        let evo = WhitenedEvo {
+            b: f.clone(),
+            d: Matrix::identity(2),
+            rhs: Matrix::col_from_slice(&[0.3, -0.4]),
+        };
+        let next = head.advance(&evo);
+        assert_eq!(next.state_dim(), 2);
+        assert_eq!(next.rows(), 2);
+
+        // Dense reference: minimize ‖[C 0; -B D][u0; u1] - [d; r]‖ over u0
+        // for each u1 — the marginal normal matrix is the Schur complement.
+        let mut joint = Matrix::zeros(4, 4);
+        joint.set_block(0, 0, &head.c);
+        joint.set_block(2, 0, &f.scaled(-1.0));
+        joint.set_block(2, 2, &Matrix::identity(2));
+        let rhs = Matrix::col_from_slice(&[1.0, 2.0, 0.3, -0.4]);
+        let gram = matmul_tn(&joint, &joint);
+        let moment = matmul_tn(&joint, &rhs);
+        // Schur complement S = A11 - A10 A00⁻¹ A01 on the u1 block.
+        let a00 = gram.sub_matrix(0, 0, 2, 2);
+        let a01 = gram.sub_matrix(0, 2, 2, 2);
+        let a10 = gram.sub_matrix(2, 0, 2, 2);
+        let a11 = gram.sub_matrix(2, 2, 2, 2);
+        let a00_inv = kalman_dense::Cholesky::new(&a00).unwrap().inverse();
+        let s = &a11 - &kalman_dense::matmul(&a10, &kalman_dense::matmul(&a00_inv, &a01));
+        let m0 = moment.sub_matrix(0, 0, 2, 1);
+        let m1 = moment.sub_matrix(2, 0, 2, 1);
+        let sm = &m1 - &kalman_dense::matmul(&a10, &kalman_dense::matmul(&a00_inv, &m0));
+
+        let (nc, nd) = next.rows_ref();
+        assert!(matmul_tn(nc, nc).approx_eq(&s, 1e-10), "marginal Gram");
+        assert!(matmul_tn(nc, nd).approx_eq(&sm, 1e-10), "marginal moment");
+    }
+
+    #[test]
+    fn advance_of_uninformative_head_is_empty() {
+        let head = InfoHead::empty(2);
+        let evo = WhitenedEvo {
+            b: Matrix::identity(2),
+            d: Matrix::identity(2),
+            rhs: Matrix::zeros(2, 1),
+        };
+        let next = head.advance(&evo);
+        assert!(next.is_empty());
+    }
+
+    #[test]
+    fn whiten_window_stacks_head_rows_on_first_step() {
+        let head = head_with(&[&[1.0, 0.0], &[0.0, 1.0]], &[5.0, 6.0]);
+        let steps = vec![
+            LinearStep::initial(2).with_observation(Observation {
+                g: Matrix::identity(2),
+                o: vec![0.1, 0.2],
+                noise: CovarianceSpec::Identity(2),
+            }),
+            LinearStep::evolving(Evolution::random_walk(2)),
+        ];
+        let w = whiten_window(&head, &steps).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].obs.as_ref().unwrap().c.rows(), 4);
+        assert_eq!(w[0].obs.as_ref().unwrap().rhs[(0, 0)], 5.0);
+        assert!(w[0].evo.is_none());
+        assert!(w[1].evo.is_some());
+    }
+
+    #[test]
+    fn whiten_window_rejects_structural_errors() {
+        let head = InfoHead::empty(2);
+        assert!(whiten_window(&head, &[]).is_err());
+        let bad = vec![LinearStep::evolving(Evolution::random_walk(2))];
+        assert!(whiten_window(&head, &bad).is_err());
+        let wrong_dim = vec![LinearStep::initial(3)];
+        assert!(whiten_window(&head, &wrong_dim).is_err());
+        let gap = vec![LinearStep::initial(2), LinearStep::initial(2)];
+        assert!(whiten_window(&head, &gap).is_err());
+    }
+
+    /// Bridging a full model through (head = prior) + whiten_window must
+    /// reproduce the same normal equations as the batch assembly.
+    #[test]
+    fn window_of_whole_model_matches_batch_assembly() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let model = crate::generators::paper_benchmark(&mut rng, 2, 4, true);
+        let sys = assemble_dense(&model).unwrap();
+
+        let head = InfoHead::from_prior(model.prior.as_ref().unwrap()).unwrap();
+        let steps = whiten_window(&head, &model.steps).unwrap();
+
+        // Rebuild densely from the whitened blocks.
+        let total: usize = model.total_state_dim();
+        let mut col_off = vec![0usize];
+        for s in &model.steps {
+            col_off.push(col_off.last().unwrap() + s.state_dim);
+        }
+        let mut rows: Vec<(Matrix, Matrix)> = Vec::new();
+        for (i, ws) in steps.iter().enumerate() {
+            if let Some(evo) = &ws.evo {
+                let mut block = Matrix::zeros(evo.b.rows(), total);
+                block.set_block(0, col_off[i - 1], &evo.b.scaled(-1.0));
+                block.set_block(0, col_off[i], &evo.d);
+                rows.push((block, evo.rhs.clone()));
+            }
+            if let Some(obs) = &ws.obs {
+                let mut block = Matrix::zeros(obs.c.rows(), total);
+                block.set_block(0, col_off[i], &obs.c);
+                rows.push((block, obs.rhs.clone()));
+            }
+        }
+        let mats: Vec<&Matrix> = rows.iter().map(|(m, _)| m).collect();
+        let rhss: Vec<&Matrix> = rows.iter().map(|(_, r)| r).collect();
+        let a2 = Matrix::vstack(&mats);
+        let b2 = Matrix::vstack(&rhss);
+        assert!(matmul_tn(&a2, &a2).approx_eq(&matmul_tn(&sys.a, &sys.a), 1e-10));
+        assert!(matmul_tn(&a2, &b2).approx_eq(&matmul_tn(&sys.a, &sys.b), 1e-10));
+    }
+
+    #[test]
+    fn events_roundtrip_counts() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let model = crate::generators::sparse_observations(&mut rng, 2, 6, 2);
+        let events = events_of(&model);
+        let evolves = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Evolve(_)))
+            .count();
+        let observes = events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Observe(_)))
+            .count();
+        assert_eq!(evolves, 6);
+        assert_eq!(observes, 4); // steps 0, 2, 4, 6
+    }
+}

@@ -51,6 +51,7 @@ mod covariance;
 mod error;
 mod estimate;
 pub mod generators;
+pub mod incremental;
 mod model;
 mod whiten;
 
@@ -58,6 +59,7 @@ pub use assemble::{assemble_dense, solve_dense, DenseSystem};
 pub use covariance::CovarianceSpec;
 pub use error::KalmanError;
 pub use estimate::Smoothed;
+pub use incremental::{events_of, whiten_window, InfoHead, StreamEvent};
 pub use model::{Evolution, LinearModel, LinearStep, Observation, Prior};
 pub use whiten::{whiten_model, WhitenedEvo, WhitenedObs, WhitenedStep};
 

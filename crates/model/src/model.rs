@@ -49,6 +49,28 @@ impl Observation {
     pub fn dim(&self) -> usize {
         self.g.rows()
     }
+
+    /// Stacks two independent observations of the same state into one
+    /// (their noises combine block-diagonally).  The streaming ingestion
+    /// path uses this when several sensors report the same step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two observations disagree on the state dimension.
+    pub fn stacked(a: &Observation, b: &Observation) -> Observation {
+        assert_eq!(
+            a.g.cols(),
+            b.g.cols(),
+            "stacked observations must share the state dimension"
+        );
+        let mut o = a.o.clone();
+        o.extend_from_slice(&b.o);
+        Observation {
+            g: Matrix::vstack(&[&a.g, &b.g]),
+            o,
+            noise: CovarianceSpec::block_diag(&a.noise, &b.noise),
+        }
+    }
 }
 
 /// A Gaussian prior `u_0 ~ N(mean, cov)` on the initial state.
@@ -164,9 +186,7 @@ impl LinearModel {
             + self
                 .steps
                 .iter()
-                .map(|s| {
-                    s.obs_dim() + s.evolution.as_ref().map(|e| e.row_dim()).unwrap_or(0)
-                })
+                .map(|s| s.obs_dim() + s.evolution.as_ref().map(|e| e.row_dim()).unwrap_or(0))
                 .sum::<usize>()
     }
 
@@ -441,8 +461,7 @@ mod tests {
     #[test]
     fn bad_covariance_rejected() {
         let mut m = simple_model(1);
-        m.steps[1].observation.as_mut().unwrap().noise =
-            CovarianceSpec::Diagonal(vec![1.0, -1.0]);
+        m.steps[1].observation.as_mut().unwrap().noise = CovarianceSpec::Diagonal(vec![1.0, -1.0]);
         assert!(matches!(
             m.validate(),
             Err(KalmanError::NotPositiveDefinite { step: 1 })

@@ -42,6 +42,21 @@ pub struct WhitenedStep {
     pub evo: Option<WhitenedEvo>,
 }
 
+impl WhitenedObs {
+    /// Stacks already-whitened rows `(c, rhs)` above `below`'s rows — how
+    /// prior rows (batch path) and condensed head rows (streaming path)
+    /// join a state's observation block.
+    pub(crate) fn with_rows_above(c: Matrix, rhs: Matrix, below: Option<WhitenedObs>) -> Self {
+        match below {
+            None => WhitenedObs { c, rhs },
+            Some(obs) => WhitenedObs {
+                c: Matrix::vstack(&[&c, &obs.c]),
+                rhs: Matrix::vstack(&[&rhs, &obs.rhs]),
+            },
+        }
+    }
+}
+
 impl WhitenedStep {
     /// Whitens step `i` of `model`.  For `i == 0` the prior (if any) is
     /// stacked on top of the observation rows.
@@ -50,46 +65,44 @@ impl WhitenedStep {
     ///
     /// Covariance whitening failures ([`crate::KalmanError::NotPositiveDefinite`]).
     pub fn from_model_step(model: &LinearModel, i: usize) -> Result<WhitenedStep> {
-        let step = &model.steps[i];
-        let mut obs_blocks: Vec<(Matrix, Matrix)> = Vec::with_capacity(2);
+        let mut whitened = WhitenedStep::from_step(&model.steps[i], i)?;
         if i == 0 {
             if let Some(prior) = &model.prior {
-                let n0 = step.state_dim;
-                let wi = prior.cov.whiten(&Matrix::identity(n0), 0)?;
-                let wm = prior.cov.whiten_vec(&prior.mean, 0)?;
-                obs_blocks.push((wi, Matrix::col_from_slice(&wm)));
+                let (c, d) = crate::incremental::InfoHead::from_prior(prior)?.into_rows();
+                whitened.obs = Some(WhitenedObs::with_rows_above(c, d, whitened.obs.take()));
             }
         }
-        if let Some(obs) = &step.observation {
-            let wg = obs.noise.whiten(&obs.g, i)?;
-            let wo = obs.noise.whiten_vec(&obs.o, i)?;
-            obs_blocks.push((wg, Matrix::col_from_slice(&wo)));
-        }
-        let obs = match obs_blocks.len() {
-            0 => None,
-            1 => {
-                let (c, rhs) = obs_blocks.pop().expect("len checked");
+        Ok(whitened)
+    }
+
+    /// Whitens a single free-standing step (no prior handling) — the
+    /// building block for both [`WhitenedStep::from_model_step`] and the
+    /// streaming window assembly ([`crate::incremental::whiten_window`]),
+    /// which injects its condensed head instead of a prior.  `index` is
+    /// used only for error reporting.
+    ///
+    /// # Errors
+    ///
+    /// Covariance whitening failures ([`crate::KalmanError::NotPositiveDefinite`]).
+    pub fn from_step(step: &crate::LinearStep, index: usize) -> Result<WhitenedStep> {
+        let obs = match &step.observation {
+            None => None,
+            Some(obs) => {
+                let c = obs.noise.whiten(&obs.g, index)?;
+                let rhs = Matrix::col_from_slice(&obs.noise.whiten_vec(&obs.o, index)?);
                 Some(WhitenedObs { c, rhs })
-            }
-            _ => {
-                let mats: Vec<&Matrix> = obs_blocks.iter().map(|(m, _)| m).collect();
-                let rhss: Vec<&Matrix> = obs_blocks.iter().map(|(_, r)| r).collect();
-                Some(WhitenedObs {
-                    c: Matrix::vstack(&mats),
-                    rhs: Matrix::vstack(&rhss),
-                })
             }
         };
         let evo = match &step.evolution {
             None => None,
             Some(evo) => {
-                let b = evo.noise.whiten(&evo.f, i)?;
+                let b = evo.noise.whiten(&evo.f, index)?;
                 let h = evo
                     .h
                     .clone()
                     .unwrap_or_else(|| Matrix::identity(step.state_dim));
-                let d = evo.noise.whiten(&h, i)?;
-                let rhs = Matrix::col_from_slice(&evo.noise.whiten_vec(&evo.c, i)?);
+                let d = evo.noise.whiten(&h, index)?;
+                let rhs = Matrix::col_from_slice(&evo.noise.whiten_vec(&evo.c, index)?);
                 Some(WhitenedEvo { b, d, rhs })
             }
         };

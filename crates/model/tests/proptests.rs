@@ -2,9 +2,7 @@
 //! consistency on random covariance specifications.
 
 use kalman_dense::{matmul, matmul_tn, random, Cholesky, Matrix};
-use kalman_model::{
-    solve_dense, CovarianceSpec, Evolution, LinearModel, LinearStep, Observation,
-};
+use kalman_model::{solve_dense, CovarianceSpec, Evolution, LinearModel, LinearStep, Observation};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

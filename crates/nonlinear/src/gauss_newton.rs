@@ -262,7 +262,11 @@ mod tests {
         let init = vec![vec![0.0; 2]; 11];
         let result = gauss_newton_smooth(&nl, &init, GaussNewtonOptions::default()).unwrap();
         assert!(result.converged);
-        assert!(result.iterations <= 3, "took {} iterations", result.iterations);
+        assert!(
+            result.iterations <= 3,
+            "took {} iterations",
+            result.iterations
+        );
 
         let reference = kalman_model::solve_dense(&linear).unwrap();
         assert!(
@@ -304,10 +308,8 @@ mod tests {
                 NonlinearStep::evolving(NonlinearEvolution {
                     f: Box::new(move |u: &[f64]| {
                         let val = vec![u[0] + dt * u[1], u[1] - dt * g_over_l * u[0].sin()];
-                        let jac = Matrix::from_rows(&[
-                            &[1.0, dt],
-                            &[-dt * g_over_l * u[0].cos(), 1.0],
-                        ]);
+                        let jac =
+                            Matrix::from_rows(&[&[1.0, dt], &[-dt * g_over_l * u[0].cos(), 1.0]]);
                         (val, jac)
                     }),
                     out_dim: 2,
@@ -352,26 +354,40 @@ mod tests {
     #[test]
     fn cost_decreases_monotonically_from_bad_start() {
         let mut model = NonlinearModel::new();
-        model.push_step(NonlinearStep::initial(1).with_observation(NonlinearObservation {
-            g: Box::new(|u: &[f64]| (vec![u[0].powi(3)], Matrix::from_rows(&[&[3.0 * u[0] * u[0]]]))),
-            o: vec![8.0],
-            noise: CovarianceSpec::Identity(1),
-        }));
-        model.push_step(NonlinearStep::evolving(NonlinearEvolution {
-            f: Box::new(|u: &[f64]| (vec![u[0]], Matrix::identity(1))),
-            out_dim: 1,
-            noise: CovarianceSpec::Identity(1),
-        }).with_observation(NonlinearObservation {
-            g: Box::new(|u: &[f64]| (vec![u[0]], Matrix::identity(1))),
-            o: vec![2.0],
-            noise: CovarianceSpec::Identity(1),
-        }));
+        model.push_step(
+            NonlinearStep::initial(1).with_observation(NonlinearObservation {
+                g: Box::new(|u: &[f64]| {
+                    (
+                        vec![u[0].powi(3)],
+                        Matrix::from_rows(&[&[3.0 * u[0] * u[0]]]),
+                    )
+                }),
+                o: vec![8.0],
+                noise: CovarianceSpec::Identity(1),
+            }),
+        );
+        model.push_step(
+            NonlinearStep::evolving(NonlinearEvolution {
+                f: Box::new(|u: &[f64]| (vec![u[0]], Matrix::identity(1))),
+                out_dim: 1,
+                noise: CovarianceSpec::Identity(1),
+            })
+            .with_observation(NonlinearObservation {
+                g: Box::new(|u: &[f64]| (vec![u[0]], Matrix::identity(1))),
+                o: vec![2.0],
+                noise: CovarianceSpec::Identity(1),
+            }),
+        );
         // u³ = 8 and u = 2 agree at u = 2; start far away.
         let init = vec![vec![0.5], vec![0.5]];
         let start_cost = cost(&model, &init).unwrap();
         let result = gauss_newton_smooth(&model, &init, GaussNewtonOptions::default()).unwrap();
         assert!(result.cost <= start_cost);
-        assert!((result.smoothed.mean(0)[0] - 2.0).abs() < 1e-3, "got {}", result.smoothed.mean(0)[0]);
+        assert!(
+            (result.smoothed.mean(0)[0] - 2.0).abs() < 1e-3,
+            "got {}",
+            result.smoothed.mean(0)[0]
+        );
     }
 
     #[test]

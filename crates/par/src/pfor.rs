@@ -68,11 +68,7 @@ where
         ExecPolicy::Seq => (0..n).map(f).collect(),
         ExecPolicy::Par { grain } => {
             let grain = grain.max(1);
-            (0..n)
-                .into_par_iter()
-                .with_min_len(grain)
-                .map(f)
-                .collect()
+            (0..n).into_par_iter().with_min_len(grain).map(f).collect()
         }
     }
 }
@@ -84,7 +80,11 @@ mod tests {
 
     #[test]
     fn for_each_index_visits_every_index_once() {
-        for policy in [ExecPolicy::Seq, ExecPolicy::par(), ExecPolicy::par_with_grain(1)] {
+        for policy in [
+            ExecPolicy::Seq,
+            ExecPolicy::par(),
+            ExecPolicy::par_with_grain(1),
+        ] {
             let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
             for_each_index(policy, 97, |i| {
                 hits[i].fetch_add(1, Ordering::Relaxed);
@@ -98,7 +98,9 @@ mod tests {
         let mut seq: Vec<usize> = (0..1000).collect();
         let mut par: Vec<usize> = (0..1000).collect();
         for_each_mut(ExecPolicy::Seq, &mut seq, |i, x| *x = *x * 3 + i);
-        for_each_mut(ExecPolicy::par_with_grain(7), &mut par, |i, x| *x = *x * 3 + i);
+        for_each_mut(ExecPolicy::par_with_grain(7), &mut par, |i, x| {
+            *x = *x * 3 + i
+        });
         assert_eq!(seq, par);
     }
 
@@ -121,7 +123,9 @@ mod tests {
     #[test]
     fn huge_grain_degenerates_to_sequential_chunks() {
         let mut v: Vec<usize> = (0..100).collect();
-        for_each_mut(ExecPolicy::par_with_grain(1_000_000), &mut v, |i, x| *x += i);
+        for_each_mut(ExecPolicy::par_with_grain(1_000_000), &mut v, |i, x| {
+            *x += i
+        });
         let expect: Vec<usize> = (0..100).map(|i| 2 * i).collect();
         assert_eq!(v, expect);
     }

@@ -19,8 +19,15 @@ use crate::ExecPolicy;
 
 /// A subrange's combined value plus its children (for the down-sweep).
 enum Node<T> {
-    Leaf { sum: T },
-    Inner { sum: T, left: Box<Node<T>>, right: Box<Node<T>>, mid: usize },
+    Leaf {
+        sum: T,
+    },
+    Inner {
+        sum: T,
+        left: Box<Node<T>>,
+        right: Box<Node<T>>,
+        mid: usize,
+    },
 }
 
 impl<T> Node<T> {
@@ -79,7 +86,9 @@ where
                 rest[0] = op(&done[i - 1], &rest[0]);
             }
         }
-        Node::Inner { left, right, mid, .. } => {
+        Node::Inner {
+            left, right, mid, ..
+        } => {
             let right_carry = match carry {
                 None => left.sum().clone(),
                 Some(c) => op(c, left.sum()),
@@ -110,7 +119,9 @@ where
                 rest[i] = op(&rest[i], &done[0]);
             }
         }
-        Node::Inner { left, right, mid, .. } => {
+        Node::Inner {
+            left, right, mid, ..
+        } => {
             let left_carry = match carry {
                 None => right.sum().clone(),
                 Some(c) => op(right.sum(), c),
@@ -235,9 +246,7 @@ mod tests {
 
     #[test]
     fn non_commutative_suffix_matches_fold() {
-        let base: Vec<[i64; 4]> = (0..25)
-            .map(|i| [i % 3, 1 + (i % 2), 1, i % 5])
-            .collect();
+        let base: Vec<[i64; 4]> = (0..25).map(|i| [i % 3, 1 + (i % 2), 1, i % 5]).collect();
         let mut expect = base.clone();
         for i in (0..24).rev() {
             expect[i] = matmul2(&base[i], &expect[i + 1]);

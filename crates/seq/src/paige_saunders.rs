@@ -38,10 +38,7 @@ fn pad_rows(m: Matrix, rhs: Matrix, rows: usize) -> (Matrix, Matrix) {
     let deficit = rows - m.rows();
     let zm = Matrix::zeros(deficit, m.cols());
     let zr = Matrix::zeros(deficit, rhs.cols());
-    (
-        Matrix::vstack(&[&m, &zm]),
-        Matrix::vstack(&[&rhs, &zr]),
-    )
+    (Matrix::vstack(&[&m, &zm]), Matrix::vstack(&[&rhs, &zr]))
 }
 
 /// Runs the Paige–Saunders forward factorization sweep on whitened steps,
@@ -53,10 +50,8 @@ pub fn factor_bidiagonal(steps: &[WhitenedStep]) -> BidiagonalR {
     let mut rhs_out: Vec<Matrix> = Vec::with_capacity(k1);
 
     // Carry: the not-yet-final rows on the current state (r × n_i) + rhs.
-    let mut carry: Option<(Matrix, Matrix)> = steps[0]
-        .obs
-        .as_ref()
-        .map(|o| (o.c.clone(), o.rhs.clone()));
+    let mut carry: Option<(Matrix, Matrix)> =
+        steps[0].obs.as_ref().map(|o| (o.c.clone(), o.rhs.clone()));
 
     for i in 1..k1 {
         let n_prev = steps[i - 1].state_dim;
@@ -116,9 +111,9 @@ pub fn factor_bidiagonal(steps: &[WhitenedStep]) -> BidiagonalR {
 
     // Finalize the last state: its carry becomes R_kk.
     let n_last = steps[k1 - 1].state_dim;
-    let (c, crhs) = carry.take().unwrap_or_else(|| {
-        (Matrix::zeros(0, n_last), Matrix::zeros(0, 1))
-    });
+    let (c, crhs) = carry
+        .take()
+        .unwrap_or_else(|| (Matrix::zeros(0, n_last), Matrix::zeros(0, 1)));
     let (c, crhs) = pad_rows(c, crhs, n_last);
     if c.rows() == n_last && is_upper_triangular(&c) {
         diag.push(c);
@@ -183,7 +178,11 @@ mod tests {
         let model = generators::paper_benchmark(&mut rng(1), 3, 9, false);
         let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
         let dense = solve_dense(&model).unwrap();
-        assert!(ps.max_mean_diff(&dense) < 1e-9, "means {}", ps.max_mean_diff(&dense));
+        assert!(
+            ps.max_mean_diff(&dense) < 1e-9,
+            "means {}",
+            ps.max_mean_diff(&dense)
+        );
         assert!(ps.max_cov_diff(&dense).unwrap() < 1e-9);
     }
 
@@ -275,8 +274,7 @@ mod tests {
         // G at a middle state, making that state's column block zero except
         // D_1 = I (well-determined actually). Use instead zero D (H=0):
         let mut model = generators::paper_benchmark(&mut rng(10), 2, 2, false);
-        model.steps[1].evolution.as_mut().unwrap().h =
-            Some(kalman_dense::Matrix::zeros(2, 2));
+        model.steps[1].evolution.as_mut().unwrap().h = Some(kalman_dense::Matrix::zeros(2, 2));
         model.steps[1].observation = None;
         model.steps[2].evolution.as_mut().unwrap().f = kalman_dense::Matrix::zeros(2, 2);
         // State 1 now appears in no equation with a nonzero coefficient.

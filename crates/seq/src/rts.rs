@@ -89,7 +89,7 @@ pub fn kalman_filter(model: &LinearModel) -> Result<FilterResult> {
                 // K = P⁻ Gᵀ S⁻¹  (computed as (S⁻¹ (G P⁻))ᵀ).
                 let kt = s_chol.solve(&gp); // S⁻¹ G P⁻  (m × n)
                 let gain = kt.transpose(); // n × m
-                // Innovation.
+                                           // Innovation.
                 let mut innov = obs.o.clone();
                 let gm = g.mul_vec(&m_pred);
                 for (v, p) in innov.iter_mut().zip(&gm) {

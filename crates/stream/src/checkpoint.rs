@@ -1,0 +1,26 @@
+//! Suspend/resume state for a stream.
+
+use kalman_model::InfoHead;
+
+/// The complete persistent state of a finished stream: everything needed to
+/// continue it later from where it stopped, in `O(n²)` space.
+///
+/// Produced by [`crate::StreamingSmoother::finish`]; consumed by
+/// [`crate::StreamingSmoother::resume`].  The head summarizes *all* data of
+/// the finished stream (including the final state's observations) as
+/// whitened information rows on state `index`, so a resumed stream's
+/// estimates continue exactly as if the stream had never been interrupted.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Index of the last finalized state — the state the head constrains.
+    pub index: u64,
+    /// Condensed information on state `index`.
+    pub head: InfoHead,
+}
+
+impl Checkpoint {
+    /// Dimension of the checkpointed state.
+    pub fn state_dim(&self) -> usize {
+        self.head.state_dim()
+    }
+}

@@ -1,0 +1,85 @@
+//! Configuration and output types of the streaming smoother.
+
+use kalman_dense::Matrix;
+use kalman_par::ExecPolicy;
+
+/// Configuration of a [`crate::StreamingSmoother`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamOptions {
+    /// Finalization lag `L` (≥ 1): a step is finalized once at least `L`
+    /// newer steps exist.  Larger lags track the hindsight batch solution
+    /// more closely (influence of post-window data decays geometrically)
+    /// at the cost of latency and window size.
+    pub lag: usize,
+    /// Flush hysteresis (≥ 1): how many finalizable steps accumulate before
+    /// the window is re-smoothed.  The window holds at most
+    /// `lag + flush_every` steps; each flush finalizes `flush_every` of
+    /// them, so re-smoothing cost is amortized `(lag / flush_every + 1)`
+    /// window-steps per stream step.
+    pub flush_every: usize,
+    /// Emit `cov(û_i)` with every finalized step (runs the SelInv phase on
+    /// each window).
+    pub covariances: bool,
+    /// Execution policy for the per-window factorization/solve.  Use
+    /// [`ExecPolicy::Seq`] for streams served through a
+    /// [`crate::SmootherPool`], which parallelizes *across* streams.
+    pub policy: ExecPolicy,
+    /// Flush automatically when [`crate::StreamingSmoother::evolve`] finds
+    /// a full window.  Disabled by pooled streams, whose flushes are
+    /// batched by [`crate::SmootherPool::poll`].
+    pub auto_flush: bool,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            lag: 32,
+            flush_every: 32,
+            covariances: false,
+            policy: ExecPolicy::par(),
+            auto_flush: true,
+        }
+    }
+}
+
+impl StreamOptions {
+    /// Options with the given lag (other fields default).
+    pub fn with_lag(lag: usize) -> Self {
+        StreamOptions {
+            lag,
+            ..StreamOptions::default()
+        }
+    }
+
+    /// The maximum number of buffered steps, `lag + flush_every`.
+    pub fn window_capacity(&self) -> usize {
+        self.lag + self.flush_every
+    }
+}
+
+/// A finalized estimate leaving the lag window.  Once emitted it never
+/// changes: the stream has condensed the step away and will not revisit it.
+#[derive(Debug, Clone)]
+pub struct FinalizedStep {
+    /// Global step index within the stream (0-based).
+    pub index: u64,
+    /// Smoothed state estimate `û_i`.
+    pub mean: Vec<f64>,
+    /// `cov(û_i)`, when [`StreamOptions::covariances`] is set.
+    pub covariance: Option<Matrix>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = StreamOptions::default();
+        assert!(o.lag >= 1 && o.flush_every >= 1);
+        assert_eq!(o.window_capacity(), o.lag + o.flush_every);
+        assert!(o.auto_flush);
+        let l = StreamOptions::with_lag(5);
+        assert_eq!(l.lag, 5);
+    }
+}

@@ -1,0 +1,706 @@
+//! The streaming fixed-lag smoother.
+
+use crate::{Checkpoint, FinalizedStep, StreamOptions};
+use kalman_model::{
+    whiten_window, Evolution, InfoHead, KalmanError, LinearStep, Observation, Prior, Result,
+    Smoothed, StreamEvent, WhitenedEvo, WhitenedStep,
+};
+use kalman_odd_even::{factor_odd_even_owned, selinv_diag};
+
+/// An online smoother over one stream of steps.
+///
+/// The smoother holds a bounded buffer of recent steps plus an
+/// [`InfoHead`] condensing everything older.  Ingestion is cheap
+/// (validation and buffering only); the odd-even re-smooth runs when the
+/// window fills ([`StreamOptions::auto_flush`]) or when
+/// [`StreamingSmoother::flush`] is called (e.g. by a
+/// [`crate::SmootherPool`]).
+///
+/// Invariants maintained between calls:
+///
+/// * the buffer is never empty, `buffer[0]` carries no evolution (its
+///   incoming evolution, if any, lives in the head), and every later step
+///   carries exactly one;
+/// * the head constrains `buffer[0]`'s state and summarizes every forgotten
+///   step *plus* the evolution into `buffer[0]`, but not `buffer[0]`'s own
+///   observations;
+/// * `buffer.len() ≤ lag + flush_every` whenever auto-flush is on.
+#[derive(Debug, Clone)]
+pub struct StreamingSmoother {
+    opts: StreamOptions,
+    head: InfoHead,
+    buffer: Vec<LinearStep>,
+    /// Global index of `buffer[0]`.
+    base_index: u64,
+    /// `buffer[0]` was already emitted (it is the anchor state of a resumed
+    /// checkpoint) and must not be emitted again.
+    base_emitted: bool,
+}
+
+fn check_options(opts: &StreamOptions) -> Result<()> {
+    if opts.lag == 0 || opts.flush_every == 0 {
+        return Err(KalmanError::Stream(
+            "lag and flush_every must both be at least 1".into(),
+        ));
+    }
+    Ok(())
+}
+
+impl StreamingSmoother {
+    /// A fresh stream with no prior on its initial state (dimension `n`).
+    /// Estimates become available once observations determine the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] on degenerate options or `n == 0`.
+    pub fn new(n: usize, opts: StreamOptions) -> Result<Self> {
+        check_options(&opts)?;
+        if n == 0 {
+            return Err(KalmanError::Stream(
+                "state dimension must be positive".into(),
+            ));
+        }
+        Ok(StreamingSmoother {
+            opts,
+            head: InfoHead::empty(n),
+            buffer: vec![LinearStep::initial(n)],
+            base_index: 0,
+            base_emitted: false,
+        })
+    }
+
+    /// A fresh stream whose initial state has a Gaussian prior.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] on degenerate options, and covariance
+    /// failures whitening the prior.
+    pub fn with_prior(
+        mean: Vec<f64>,
+        cov: kalman_model::CovarianceSpec,
+        opts: StreamOptions,
+    ) -> Result<Self> {
+        check_options(&opts)?;
+        if mean.is_empty() {
+            return Err(KalmanError::Stream(
+                "state dimension must be positive".into(),
+            ));
+        }
+        if cov.dim() != mean.len() {
+            return Err(KalmanError::InvalidModel(
+                "prior covariance dimension does not match prior mean".into(),
+            ));
+        }
+        let n = mean.len();
+        let head = InfoHead::from_prior(&Prior { mean, cov })?;
+        Ok(StreamingSmoother {
+            opts,
+            head,
+            buffer: vec![LinearStep::initial(n)],
+            base_index: 0,
+            base_emitted: false,
+        })
+    }
+
+    /// Continues a stream from a [`Checkpoint`] produced by
+    /// [`StreamingSmoother::finish`].  The checkpointed state itself is not
+    /// re-emitted; the first [`StreamingSmoother::evolve`] appends state
+    /// `checkpoint.index + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] on degenerate options.
+    pub fn resume(checkpoint: Checkpoint, opts: StreamOptions) -> Result<Self> {
+        check_options(&opts)?;
+        let n = checkpoint.state_dim();
+        Ok(StreamingSmoother {
+            opts,
+            head: checkpoint.head,
+            buffer: vec![LinearStep::initial(n)],
+            base_index: checkpoint.index,
+            base_emitted: true,
+        })
+    }
+
+    /// The stream's options.
+    pub fn options(&self) -> &StreamOptions {
+        &self.opts
+    }
+
+    /// Turns automatic flushing on evolve on or off (pools turn it off).
+    pub fn set_auto_flush(&mut self, auto_flush: bool) {
+        self.opts.auto_flush = auto_flush;
+    }
+
+    /// Number of steps currently buffered (bounded by
+    /// [`StreamOptions::window_capacity`] under auto-flush).
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Index the next [`StreamingSmoother::evolve`] will assign.
+    pub fn next_index(&self) -> u64 {
+        self.base_index + self.buffer.len() as u64
+    }
+
+    /// Dimension of the newest state.
+    pub fn state_dim(&self) -> usize {
+        self.buffer.last().expect("buffer is never empty").state_dim
+    }
+
+    /// `true` when a [`StreamingSmoother::flush`] would finalize a full
+    /// batch of `flush_every` steps.
+    pub fn ready(&self) -> bool {
+        self.buffer.len() >= self.opts.window_capacity()
+    }
+
+    /// Appends a new state evolving from the newest one.  Returns the steps
+    /// finalized by an automatic flush (empty unless the window was full
+    /// and [`StreamOptions::auto_flush`] is set).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::InvalidModel`] on dimension mismatches against the
+    /// newest state, plus any flush error (see
+    /// [`StreamingSmoother::flush`]).
+    pub fn evolve(&mut self, evolution: Evolution) -> Result<Vec<FinalizedStep>> {
+        let prev_dim = self.state_dim();
+        let index = self.next_index();
+        check_evolution(&evolution, prev_dim, index)?;
+        let finalized = if self.opts.auto_flush && self.ready() {
+            self.flush()?
+        } else {
+            Vec::new()
+        };
+        self.buffer.push(LinearStep::evolving(evolution));
+        Ok(finalized)
+    }
+
+    /// Attaches an observation to the newest state.  Several observations
+    /// of the same state stack (their noises combine block-diagonally).
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::InvalidModel`] on dimension mismatches.
+    pub fn observe(&mut self, observation: Observation) -> Result<()> {
+        let index = self.base_index + (self.buffer.len() - 1) as u64;
+        let step = self.buffer.last_mut().expect("buffer is never empty");
+        if observation.g.cols() != step.state_dim {
+            return Err(KalmanError::InvalidModel(format!(
+                "step {index}: G has {} columns but state dimension is {}",
+                observation.g.cols(),
+                step.state_dim
+            )));
+        }
+        if observation.o.len() != observation.dim() {
+            return Err(KalmanError::InvalidModel(format!(
+                "step {index}: o has length {} but G has {} rows",
+                observation.o.len(),
+                observation.dim()
+            )));
+        }
+        if observation.noise.dim() != observation.dim() {
+            return Err(KalmanError::InvalidModel(format!(
+                "step {index}: L has dimension {} but G has {} rows",
+                observation.noise.dim(),
+                observation.dim()
+            )));
+        }
+        observation.noise.validate(index as usize)?;
+        step.observation = Some(match step.observation.take() {
+            None => observation,
+            Some(existing) => Observation::stacked(&existing, &observation),
+        });
+        Ok(())
+    }
+
+    /// Feeds one [`StreamEvent`] (the replay bridge from batch models).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingSmoother::evolve`] / [`StreamingSmoother::observe`].
+    pub fn ingest(&mut self, event: StreamEvent) -> Result<Vec<FinalizedStep>> {
+        match event {
+            StreamEvent::Evolve(evo) => self.evolve(evo),
+            StreamEvent::Observe(obs) => {
+                self.observe(obs)?;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// Rolls back the newest state (and its observations) — for ingestion
+    /// pipelines that discover late that a step was malformed.  Returns the
+    /// dropped step.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] when only the window's base step remains
+    /// (finalized history cannot be rolled back).
+    pub fn drop_last(&mut self) -> Result<LinearStep> {
+        if self.buffer.len() <= 1 {
+            return Err(KalmanError::Stream(
+                "cannot drop the window's base step: older data is already condensed".into(),
+            ));
+        }
+        Ok(self.buffer.pop().expect("length checked"))
+    }
+
+    /// Smooths the current window *without* finalizing anything: estimates
+    /// for every buffered step, newest included (a real-time read of the
+    /// stream's present).  Index `i` of the result is global step
+    /// `next_index() - buffered_len() + i`.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] while the data seen so far does not
+    /// determine the window (e.g. a no-prior stream before its first
+    /// observations), plus covariance failures.
+    pub fn smoothed(&self) -> Result<Smoothed> {
+        self.smooth_window()
+    }
+
+    /// Re-smooths the window and finalizes every step more than `lag`
+    /// behind the newest, condensing them into the head.  No-op (empty
+    /// result) when nothing is finalizable.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] when the data seen so far does not
+    /// determine the window — enlarge the lag, provide a prior, or observe
+    /// more states.  The stream is left unchanged on error.
+    pub fn flush(&mut self) -> Result<Vec<FinalizedStep>> {
+        let count = self.buffer.len().saturating_sub(self.opts.lag);
+        if count == 0 {
+            return Ok(Vec::new());
+        }
+        let smoothed = self.smooth_window()?;
+        let finalized = self.emit(&smoothed, count);
+        self.forget(count)?;
+        Ok(finalized)
+    }
+
+    /// Ends the stream: smooths the window once more, finalizes **all**
+    /// buffered steps (the lag does not apply to a closing stream), and
+    /// condenses the stream into a resumable [`Checkpoint`].
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingSmoother::flush`].
+    pub fn finish(mut self) -> Result<(Vec<FinalizedStep>, Checkpoint)> {
+        let smoothed = self.smooth_window()?;
+        let finalized = self.emit(&smoothed, self.buffer.len());
+        // Condense every remaining step, then the final state's own
+        // observations, leaving the head on the final state.
+        let last = self.buffer.len() - 1;
+        self.forget(last)?;
+        let final_index = self.base_index;
+        if let Some(obs) = &self.buffer[0].observation {
+            self.head.absorb_observation(obs, final_index as usize)?;
+        }
+        Ok((
+            finalized,
+            Checkpoint {
+                index: final_index,
+                head: self.head,
+            },
+        ))
+    }
+
+    /// Estimates for the first `count` buffered steps, skipping a resumed
+    /// base step that was already emitted.
+    fn emit(&mut self, smoothed: &Smoothed, count: usize) -> Vec<FinalizedStep> {
+        let mut out = Vec::with_capacity(count);
+        for j in 0..count {
+            if j == 0 && self.base_emitted {
+                continue;
+            }
+            out.push(FinalizedStep {
+                index: self.base_index + j as u64,
+                mean: smoothed.means[j].clone(),
+                covariance: smoothed.covariances.as_ref().map(|c| c[j].clone()),
+            });
+        }
+        out
+    }
+
+    /// Condenses the first `count` buffered steps into the head: absorb
+    /// each step's observations, then marginalize it out through the
+    /// whitened evolution into its successor.
+    fn forget(&mut self, count: usize) -> Result<()> {
+        debug_assert!(count < self.buffer.len(), "must keep the boundary step");
+        for j in 0..count {
+            let index = (self.base_index + j as u64) as usize;
+            if let Some(obs) = &self.buffer[j].observation {
+                self.head.absorb_observation(obs, index)?;
+            }
+            let evo = whiten_evolution(&self.buffer[j + 1], index + 1)?;
+            self.head = self.head.advance(&evo);
+        }
+        if count > 0 {
+            self.buffer.drain(0..count);
+            self.buffer[0].evolution = None;
+            self.base_index += count as u64;
+            self.base_emitted = false;
+        }
+        Ok(())
+    }
+
+    fn smooth_window(&self) -> Result<Smoothed> {
+        let steps = whiten_window(&self.head, &self.buffer)?;
+        let r = factor_odd_even_owned(steps, self.opts.policy, true)?;
+        let means = r.solve(self.opts.policy)?;
+        let covariances = if self.opts.covariances {
+            Some(selinv_diag(&r, self.opts.policy)?)
+        } else {
+            None
+        };
+        Ok(Smoothed { means, covariances })
+    }
+}
+
+/// Whitens the evolution of a buffered step (which is guaranteed present
+/// for every non-base step).
+fn whiten_evolution(step: &LinearStep, index: usize) -> Result<WhitenedEvo> {
+    let whitened = WhitenedStep::from_step(step, index)?;
+    whitened.evo.ok_or_else(|| {
+        KalmanError::InvalidModel(format!("step {index} is missing its evolution equation"))
+    })
+}
+
+/// Structural validation of an incoming evolution against the newest state.
+fn check_evolution(evo: &Evolution, prev_dim: usize, index: u64) -> Result<()> {
+    if evo.f.cols() != prev_dim {
+        return Err(KalmanError::InvalidModel(format!(
+            "step {index}: F has {} columns but previous state dimension is {prev_dim}",
+            evo.f.cols()
+        )));
+    }
+    let l = evo.row_dim();
+    if let Some(h) = &evo.h {
+        if h.rows() != l {
+            return Err(KalmanError::InvalidModel(format!(
+                "step {index}: H has {} rows but F has {l}",
+                h.rows()
+            )));
+        }
+        if h.cols() == 0 {
+            return Err(KalmanError::InvalidModel(format!(
+                "step {index} has zero state dimension"
+            )));
+        }
+    }
+    if evo.c.len() != l {
+        return Err(KalmanError::InvalidModel(format!(
+            "step {index}: c has length {} but F has {l} rows",
+            evo.c.len()
+        )));
+    }
+    if evo.noise.dim() != l {
+        return Err(KalmanError::InvalidModel(format!(
+            "step {index}: K has dimension {} but F has {l} rows",
+            evo.noise.dim()
+        )));
+    }
+    evo.noise.validate(index as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kalman_dense::Matrix;
+    use kalman_model::{events_of, generators, CovarianceSpec};
+    use kalman_odd_even::{odd_even_smooth, OddEvenOptions};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn identity_obs(n: usize, o: Vec<f64>) -> Observation {
+        Observation {
+            g: Matrix::identity(n),
+            o,
+            noise: CovarianceSpec::Identity(n),
+        }
+    }
+
+    /// Feeds a batch model through streaming ingestion and returns every
+    /// finalized step (flushes + finish).
+    fn stream_model(
+        model: &kalman_model::LinearModel,
+        opts: StreamOptions,
+    ) -> (Vec<FinalizedStep>, Checkpoint) {
+        let n0 = model.steps[0].state_dim;
+        let mut stream = match &model.prior {
+            Some(p) => StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts).unwrap(),
+            None => StreamingSmoother::new(n0, opts).unwrap(),
+        };
+        let mut finalized = Vec::new();
+        let mut max_buffered = 0;
+        for event in events_of(model) {
+            finalized.extend(stream.ingest(event).unwrap());
+            max_buffered = max_buffered.max(stream.buffered_len());
+        }
+        assert!(
+            max_buffered <= opts.window_capacity() + 1,
+            "window overflowed: {max_buffered}"
+        );
+        let (tail, ckpt) = stream.finish().unwrap();
+        finalized.extend(tail);
+        (finalized, ckpt)
+    }
+
+    #[test]
+    fn finalizes_every_step_exactly_once() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let model = generators::paper_benchmark(&mut rng, 2, 120, true);
+        let opts = StreamOptions {
+            lag: 10,
+            flush_every: 7,
+            covariances: false,
+            ..StreamOptions::default()
+        };
+        let (finalized, ckpt) = stream_model(&model, opts);
+        assert_eq!(finalized.len(), 121);
+        for (i, f) in finalized.iter().enumerate() {
+            assert_eq!(f.index, i as u64);
+        }
+        assert_eq!(ckpt.index, 120);
+    }
+
+    #[test]
+    fn matches_batch_exactly_when_lag_covers_stream() {
+        // With the lag beyond the stream length, everything finalizes at
+        // finish() and must match the batch solution to rounding.
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let model = generators::paper_benchmark(&mut rng, 3, 40, false);
+        let opts = StreamOptions {
+            lag: 64,
+            flush_every: 8,
+            covariances: true,
+            ..StreamOptions::default()
+        };
+        let (finalized, _) = stream_model(&model, opts);
+        let batch = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+        for f in &finalized {
+            let i = f.index as usize;
+            let diff = f
+                .mean
+                .iter()
+                .zip(batch.mean(i))
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-9, "state {i}: diff {diff}");
+            let cdiff = f
+                .covariance
+                .as_ref()
+                .unwrap()
+                .max_abs_diff(batch.covariance(i).unwrap());
+            assert!(cdiff < 1e-9, "state {i}: cov diff {cdiff}");
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_streams() {
+        let opts = StreamOptions {
+            lag: 4,
+            flush_every: 4,
+            covariances: false,
+            ..StreamOptions::default()
+        };
+        let mut stream =
+            StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+        let mut total = 0;
+        for i in 0..500 {
+            if i > 0 {
+                total += stream.evolve(Evolution::random_walk(1)).unwrap().len();
+            }
+            stream.observe(identity_obs(1, vec![i as f64])).unwrap();
+            assert!(stream.buffered_len() <= opts.window_capacity());
+        }
+        let (tail, _) = stream.finish().unwrap();
+        total += tail.len();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn missing_observations_and_multi_observe_stack() {
+        let opts = StreamOptions {
+            lag: 6,
+            flush_every: 2,
+            covariances: false,
+            ..StreamOptions::default()
+        };
+        let mut stream =
+            StreamingSmoother::with_prior(vec![0.0, 0.0], CovarianceSpec::Identity(2), opts)
+                .unwrap();
+        let mut finalized = Vec::new();
+        for i in 0..30u64 {
+            if i > 0 {
+                finalized.extend(stream.evolve(Evolution::random_walk(2)).unwrap());
+            }
+            if i % 3 == 0 {
+                // Two sensors for the same step.
+                stream
+                    .observe(identity_obs(2, vec![i as f64, 0.0]))
+                    .unwrap();
+                stream
+                    .observe(Observation {
+                        g: Matrix::from_rows(&[&[1.0, 1.0]]),
+                        o: vec![i as f64],
+                        noise: CovarianceSpec::ScaledIdentity(1, 2.0),
+                    })
+                    .unwrap();
+            }
+        }
+        let (tail, _) = stream.finish().unwrap();
+        finalized.extend(tail);
+        assert_eq!(finalized.len(), 30);
+    }
+
+    #[test]
+    fn drop_last_rolls_back_ingestion() {
+        let opts = StreamOptions::with_lag(4);
+        let mut stream =
+            StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+        stream.observe(identity_obs(1, vec![0.0])).unwrap();
+        // A bogus step arrives…
+        stream.evolve(Evolution::random_walk(1)).unwrap();
+        stream.observe(identity_obs(1, vec![999.0])).unwrap();
+        // …and is rolled back and replaced.
+        let dropped = stream.drop_last().unwrap();
+        assert_eq!(dropped.observation.unwrap().o, vec![999.0]);
+        stream.evolve(Evolution::random_walk(1)).unwrap();
+        stream.observe(identity_obs(1, vec![1.0])).unwrap();
+        assert_eq!(stream.next_index(), 2);
+        let (finalized, _) = stream.finish().unwrap();
+        assert_eq!(finalized.len(), 2);
+        assert!((finalized[1].mean[0] - 1.0).abs() < 1.0);
+        // The base step itself cannot be dropped.
+        let mut fresh = StreamingSmoother::new(1, StreamOptions::default()).unwrap();
+        assert!(matches!(fresh.drop_last(), Err(KalmanError::Stream(_))));
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let model = generators::paper_benchmark(&mut rng, 2, 60, true);
+        let opts = StreamOptions {
+            lag: 16,
+            flush_every: 4,
+            covariances: false,
+            ..StreamOptions::default()
+        };
+
+        // Uninterrupted reference.
+        let (reference, _) = stream_model(&model, opts);
+
+        // Interrupted at step 30: finish, then resume and replay the rest.
+        let p = model.prior.as_ref().unwrap();
+        let mut first = StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts).unwrap();
+        for (i, step) in model.steps.iter().enumerate().take(31) {
+            if i > 0 {
+                first.evolve(step.evolution.clone().unwrap()).unwrap();
+            }
+            if let Some(obs) = &step.observation {
+                first.observe(obs.clone()).unwrap();
+            }
+        }
+        let (_, ckpt) = first.finish().unwrap();
+        assert_eq!(ckpt.index, 30);
+
+        let mut second = StreamingSmoother::resume(ckpt, opts).unwrap();
+        let mut resumed = Vec::new();
+        for step in model.steps.iter().skip(31) {
+            resumed.extend(second.evolve(step.evolution.clone().unwrap()).unwrap());
+            if let Some(obs) = &step.observation {
+                second.observe(obs.clone()).unwrap();
+            }
+        }
+        let (tail, _) = second.finish().unwrap();
+        resumed.extend(tail);
+
+        // States 31.. must match the uninterrupted stream.  The resumed
+        // stream condensed steps ≤ 30 with shorter hindsight (data up to 30
+        // only), so allow the geometric tail, not exact equality.
+        assert_eq!(resumed.first().unwrap().index, 31);
+        for f in &resumed {
+            let r = &reference[f.index as usize];
+            assert_eq!(r.index, f.index);
+            let diff = f
+                .mean
+                .iter()
+                .zip(&r.mean)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            // The two streams flush on different phases, so hindsight
+            // differs by up to flush_every steps; that influence decays
+            // geometrically through the ≥ lag-step gap (≈ 0.38^16 here).
+            assert!(diff < 1e-5, "state {}: diff {diff}", f.index);
+        }
+    }
+
+    #[test]
+    fn no_prior_stream_is_underdetermined_until_observed() {
+        let opts = StreamOptions::with_lag(4);
+        let mut stream = StreamingSmoother::new(2, opts).unwrap();
+        assert!(matches!(
+            stream.smoothed(),
+            Err(KalmanError::RankDeficient { .. })
+        ));
+        stream.observe(identity_obs(2, vec![1.0, 2.0])).unwrap();
+        let est = stream.smoothed().unwrap();
+        assert!((est.mean(0)[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_ingestion() {
+        let opts = StreamOptions::default();
+        assert!(StreamingSmoother::new(0, opts).is_err());
+        assert!(StreamingSmoother::new(
+            1,
+            StreamOptions {
+                lag: 0,
+                ..StreamOptions::default()
+            }
+        )
+        .is_err());
+
+        let mut stream = StreamingSmoother::new(2, opts).unwrap();
+        // F column mismatch.
+        assert!(stream.evolve(Evolution::random_walk(3)).is_err());
+        // c length mismatch.
+        let mut evo = Evolution::random_walk(2);
+        evo.c = vec![0.0; 5];
+        assert!(stream.evolve(evo).is_err());
+        // Bad noise.
+        let mut evo = Evolution::random_walk(2);
+        evo.noise = CovarianceSpec::ScaledIdentity(2, -1.0);
+        assert!(stream.evolve(evo).is_err());
+        // Observation dimension mismatches.
+        assert!(stream.observe(identity_obs(3, vec![0.0; 3])).is_err());
+        let mut bad = identity_obs(2, vec![0.0; 2]);
+        bad.o = vec![0.0; 4];
+        assert!(stream.observe(bad).is_err());
+        // Stream is still usable after rejected events.
+        stream.observe(identity_obs(2, vec![0.0, 0.0])).unwrap();
+        assert_eq!(stream.next_index(), 1);
+    }
+
+    #[test]
+    fn dimension_changes_cross_the_window_boundary() {
+        // Rectangular-H dimension changes must survive condensation.
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let model = generators::dimension_change(&mut rng, 3, 24);
+        let opts = StreamOptions {
+            lag: 6,
+            flush_every: 3,
+            covariances: false,
+            ..StreamOptions::default()
+        };
+        let (finalized, _) = stream_model(&model, opts);
+        assert_eq!(finalized.len(), 25);
+        // Dims alternate 3, 4, 3, 4, …
+        assert_eq!(finalized[0].mean.len(), 3);
+        assert_eq!(finalized[1].mean.len(), 4);
+        assert_eq!(finalized[2].mean.len(), 3);
+    }
+}

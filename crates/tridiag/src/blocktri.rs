@@ -5,6 +5,10 @@ use kalman_dense::{gemm, matmul, Cholesky, LuFactor, Matrix, Trans};
 use kalman_model::{KalmanError, Result};
 use kalman_par::{map_collect, ExecPolicy};
 
+/// One even pivot's precomputed blocks: `B_e⁻¹A_e` (absent at the chain
+/// head), `B_e⁻¹C_e` (absent at the tail), and `B_e⁻¹f_e`.
+type PivotBlocks = (Option<Matrix>, Option<Matrix>, Matrix);
+
 /// A symmetric block-tridiagonal matrix
 ///
 /// ```text
@@ -93,7 +97,15 @@ impl BlockTridiagonal {
             let mut rhs = ys[i].clone();
             if i + 1 < k {
                 let xi1 = Matrix::col_from_slice(&xs[i + 1]);
-                gemm(-1.0, &self.sub[i], Trans::Yes, &xi1, Trans::No, 1.0, &mut rhs);
+                gemm(
+                    -1.0,
+                    &self.sub[i],
+                    Trans::Yes,
+                    &xi1,
+                    Trans::No,
+                    1.0,
+                    &mut rhs,
+                );
             }
             xs[i] = chols[i].solve(&rhs).into_vec();
         }
@@ -114,7 +126,11 @@ impl BlockTridiagonal {
     /// used on the pivot blocks, so mild indefiniteness from rounding does
     /// not abort — accuracy just degrades, which the stability experiment
     /// measures).
-    pub fn solve_cyclic_reduction(&self, f: &[Matrix], policy: ExecPolicy) -> Result<Vec<Vec<f64>>> {
+    pub fn solve_cyclic_reduction(
+        &self,
+        f: &[Matrix],
+        policy: ExecPolicy,
+    ) -> Result<Vec<Vec<f64>>> {
         let k = self.num_blocks();
         assert_eq!(f.len(), k, "rhs block count mismatch");
         // Generic (non-symmetric) level representation: a_i x_{i-1} + b_i x_i + c_i x_{i+1} = f_i.
@@ -128,7 +144,13 @@ impl BlockTridiagonal {
         let mut level = Level {
             orig: (0..k).collect(),
             a: (0..k)
-                .map(|i| if i == 0 { None } else { Some(self.sub[i - 1].clone()) })
+                .map(|i| {
+                    if i == 0 {
+                        None
+                    } else {
+                        Some(self.sub[i - 1].clone())
+                    }
+                })
                 .collect(),
             b: self.diag.clone(),
             c: (0..k)
@@ -143,15 +165,12 @@ impl BlockTridiagonal {
             let n_even = kk.div_ceil(2);
             let n_odd = kk / 2;
             // Invert the even pivots and precompute B_e⁻¹ [A_e | C_e | f_e].
-            let pivots: Vec<Result<(Option<Matrix>, Option<Matrix>, Matrix)>> = {
+            let pivots: Vec<Result<PivotBlocks>> = {
                 let lv = &level;
                 map_collect(policy, n_even, |s| {
                     let t = 2 * s;
-                    let lu = LuFactor::new(lv.b[t].clone()).map_err(|_| {
-                        KalmanError::RankDeficient {
-                            state: lv.orig[t],
-                        }
-                    })?;
+                    let lu = LuFactor::new(lv.b[t].clone())
+                        .map_err(|_| KalmanError::RankDeficient { state: lv.orig[t] })?;
                     let ia = lv.a[t].as_ref().map(|m| lu.solve(m));
                     let ic = lv.c[t].as_ref().map(|m| lu.solve(m));
                     let iff = lu.solve(&lv.f[t]);
@@ -217,11 +236,10 @@ impl BlockTridiagonal {
 
         // Solve the 1×1 root.
         let mut x: Vec<Vec<f64>> = vec![Vec::new(); k];
-        let root_lu = LuFactor::new(level.b[0].clone()).map_err(|_| {
-            KalmanError::RankDeficient {
+        let root_lu =
+            LuFactor::new(level.b[0].clone()).map_err(|_| KalmanError::RankDeficient {
                 state: level.orig[0],
-            }
-        })?;
+            })?;
         x[level.orig[0]] = root_lu.solve(&level.f[0]).into_vec();
 
         // Back substitution: recover evens of each stacked level, deepest first.
@@ -241,11 +259,8 @@ impl BlockTridiagonal {
                         let xr = Matrix::col_from_slice(&x_ref[lv.orig[t + 1]]);
                         rhs -= &matmul(c, &xr);
                     }
-                    let lu = LuFactor::new(lv.b[t].clone()).map_err(|_| {
-                        KalmanError::RankDeficient {
-                            state: lv.orig[t],
-                        }
-                    })?;
+                    let lu = LuFactor::new(lv.b[t].clone())
+                        .map_err(|_| KalmanError::RankDeficient { state: lv.orig[t] })?;
                     Ok((lv.orig[t], lu.solve(&rhs).into_vec()))
                 })
             };
@@ -313,7 +328,14 @@ mod tests {
 
     #[test]
     fn cyclic_reduction_matches_dense() {
-        for (k, seed) in [(1usize, 80u64), (2, 81), (3, 82), (6, 83), (13, 84), (32, 85)] {
+        for (k, seed) in [
+            (1usize, 80u64),
+            (2, 81),
+            (3, 82),
+            (6, 83),
+            (13, 84),
+            (32, 85),
+        ] {
             let (t, f) = random_system(seed, 3, k);
             let x = t.solve_cyclic_reduction(&f, ExecPolicy::Seq).unwrap();
             let expect = dense_solution(&t, &f);
@@ -328,7 +350,9 @@ mod tests {
     fn parallel_cyclic_reduction_matches_sequential() {
         let (t, f) = random_system(90, 4, 25);
         let seq = t.solve_cyclic_reduction(&f, ExecPolicy::Seq).unwrap();
-        let par = t.solve_cyclic_reduction(&f, ExecPolicy::par_with_grain(1)).unwrap();
+        let par = t
+            .solve_cyclic_reduction(&f, ExecPolicy::par_with_grain(1))
+            .unwrap();
         assert_eq!(seq, par);
     }
 

@@ -94,5 +94,8 @@ fn main() {
         sd[0],
         truth[k / 2][0]
     );
-    assert!(rmse(&smoothed) < rmse(&naive), "smoothing must beat the naive estimate");
+    assert!(
+        rmse(&smoothed) < rmse(&naive),
+        "smoothing must beat the naive estimate"
+    );
 }

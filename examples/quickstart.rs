@@ -33,11 +33,10 @@ fn main() {
     let est = odd_even_smooth(&model, OddEvenOptions::default()).expect("well-posed model");
 
     println!("state   observed   smoothed   ± stddev");
-    for i in 0..est.len() {
+    for (i, &observed) in observations.iter().enumerate() {
         let sd = est.stddevs(i).expect("covariances computed")[0];
         println!(
-            "{i:>5}   {:>8.3}   {:>8.3}   ± {sd:.3}",
-            observations[i],
+            "{i:>5}   {observed:>8.3}   {:>8.3}   ± {sd:.3}",
             est.mean(i)[0]
         );
     }

@@ -74,5 +74,8 @@ fn main() {
         "\n95% interval coverage of x-position: {:.1}% (expect ≈95%)",
         100.0 * covered as f64 / oe.len() as f64
     );
-    assert!(position_rmse(&oe) < obs_rmse, "smoothing must beat raw observations");
+    assert!(
+        position_rmse(&oe) < obs_rmse,
+        "smoothing must beat raw observations"
+    );
 }

@@ -82,8 +82,8 @@ fn reported_covariance_is_statistically_calibrated() {
         let est = odd_even_smooth(&p.model, OddEvenOptions::default()).unwrap();
         for i in (0..=k).step_by(5) {
             let sd = est.stddevs(i).unwrap();
-            for d in 0..2 {
-                let z = (est.mean(i)[d] - p.truth[i][d]) / sd[d];
+            for (d, &sd_d) in sd.iter().enumerate().take(2) {
+                let z = (est.mean(i)[d] - p.truth[i][d]) / sd_d;
                 z_sq_sum += z * z;
                 count += 1;
             }
@@ -106,5 +106,8 @@ fn sparse_observation_gaps_inflate_variance() {
     // A state far from any observation has larger variance than an observed one.
     let observed: f64 = est.covariance(5).unwrap().diag().iter().sum();
     let gap: f64 = est.covariance(7).unwrap().diag().iter().sum();
-    assert!(gap > observed, "gap variance {gap} !> observed variance {observed}");
+    assert!(
+        gap > observed,
+        "gap variance {gap} !> observed variance {observed}"
+    );
 }

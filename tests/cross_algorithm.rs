@@ -21,8 +21,8 @@ fn all_algorithms_agree_on_uniform_model_with_prior() {
     let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
     let rts = rts_smooth(&model).unwrap();
     let assoc = associative_smooth(&model, AssociativeOptions::default()).unwrap();
-    let neq = normal_equations_smooth(&model, TridiagMethod::CyclicReduction, ExecPolicy::par())
-        .unwrap();
+    let neq =
+        normal_equations_smooth(&model, TridiagMethod::CyclicReduction, ExecPolicy::par()).unwrap();
 
     for (name, est, tol) in [
         ("odd-even", &oe, 1e-8),
@@ -35,7 +35,12 @@ fn all_algorithms_agree_on_uniform_model_with_prior() {
         assert!(d < tol, "{name} mean diff {d}");
     }
     // Covariance agreement for the four that compute it.
-    for (name, est) in [("odd-even", &oe), ("paige-saunders", &ps), ("rts", &rts), ("associative", &assoc)] {
+    for (name, est) in [
+        ("odd-even", &oe),
+        ("paige-saunders", &ps),
+        ("rts", &rts),
+        ("associative", &assoc),
+    ] {
         let d = est.max_cov_diff(&oracle).unwrap();
         assert!(d < 1e-7, "{name} cov diff {d}");
     }
@@ -99,7 +104,10 @@ fn smoothing_beats_observations_on_simulated_data() {
             count += 1;
         }
     }
-    let (obs_rmse, est_rmse) = ((obs_sq / count as f64).sqrt(), (est_sq / count as f64).sqrt());
+    let (obs_rmse, est_rmse) = (
+        (obs_sq / count as f64).sqrt(),
+        (est_sq / count as f64).sqrt(),
+    );
     assert!(
         est_rmse < 0.7 * obs_rmse,
         "smoothed RMSE {est_rmse} should be well below observation RMSE {obs_rmse}"
@@ -129,6 +137,10 @@ fn larger_chain_still_matches_paige_saunders() {
     let model = generators::paper_benchmark(&mut rng(10), 6, 1_000, false);
     let oe = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
     let ps = paige_saunders_smooth(&model, SmootherOptions::default()).unwrap();
-    assert!(oe.max_mean_diff(&ps) < 1e-7, "diff {}", oe.max_mean_diff(&ps));
+    assert!(
+        oe.max_mean_diff(&ps) < 1e-7,
+        "diff {}",
+        oe.max_mean_diff(&ps)
+    );
     assert!(oe.max_cov_diff(&ps).unwrap() < 1e-7);
 }

@@ -1,7 +1,8 @@
 //! Edge cases: tiny chains, chains around power-of-two boundaries, missing
-//! observations, partial observations, and extreme weightings.
+//! observations, partial observations, extreme weightings, and degenerate
+//! streaming configurations.
 
-use kalman::model::{generators, solve_dense};
+use kalman::model::{events_of, generators, solve_dense};
 use kalman::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -98,13 +99,11 @@ fn exogenous_inputs_are_respected() {
     // Deterministic drift: u_i = u_{i-1} + c with tiny noise, one anchor
     // observation at state 0 → û_i ≈ i·c.
     let mut model = LinearModel::new();
-    model.push_step(
-        LinearStep::initial(1).with_observation(Observation {
-            g: Matrix::identity(1),
-            o: vec![0.0],
-            noise: CovarianceSpec::ScaledIdentity(1, 1e-9),
-        }),
-    );
+    model.push_step(LinearStep::initial(1).with_observation(Observation {
+        g: Matrix::identity(1),
+        o: vec![0.0],
+        noise: CovarianceSpec::ScaledIdentity(1, 1e-9),
+    }));
     for _ in 0..9 {
         model.push_step(LinearStep::evolving(Evolution {
             f: Matrix::identity(1),
@@ -129,11 +128,7 @@ fn exogenous_inputs_are_respected() {
 fn grain_size_sweep_is_exact() {
     // The paper's Fig. 6 sweeps TBB block sizes; results must be identical.
     let model = generators::paper_benchmark(&mut rng(501), 3, 100, false);
-    let reference = odd_even_smooth(
-        &model,
-        OddEvenOptions::with_policy(ExecPolicy::Seq),
-    )
-    .unwrap();
+    let reference = odd_even_smooth(&model, OddEvenOptions::with_policy(ExecPolicy::Seq)).unwrap();
     for grain in [1usize, 2, 7, 100, 1_000_000] {
         let est = odd_even_smooth(
             &model,
@@ -142,6 +137,152 @@ fn grain_size_sweep_is_exact() {
         .unwrap();
         assert_eq!(est.max_mean_diff(&reference), 0.0, "grain {grain}");
     }
+}
+
+/// The smallest legal streaming configuration: lag 1, flush every step.
+/// Estimates are filtered-like (one step of hindsight) but the machinery —
+/// flush on every evolve, per-step condensation — must hold together.
+#[test]
+fn streaming_with_lag_one_finalizes_every_step() {
+    let opts = StreamOptions {
+        lag: 1,
+        flush_every: 1,
+        covariances: true,
+        ..StreamOptions::default()
+    };
+    let mut stream =
+        StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+    let mut finalized = Vec::new();
+    for i in 0..25u64 {
+        if i > 0 {
+            finalized.extend(stream.evolve(Evolution::random_walk(1)).unwrap());
+        }
+        stream
+            .observe(Observation {
+                g: Matrix::identity(1),
+                o: vec![i as f64],
+                noise: CovarianceSpec::Identity(1),
+            })
+            .unwrap();
+        assert!(stream.buffered_len() <= 2);
+    }
+    let (tail, _) = stream.finish().unwrap();
+    finalized.extend(tail);
+    assert_eq!(finalized.len(), 25);
+    for (i, f) in finalized.iter().enumerate() {
+        assert_eq!(f.index, i as u64);
+        assert!(f.mean[0].is_finite());
+        assert!(f.covariance.as_ref().unwrap()[(0, 0)].is_finite());
+    }
+}
+
+/// Partial observations (oscillator observes 1 of 2 components) streamed
+/// with the lag covering the whole run: finalization happens only at
+/// finish(), so the result must equal the batch smoother to rounding.
+#[test]
+fn streaming_oscillator_with_full_lag_is_exact() {
+    let p = generators::oscillator(&mut rng(600), 60, 0.05, 2.0, 0.1, 1e-3, 1e-2);
+    let opts = StreamOptions {
+        lag: 100, // > stream length: nothing finalizes early
+        flush_every: 8,
+        covariances: true,
+        ..StreamOptions::default()
+    };
+    let prior = p.model.prior.as_ref().unwrap();
+    let mut stream =
+        StreamingSmoother::with_prior(prior.mean.clone(), prior.cov.clone(), opts).unwrap();
+    for event in events_of(&p.model) {
+        assert!(stream.ingest(event).unwrap().is_empty());
+    }
+    let (finalized, _) = stream.finish().unwrap();
+    let batch = odd_even_smooth(&p.model, OddEvenOptions::default()).unwrap();
+    assert_eq!(finalized.len(), batch.len());
+    for f in &finalized {
+        let i = f.index as usize;
+        for (a, b) in f.mean.iter().zip(batch.mean(i)) {
+            assert!((a - b).abs() < 1e-9, "state {i}");
+        }
+        let cdiff = f
+            .covariance
+            .as_ref()
+            .unwrap()
+            .max_abs_diff(batch.covariance(i).unwrap());
+        assert!(cdiff < 1e-9, "state {i}: cov diff {cdiff}");
+    }
+}
+
+/// Exogenous inputs through condensation: a deterministic drift chain
+/// observed only at its anchor must stream to û_i ≈ i·c exactly, because
+/// the drift terms ride the head's right-hand side across windows.
+#[test]
+fn streaming_respects_exogenous_inputs_across_windows() {
+    let opts = StreamOptions {
+        lag: 3,
+        flush_every: 2,
+        covariances: false,
+        ..StreamOptions::default()
+    };
+    let mut stream = StreamingSmoother::new(1, opts).unwrap();
+    stream
+        .observe(Observation {
+            g: Matrix::identity(1),
+            o: vec![0.0],
+            noise: CovarianceSpec::ScaledIdentity(1, 1e-9),
+        })
+        .unwrap();
+    let mut finalized = Vec::new();
+    for _ in 0..20 {
+        finalized.extend(
+            stream
+                .evolve(Evolution {
+                    f: Matrix::identity(1),
+                    h: None,
+                    c: vec![2.5],
+                    noise: CovarianceSpec::ScaledIdentity(1, 1e-9),
+                })
+                .unwrap(),
+        );
+    }
+    let (tail, _) = stream.finish().unwrap();
+    finalized.extend(tail);
+    assert_eq!(finalized.len(), 21);
+    for f in &finalized {
+        let expect = 2.5 * f.index as f64;
+        assert!(
+            (f.mean[0] - expect).abs() < 1e-6,
+            "state {}: {} vs {expect}",
+            f.index,
+            f.mean[0]
+        );
+    }
+}
+
+/// A no-prior, unobserved stream is rank deficient; the flush must say so
+/// (instead of emitting garbage) and leave the stream usable.
+#[test]
+fn streaming_rank_deficiency_is_detected_and_recoverable() {
+    let opts = StreamOptions {
+        lag: 1,
+        flush_every: 1,
+        covariances: false,
+        ..StreamOptions::default()
+    };
+    let mut stream = StreamingSmoother::new(2, opts).unwrap();
+    stream.evolve(Evolution::random_walk(2)).unwrap();
+    // Window is full; this evolve must flush and fail: nothing determines
+    // the chain yet.
+    let err = stream.evolve(Evolution::random_walk(2)).unwrap_err();
+    assert!(matches!(err, KalmanError::RankDeficient { .. }), "{err:?}");
+    // Observing pins the chain down; the stream proceeds.
+    stream
+        .observe(Observation {
+            g: Matrix::identity(2),
+            o: vec![1.0, -1.0],
+            noise: CovarianceSpec::Identity(2),
+        })
+        .unwrap();
+    let finalized = stream.evolve(Evolution::random_walk(2)).unwrap();
+    assert!(!finalized.is_empty());
 }
 
 #[test]

@@ -26,7 +26,10 @@ fn assert_invalid(result: Result<Smoothed, KalmanError>, expect_substr: &str) {
 #[test]
 fn empty_model_is_rejected_by_every_algorithm() {
     let model = LinearModel::new();
-    assert_invalid(odd_even_smooth(&model, OddEvenOptions::default()), "no steps");
+    assert_invalid(
+        odd_even_smooth(&model, OddEvenOptions::default()),
+        "no steps",
+    );
     assert_invalid(
         paige_saunders_smooth(&model, SmootherOptions::default()),
         "no steps",
@@ -45,8 +48,7 @@ fn empty_model_is_rejected_by_every_algorithm() {
 #[test]
 fn negative_variance_is_rejected() {
     let mut model = generators::paper_benchmark(&mut rng(1), 2, 5, false);
-    model.steps[2].observation.as_mut().unwrap().noise =
-        CovarianceSpec::Diagonal(vec![1.0, -0.5]);
+    model.steps[2].observation.as_mut().unwrap().noise = CovarianceSpec::Diagonal(vec![1.0, -0.5]);
     match odd_even_smooth(&model, OddEvenOptions::default()) {
         Err(KalmanError::NotPositiveDefinite { step }) => assert_eq!(step, 2),
         other => panic!("expected not-PD at step 2, got {other:?}"),
@@ -68,10 +70,7 @@ fn indefinite_dense_covariance_is_rejected() {
 fn dimension_mismatches_are_reported_with_step_index() {
     let mut model = generators::paper_benchmark(&mut rng(3), 3, 4, false);
     model.steps[2].evolution.as_mut().unwrap().f = Matrix::identity(4);
-    assert_invalid(
-        odd_even_smooth(&model, OddEvenOptions::default()),
-        "step 2",
-    );
+    assert_invalid(odd_even_smooth(&model, OddEvenOptions::default()), "step 2");
 
     let mut model2 = generators::paper_benchmark(&mut rng(4), 3, 4, false);
     model2.steps[1].observation.as_mut().unwrap().o = vec![0.0; 9];
@@ -106,7 +105,10 @@ fn disconnected_state_reports_rank_deficiency_in_all_qr_paths() {
 #[test]
 fn prior_requirement_errors_are_specific() {
     let model = generators::paper_benchmark(&mut rng(6), 2, 5, false);
-    assert!(matches!(rts_smooth(&model), Err(KalmanError::PriorRequired)));
+    assert!(matches!(
+        rts_smooth(&model),
+        Err(KalmanError::PriorRequired)
+    ));
     assert!(matches!(
         associative_smooth(&model, AssociativeOptions::default()),
         Err(KalmanError::PriorRequired)

@@ -95,10 +95,7 @@ fn bearing_model(k: usize) -> NonlinearModel {
                             0.99 * u[0] - 0.05 * u[1],
                             0.05 * u[0] + 0.99 * u[1] + 0.01 * u[0].sin(),
                         ],
-                        Matrix::from_rows(&[
-                            &[0.99, -0.05],
-                            &[0.05 + 0.01 * u[0].cos(), 0.99],
-                        ]),
+                        Matrix::from_rows(&[&[0.99, -0.05], &[0.05 + 0.01 * u[0].cos(), 0.99]]),
                     )
                 }),
                 out_dim: 2,
@@ -127,9 +124,17 @@ fn bearing_tracking_converges_with_finite_uncertainty() {
     let model = bearing_model(80);
     let init = vec![vec![1.0, 0.5]; 81];
     let result = gauss_newton_smooth(&model, &init, GaussNewtonOptions::default()).unwrap();
-    assert!(result.converged, "no convergence after {} iterations", result.iterations);
+    assert!(
+        result.converged,
+        "no convergence after {} iterations",
+        result.iterations
+    );
     assert!(result.cost.is_finite());
-    let covs = result.smoothed.covariances.as_ref().expect("covariances at convergence");
+    let covs = result
+        .smoothed
+        .covariances
+        .as_ref()
+        .expect("covariances at convergence");
     for (i, c) in covs.iter().enumerate() {
         assert!(
             kalman::dense::Cholesky::new(c).is_ok(),

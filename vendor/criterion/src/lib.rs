@@ -1,0 +1,226 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`BenchmarkId`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — as a plain
+//! median-of-samples wall-clock harness printing one line per benchmark.
+//! No statistics, plots, or baselines; swap the real crate back in for
+//! those.
+
+use std::time::Instant;
+
+/// Number of timed samples per benchmark unless overridden by
+/// [`BenchmarkGroup::sample_size`].
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration of the last `iter` call.
+    median: f64,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one warm-up
+    /// call) and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times.push(t.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.median = times[times.len() / 2];
+    }
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        median: 0.0,
+    };
+    f(&mut b);
+    let per_iter = b.median;
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("bench: {label:<50} {value:>10.3} {unit} ({samples} samples, median)");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Runs a single stand-alone benchmark with an input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), DEFAULT_SAMPLE_SIZE, |b| f(b, input));
+        self
+    }
+}
+
+/// Re-export of the black-box hint, as `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("qr", 64).to_string(), "qr/64");
+        assert_eq!(BenchmarkId::from_parameter("seq").to_string(), "seq");
+    }
+
+    #[test]
+    fn bencher_records_positive_time() {
+        let mut b = Bencher {
+            samples: 3,
+            median: 0.0,
+        };
+        b.iter(|| (0..1000).sum::<u64>());
+        assert!(b.median >= 0.0 && b.median.is_finite());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0;
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::from_parameter(1), &5usize, |b, &n| {
+                b.iter(|| n * 2);
+                runs += 1;
+            });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand) 0.9.
+//!
+//! Provides the subset of the `rand` API this workspace uses: the
+//! [`RngCore`]/[`Rng`]/[`SeedableRng`] traits and uniform generation of the
+//! primitive types drawn by the generators.  Value semantics follow rand 0.9
+//! (`f64` samples are `[0, 1)` with 53 random mantissa bits;
+//! `seed_from_u64` expands the seed with SplitMix64), so a future swap to
+//! the real crate keeps distributions identical in kind, though not
+//! bit-for-bit in stream.
+
+/// A source of random `u64`s (the only required method here).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (top half of [`RngCore::next_u64`] by
+    /// default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types that can be sampled uniformly from raw random bits (the stand-in
+/// for rand's `StandardUniform` distribution).
+pub trait UniformRandom {
+    /// Draws one value from `rng`.
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformRandom for f64 {
+    /// Uniform in `[0, 1)` with 53 random bits — rand 0.9's `f64` sampling.
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformRandom for f32 {
+    /// Uniform in `[0, 1)` with 24 random bits.
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl UniformRandom for u64 {
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformRandom for u32 {
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformRandom for bool {
+    fn uniform_random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard-uniform distribution.
+    fn random<T: UniformRandom>(&mut self) -> T {
+        T::uniform_random(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable random generators.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with SplitMix64 (the same expansion
+    /// rand 0.9 documents for its `seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (b, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *b = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random::<f64>()
+        }
+        let mut rng = Counter(1);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Raw([u8; 32]);
+        impl RngCore for Raw {
+            fn next_u64(&mut self) -> u64 {
+                u64::from_le_bytes(self.0[..8].try_into().unwrap())
+            }
+        }
+        impl SeedableRng for Raw {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Raw(seed)
+            }
+        }
+        let a = Raw::seed_from_u64(42).0;
+        let b = Raw::seed_from_u64(42).0;
+        let c = Raw::seed_from_u64(43).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the *exact subset* of rayon's API the workspace uses, with sequential
+//! execution semantics:
+//!
+//! * [`join`], the parallel-iterator adaptors in [`prelude`], and
+//!   [`ThreadPool::install`] all run their work on the calling thread, in
+//!   the same order a single rayon worker would.
+//! * [`ThreadPoolBuilder`] records the requested worker count and
+//!   [`current_num_threads`] reports it, so thread-count plumbing (the
+//!   benchmark harness's core sweeps) behaves observably like rayon.
+//!
+//! Every primitive in `kalman-par` is *deterministic by construction* (the
+//! odd-even smoother is bitwise reproducible under any schedule), so
+//! sequential execution changes timing only, never results.  Swapping the
+//! real rayon back in is a one-line change in the workspace manifest.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Worker count of the innermost `ThreadPool::install` on this thread.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs both closures (sequentially, in order) and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (oper_a(), oper_b())
+}
+
+/// The number of threads in the current pool (the machine's parallelism when
+/// called outside any [`ThreadPool::install`]).
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned when a pool cannot be built (zero threads requested).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine) parallelism.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the worker count (0 keeps the default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in this stand-in (a zero request falls back to the
+    /// machine parallelism, like rayon's default).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A "pool" that runs installed closures on the calling thread while
+/// reporting the configured worker count.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with [`current_num_threads`] reporting this pool's size.
+    pub fn install<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
+        POOL_THREADS.with(|t| {
+            let prev = t.replace(Some(self.threads));
+            let out = f();
+            t.set(prev);
+            out
+        })
+    }
+}
+
+pub mod prelude {
+    //! Sequential re-implementations of the parallel-iterator adaptors.
+
+    /// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The "parallel" iterator type.
+        type Iter;
+        /// Converts `self` into a (sequentially executed) parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// Index-range "parallel" iterator with grain-size hints.
+    pub struct ParRange {
+        range: std::ops::Range<usize>,
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    impl ParRange {
+        /// Grain-size hint (accepted, ignored: execution is sequential).
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Grain-size hint (accepted, ignored: execution is sequential).
+        pub fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        /// Applies `f` to every index in order.
+        pub fn for_each<F: Fn(usize) + Sync + Send>(self, f: F) {
+            for i in self.range {
+                f(i);
+            }
+        }
+
+        /// Maps every index in order.
+        pub fn map<T, F: Fn(usize) -> T + Sync + Send>(self, f: F) -> ParMap<F> {
+            ParMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    /// Mapped range adaptor; `collect` preserves index order (as rayon's
+    /// indexed collect does).
+    pub struct ParMap<F> {
+        range: std::ops::Range<usize>,
+        f: F,
+    }
+
+    impl<F> ParMap<F> {
+        /// Collects mapped values in index order.
+        pub fn collect<C, T>(self) -> C
+        where
+            F: Fn(usize) -> T + Sync + Send,
+            C: FromIterator<T>,
+        {
+            self.range.map(self.f).collect()
+        }
+    }
+
+    /// Mirror of `rayon::slice::ParallelSliceMut::par_chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        /// Splits the slice into chunks of at most `chunk_size` elements.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                inner: self.chunks_mut(chunk_size),
+            }
+        }
+    }
+
+    /// Chunked mutable iterator with the rayon adaptor surface.
+    pub struct ParChunksMut<'a, T> {
+        inner: std::slice::ChunksMut<'a, T>,
+    }
+
+    impl<'a, T> ParChunksMut<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParEnumerate<std::slice::ChunksMut<'a, T>> {
+            ParEnumerate { inner: self.inner }
+        }
+    }
+
+    /// Enumerated adaptor.
+    pub struct ParEnumerate<I> {
+        inner: I,
+    }
+
+    impl<I: Iterator> ParEnumerate<I> {
+        /// Applies `f` to every `(index, item)` pair in order.
+        pub fn for_each<F: Fn((usize, I::Item)) + Sync + Send>(self, f: F) {
+            for pair in self.inner.enumerate() {
+                f(pair);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 5);
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn par_iter_adaptors_match_sequential() {
+        let v: Vec<usize> = (0..100)
+            .into_par_iter()
+            .with_min_len(7)
+            .map(|i| i * 2)
+            .collect();
+        assert_eq!(v, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+
+        let mut data: Vec<usize> = (0..50).collect();
+        data.par_chunks_mut(8).enumerate().for_each(|(c, chunk)| {
+            for x in chunk.iter_mut() {
+                *x += c;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[8], 8 + 1);
+        assert_eq!(data[49], 49 + 6);
+    }
+}

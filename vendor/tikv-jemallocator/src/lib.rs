@@ -1,0 +1,55 @@
+//! Offline stand-in for
+//! [tikv-jemallocator](https://crates.io/crates/tikv-jemallocator).
+//!
+//! The build environment cannot fetch (or compile) the real jemalloc, so
+//! [`Jemalloc`] here delegates to the system allocator.  The umbrella crate
+//! keeps the `#[global_allocator]` wiring in place so that restoring the
+//! real dependency — which materially speeds up the multi-threaded
+//! smoothers, see DESIGN.md §"Allocator" — requires no source change.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Drop-in allocator handle with the same name as the real crate's.
+pub struct Jemalloc;
+
+// SAFETY: pure delegation to `std::alloc::System`, which upholds the
+// `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for Jemalloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_frees() {
+        unsafe {
+            let layout = Layout::from_size_align(64, 8).unwrap();
+            let p = Jemalloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xAB, 64);
+            let q = Jemalloc.realloc(p, layout, 128);
+            assert!(!q.is_null());
+            assert_eq!(*q, 0xAB);
+            Jemalloc.dealloc(q, Layout::from_size_align(128, 8).unwrap());
+            let z = Jemalloc.alloc_zeroed(layout);
+            assert_eq!(*z, 0);
+            Jemalloc.dealloc(z, layout);
+        }
+    }
+}
