@@ -1,0 +1,62 @@
+//! Reviewer scratch test: singular-F streaming vs batch.
+
+use kalman::model::{CovarianceSpec, Evolution, LinearModel, LinearStep, Observation};
+use kalman::prelude::*;
+use kalman_dense::Matrix;
+
+#[test]
+fn singular_f_no_prior_stream_matches_batch() {
+    // No prior; F has a zero row (rank deficient). Observations only every
+    // few steps so the head stays underdetermined while steps are forgotten.
+    let n = 2;
+    let f = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+    let k = 12;
+    let mut model = LinearModel::new();
+    let obs = |i: u64| Observation {
+        g: Matrix::identity(n),
+        o: vec![i as f64, 0.5],
+        noise: CovarianceSpec::Identity(n),
+    };
+    let mut step0 = LinearStep::initial(n);
+    step0.observation = Some(obs(0));
+    model.push_step(step0);
+    for i in 1..=k {
+        let evo = Evolution {
+            f: f.clone(),
+            h: None,
+            c: vec![0.0, 5.0],
+            noise: CovarianceSpec::Identity(n),
+        };
+        let mut s = LinearStep::evolving(evo);
+        if i % 4 == 0 {
+            s.observation = Some(obs(i));
+        }
+        model.push_step(s);
+    }
+
+    let batch = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+
+    let opts = StreamOptions {
+        lag: 2,
+        flush_every: 2,
+        covariances: false,
+        ..StreamOptions::default()
+    };
+    let mut stream = StreamingSmoother::new(n, opts).unwrap();
+    let mut finalized = Vec::new();
+    for e in kalman::model::events_of(&model) {
+        finalized.extend(stream.ingest(e).unwrap());
+    }
+    let (tail, _) = stream.finish().unwrap();
+    finalized.extend(tail);
+
+    let mut worst = 0.0f64;
+    for fstep in &finalized {
+        let i = fstep.index as usize;
+        for (a, b) in fstep.mean.iter().zip(batch.mean(i)) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    println!("max |stream - batch| = {worst:.3e}");
+    assert!(worst < 1e-8, "diverged: {worst}");
+}
