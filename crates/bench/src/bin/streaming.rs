@@ -198,4 +198,15 @@ fn main() {
          ({} streams; target > 2x)",
         streams
     );
+    // The work-stealing acceptance metric: the same batched flushes, with
+    // cross-stream parallelism on vs off.  Streams are independent, so on a
+    // c-core runner this approaches min(c, streams)x; on one core it is ~1x
+    // (the pool adds only scheduling overhead, which this line records).
+    let par_speedup = pool_seq_secs / pool_par_secs;
+    println!(
+        "pool ExecPolicy::par over ExecPolicy::Seq: {par_speedup:.2}x on a {}-worker pool, \
+         {} hardware threads (target >= 2x on a >= 4-core runner)",
+        kalman::par::current_pool_threads(),
+        kalman::par::available_parallelism()
+    );
 }

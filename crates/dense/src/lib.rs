@@ -50,7 +50,7 @@ pub use error::DenseError;
 pub use gemm::{gemm, matmul, matmul_nt, matmul_tn, matmul_tt, Trans};
 pub use lu::{solve, LuFactor};
 pub use matrix::Matrix;
-pub use qr::{compress_rows, qr_stacked, QrFactor};
+pub use qr::{compress_rows, qr_stacked, ColPivQr, QrFactor};
 
 /// Result type for fallible dense operations (singular / not-SPD inputs).
 pub type Result<T> = std::result::Result<T, DenseError>;

@@ -62,6 +62,24 @@ fn apply_householder(vtail: &[f64], tau: f64, c: &mut [f64]) {
     }
 }
 
+/// One Householder elimination step shared by [`QrFactor`] and
+/// [`ColPivQr`]: reflects column `j` below the diagonal (packing the
+/// reflector tail in place) and applies the reflector to the trailing
+/// columns.  Returns `tau`.
+fn eliminate_column(a: &mut Matrix, j: usize) -> f64 {
+    let tau = {
+        let col = &mut a.col_mut(j)[j..];
+        make_householder(col)
+    };
+    if tau != 0.0 {
+        for k in (j + 1)..a.cols() {
+            let (cj, ck) = a.two_cols_mut(j, k);
+            apply_householder(&cj[j + 1..], tau, &mut ck[j..]);
+        }
+    }
+    tau
+}
+
 impl QrFactor {
     /// Factorizes `a` (consumed; `m × n` with `m >= n`).
     ///
@@ -72,19 +90,8 @@ impl QrFactor {
         let (m, n) = (a.rows(), a.cols());
         assert!(m >= n, "QrFactor requires rows >= cols, got {m}x{n}");
         let mut tau = vec![0.0; n];
-        for j in 0..n {
-            // Reflect column j below the diagonal.
-            {
-                let col = &mut a.col_mut(j)[j..];
-                tau[j] = make_householder(col);
-            }
-            if tau[j] != 0.0 {
-                // Apply to trailing columns.
-                for k in (j + 1)..n {
-                    let (cj, ck) = a.two_cols_mut(j, k);
-                    apply_householder(&cj[j + 1..], tau[j], &mut ck[j..]);
-                }
-            }
+        for (j, t) in tau.iter_mut().enumerate() {
+            *t = eliminate_column(&mut a, j);
         }
         QrFactor { packed: a, tau }
     }
@@ -230,6 +237,126 @@ impl QrFactor {
             }
         }
         acc.sqrt()
+    }
+}
+
+/// Householder QR with greedy column pivoting, `A P = Q R` — a
+/// rank-revealing factorization accepting any shape (wide, tall, or empty).
+///
+/// At every step the column with the largest remaining norm is swapped into
+/// pivot position, so the diagonal of `R` is non-increasing in magnitude
+/// and the numerical rank is the number of diagonal entries above a
+/// tolerance ([`ColPivQr::rank`]).  The leading `rank × rank` block of `R`
+/// is nonsingular, which is what exact marginalization of a possibly
+/// rank-deficient block column relies on (see `InfoHead::advance` in
+/// `kalman-model`): after [`ColPivQr::apply_qt`], the top `rank` rows of a
+/// companion block are exactly satisfiable by the eliminated variables and
+/// the rows below are untouched by them.
+///
+/// Column norms are recomputed at each step rather than downdated; the
+/// workspace only pivots state-dimension-sized blocks, where the `O(mn·r)`
+/// recomputation is noise and immune to downdating cancellation.
+#[derive(Debug, Clone)]
+pub struct ColPivQr {
+    /// Packed factor of the pivoted matrix: `R` on and above the diagonal,
+    /// Householder tails below it.
+    packed: Matrix,
+    /// Householder coefficients, one per eliminated column.
+    tau: Vec<f64>,
+    /// `perm[j]` = original index of the column now in position `j`.
+    perm: Vec<usize>,
+}
+
+impl ColPivQr {
+    /// Factorizes `a` (consumed; any shape).
+    pub fn new(mut a: Matrix) -> Self {
+        let (m, n) = (a.rows(), a.cols());
+        let steps = m.min(n);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut tau = vec![0.0; steps];
+        for (j, t) in tau.iter_mut().enumerate() {
+            // Pivot: bring the column with the largest residual norm to j.
+            let mut best = j;
+            let mut best_norm = 0.0f64;
+            for k in j..n {
+                let norm: f64 = a.col(k)[j..].iter().map(|v| v * v).sum();
+                if norm > best_norm {
+                    best_norm = norm;
+                    best = k;
+                }
+            }
+            if best != j {
+                let (cj, cb) = a.two_cols_mut(j, best);
+                cj.swap_with_slice(cb);
+                perm.swap(j, best);
+            }
+            *t = eliminate_column(&mut a, j);
+        }
+        ColPivQr {
+            packed: a,
+            tau,
+            perm,
+        }
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.packed.cols()
+    }
+
+    /// The column permutation: position `j` of the factor holds original
+    /// column `perm()[j]`.
+    pub fn perm(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// The (trapezoidal) factor `R`, `min(m, n) × n`, of the *pivoted*
+    /// matrix.
+    pub fn r(&self) -> Matrix {
+        let steps = self.tau.len();
+        let mut r = Matrix::zeros(steps, self.cols());
+        for j in 0..self.cols() {
+            for i in 0..steps.min(j + 1) {
+                r[(i, j)] = self.packed[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Numerical rank: the number of leading diagonal entries of `R` above
+    /// `max|R_jj| · max(m, n) · ε` (the pivoting makes the diagonal
+    /// magnitudes non-increasing, so this is a prefix count).
+    pub fn rank(&self) -> usize {
+        let steps = self.tau.len();
+        let max_diag = (0..steps).fold(0.0_f64, |acc, j| acc.max(self.packed[(j, j)].abs()));
+        let tol = max_diag * (self.rows().max(self.cols()) as f64) * f64::EPSILON;
+        (0..steps)
+            .take_while(|&j| self.packed[(j, j)].abs() > tol)
+            .count()
+    }
+
+    /// Applies `Qᵀ` to `b` in place (`b` must have the same row count as
+    /// the factored matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.rows()`.
+    pub fn apply_qt(&self, b: &mut Matrix) {
+        assert_eq!(b.rows(), self.rows(), "apply_qt row mismatch");
+        for j in 0..self.tau.len() {
+            if self.tau[j] == 0.0 {
+                continue;
+            }
+            let vtail = &self.packed.col(j)[j + 1..];
+            for k in 0..b.cols() {
+                apply_householder(vtail, self.tau[j], &mut b.col_mut(k)[j..]);
+            }
+        }
     }
 }
 
@@ -400,6 +527,64 @@ mod tests {
         let r = compress_rows(&a, &mut rhs);
         assert!(r.approx_eq(&a, 0.0));
         assert_eq!(rhs[(0, 0)], 5.0);
+    }
+
+    #[test]
+    fn colpiv_full_rank_preserves_gram_and_reports_rank() {
+        let a = sample(); // 5x3, full rank
+        let qr = ColPivQr::new(a.clone());
+        assert_eq!(qr.rank(), 3);
+        // RᵀR equals the Gram of the *pivoted* matrix.
+        let r = qr.r();
+        let mut pivoted = Matrix::zeros(5, 3);
+        for (j, &orig) in qr.perm().iter().enumerate() {
+            for i in 0..5 {
+                pivoted[(i, j)] = a[(i, orig)];
+            }
+        }
+        assert!(matmul_tn(&r, &r).approx_eq(&matmul_tn(&pivoted, &pivoted), 1e-10));
+        // Diagonal magnitudes are non-increasing (the rank-revealing
+        // property the prefix count relies on).
+        for j in 1..3 {
+            assert!(r[(j, j)].abs() <= r[(j - 1, j - 1)].abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn colpiv_detects_rank_deficiency() {
+        // Rank 1: every column a multiple of the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0, -1.0], &[2.0, 4.0, -2.0], &[3.0, 6.0, -3.0]]);
+        assert_eq!(ColPivQr::new(a).rank(), 1);
+        // The zero matrix has rank 0; a zero-row matrix factors trivially.
+        assert_eq!(ColPivQr::new(Matrix::zeros(3, 2)).rank(), 0);
+        assert_eq!(ColPivQr::new(Matrix::zeros(0, 4)).rank(), 0);
+        // Wide matrices are accepted (unlike QrFactor).
+        let wide = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[1.0, 0.0, 2.0]]);
+        assert_eq!(ColPivQr::new(wide).rank(), 1);
+    }
+
+    #[test]
+    fn colpiv_apply_qt_is_orthogonal() {
+        // Qᵀ preserves column norms and maps the pivoted matrix onto R.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0], &[0.0, 0.0], &[2.0, 0.0]]);
+        let qr = ColPivQr::new(a.clone());
+        assert_eq!(qr.rank(), 1);
+        let b = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f64);
+        let mut qtb = b.clone();
+        qr.apply_qt(&mut qtb);
+        for k in 0..2 {
+            let n0: f64 = b.col(k).iter().map(|v| v * v).sum();
+            let n1: f64 = qtb.col(k).iter().map(|v| v * v).sum();
+            assert!((n0 - n1).abs() < 1e-12);
+        }
+        // Rows below the rank of the transformed matrix itself are zero.
+        let mut ta = a.clone();
+        qr.apply_qt(&mut ta);
+        for i in qr.rank()..4 {
+            for j in 0..2 {
+                assert!(ta[(i, j)].abs() < 1e-12, "({i},{j}) = {}", ta[(i, j)]);
+            }
+        }
     }
 
     #[test]

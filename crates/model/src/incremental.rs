@@ -19,7 +19,7 @@
 use crate::{
     KalmanError, LinearModel, Observation, Prior, Result, WhitenedEvo, WhitenedObs, WhitenedStep,
 };
-use kalman_dense::{compress_rows, Matrix, QrFactor};
+use kalman_dense::{compress_rows, ColPivQr, Matrix};
 
 /// A whitened information block row `C u ≈ d` (noise implicitly `I`) on a
 /// single state: the "R-factor head" summarizing everything a stream has
@@ -147,31 +147,42 @@ impl InfoHead {
     /// [-B   D | r ]      (whitened evolution rows, as in §3 of the paper)
     /// ```
     ///
-    /// and keep the rows below the eliminated triangle.  Those top rows are
-    /// exactly satisfiable by the marginalized state (they are used only to
-    /// *recover* it, which the window smoother has already done), so
-    /// dropping them leaves the exact marginal on the next state.
+    /// and keep the rows below the eliminated block.  The elimination uses
+    /// a *rank-revealing* (column-pivoted) QR: only the top `rank([C; -B])`
+    /// rows of the transformed system are exactly satisfiable by the
+    /// marginalized state (they are used only to *recover* it, which the
+    /// window smoother has already done), so exactly those are dropped and
+    /// everything below survives as the marginal on the next state.
+    ///
+    /// Dropping a fixed `n_cur` rows instead would be wrong whenever
+    /// `[C; -B]` is rank-deficient — an underdetermined head advanced
+    /// through a singular evolution (`F` with a zero row, a stream with no
+    /// prior): the evolution rows acting on `ker F` carry information about
+    /// the *next* state only, and sit below the eliminated block's rank.
     pub fn advance(&self, evo: &WhitenedEvo) -> InfoHead {
         let n_cur = self.state_dim();
         let n_next = evo.d.cols();
         debug_assert_eq!(evo.b.cols(), n_cur, "advance dimension mismatch");
         let a = Matrix::vstack(&[&self.c, &evo.b.scaled(-1.0)]);
         let rows = a.rows();
-        if rows <= n_cur {
+        let qr = ColPivQr::new(a);
+        let rank = qr.rank();
+        if rank >= rows {
             // The eliminated state absorbs every row: no information flows
-            // forward (e.g. the no-prior, no-observation prefix of a fresh
-            // stream, whose evolution rows are exactly satisfiable).
+            // forward (e.g. a fresh no-prior stream advancing through a
+            // nonsingular evolution).
             return InfoHead::empty(n_next);
         }
         let mut companion = Matrix::zeros(rows, n_next + 1);
         companion.set_block(0, n_next, &self.d);
         companion.set_block(self.c.rows(), 0, &evo.d);
         companion.set_block(self.c.rows(), n_next, &evo.rhs);
-        let qr = QrFactor::new(a);
+        // The pivoting permutes only the eliminated state's columns, which
+        // are discarded wholesale, so the companion needs no permutation.
         qr.apply_qt(&mut companion);
-        let kept = rows - n_cur;
-        let c_new = companion.sub_matrix(n_cur, 0, kept, n_next);
-        let d_new = companion.sub_matrix(n_cur, n_next, kept, 1);
+        let kept = rows - rank;
+        let c_new = companion.sub_matrix(rank, 0, kept, n_next);
+        let d_new = companion.sub_matrix(rank, n_next, kept, 1);
         let mut head = InfoHead::empty(n_next);
         head.absorb(&c_new, &d_new);
         head
@@ -344,6 +355,57 @@ mod tests {
         let (nc, nd) = next.rows_ref();
         assert!(matmul_tn(nc, nc).approx_eq(&s, 1e-10), "marginal Gram");
         assert!(matmul_tn(nc, nd).approx_eq(&sm, 1e-10), "marginal moment");
+    }
+
+    /// Regression: an *empty* head advanced through a singular evolution
+    /// must keep the evolution rows acting on `ker F` — they constrain the
+    /// next state only.  (The pre-rank-revealing implementation returned
+    /// the empty head whenever `rows <= n_cur`, silently dropping them.)
+    #[test]
+    fn advance_of_empty_head_through_singular_f_keeps_process_information() {
+        let head = InfoHead::empty(2);
+        // u1 = F u0 + [0, 5] + noise(I), F = [[1,0],[0,0]]: component 1 of
+        // u1 is pure process mean, u1[1] ≈ 5 with unit precision.
+        let evo = WhitenedEvo {
+            b: Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]),
+            d: Matrix::identity(2),
+            rhs: Matrix::col_from_slice(&[0.0, 5.0]),
+        };
+        let next = head.advance(&evo);
+        assert_eq!(next.rows(), 1, "one surviving information row");
+        let (nc, nd) = next.rows_ref();
+        let gram = matmul_tn(nc, nc);
+        let expect = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0]]);
+        assert!(gram.approx_eq(&expect, 1e-12), "marginal Gram {gram:?}");
+        let moment = matmul_tn(nc, nd);
+        assert!((moment[(0, 0)]).abs() < 1e-12);
+        assert!((moment[(1, 0)] - 5.0).abs() < 1e-12);
+    }
+
+    /// Regression: an underdetermined head stacked against a singular `F`
+    /// (a rank-deficient `[C; -B]`) must keep `rows - rank` rows, not
+    /// `rows - n` — here that is the difference between the exact marginal
+    /// and losing one of two information rows.
+    #[test]
+    fn advance_rank_deficient_stack_matches_dense_marginal() {
+        // Head knows only u0[0] ≈ 2; F's second row is zero.
+        let head = head_with(&[&[1.0, 0.0]], &[2.0]);
+        let evo = WhitenedEvo {
+            b: Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]),
+            d: Matrix::identity(2),
+            rhs: Matrix::col_from_slice(&[0.3, 5.0]),
+        };
+        let next = head.advance(&evo);
+        assert_eq!(next.rows(), 2, "both next-state directions informed");
+        let (nc, nd) = next.rows_ref();
+        // By hand: u1[0] = u0[0] + w with u0[0] ≈ 2 (unit noise) gives
+        // u1[0] ≈ 2.3 at precision 1/2; u1[1] ≈ 5 at precision 1.
+        let gram = matmul_tn(nc, nc);
+        let expect = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 1.0]]);
+        assert!(gram.approx_eq(&expect, 1e-12), "marginal Gram {gram:?}");
+        let moment = matmul_tn(nc, nd);
+        assert!((moment[(0, 0)] - 1.15).abs() < 1e-12);
+        assert!((moment[(1, 0)] - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -31,5 +31,7 @@ mod policy;
 mod scan;
 
 pub use pfor::{for_each_index, for_each_mut, map_collect};
-pub use policy::{available_parallelism, run_with_threads, ExecPolicy, DEFAULT_GRAIN};
+pub use policy::{
+    available_parallelism, current_pool_threads, run_with_threads, ExecPolicy, DEFAULT_GRAIN,
+};
 pub use scan::{inclusive_scan_in_place, suffix_scan_in_place};

@@ -22,7 +22,7 @@ where
             (0..n)
                 .into_par_iter()
                 .with_min_len(grain)
-                .with_max_len(grain.max(grain))
+                .with_max_len(grain)
                 .for_each(&f);
         }
     }

@@ -68,6 +68,15 @@ pub fn run_with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -
     pool.install(f)
 }
 
+/// Number of worker threads in the rayon pool current at the call site:
+/// the enclosing [`run_with_threads`] pool's size, or the global pool's
+/// size (which honors `RAYON_NUM_THREADS`) outside any pool.  This is the
+/// parallelism an `ExecPolicy::Par` loop here would actually run with —
+/// report this, not [`available_parallelism`], next to measured speedups.
+pub fn current_pool_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Number of hardware threads available to this process.
 pub fn available_parallelism() -> usize {
     std::thread::available_parallelism()

@@ -8,8 +8,12 @@
 //! geometrically (≈ 0.38 per observed step on the paper's benchmark
 //! dynamics), so the lags below push it far beneath the 1e-8 assertion.
 
-use kalman::model::{events_of, generators, LinearModel};
+use kalman::model::{
+    events_of, generators, CovarianceSpec, Evolution, LinearModel, LinearStep, Observation,
+    StreamEvent,
+};
 use kalman::prelude::*;
+use kalman_dense::Matrix;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -163,6 +167,129 @@ fn pooled_streams_each_match_their_batch() {
     for (k, model) in models.iter().enumerate() {
         let batch = odd_even_smooth(model, OddEvenOptions::default()).unwrap();
         assert_matches_batch(&collected[k], &batch, 1e-8, None);
+    }
+}
+
+/// The model from the `scratch_review` regression: rank-deficient
+/// `F = [[1,0],[0,0]]`, no prior, identity observations only every 4th
+/// step, process mean pushing the dead component toward 5.
+fn singular_f_model(k: u64) -> LinearModel {
+    let n = 2;
+    let f = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 0.0]]);
+    let obs = |i: u64| Observation {
+        g: Matrix::identity(n),
+        o: vec![i as f64, 0.5],
+        noise: CovarianceSpec::Identity(n),
+    };
+    let mut model = LinearModel::new();
+    let mut step0 = LinearStep::initial(n);
+    step0.observation = Some(obs(0));
+    model.push_step(step0);
+    for i in 1..=k {
+        let evo = Evolution {
+            f: f.clone(),
+            h: None,
+            c: vec![0.0, 5.0],
+            noise: CovarianceSpec::Identity(n),
+        };
+        let mut s = LinearStep::evolving(evo);
+        if i % 4 == 0 {
+            s.observation = Some(obs(i));
+        }
+        model.push_step(s);
+    }
+    model
+}
+
+/// The prefix of `model` up to and including state `horizon`.
+fn truncated(model: &LinearModel, horizon: usize) -> LinearModel {
+    let mut m = LinearModel::new();
+    m.prior = model.prior.clone();
+    for s in &model.steps[..=horizon] {
+        m.push_step(s.clone());
+    }
+    m
+}
+
+/// Streams `model`, recording for every finalized step the *horizon* (the
+/// newest ingested state) at emission time.
+fn stream_with_horizons(model: &LinearModel, opts: StreamOptions) -> Vec<(FinalizedStep, usize)> {
+    let mut stream = stream_for(model, opts);
+    let mut finalized = Vec::new();
+    let mut newest = 0usize;
+    for event in events_of(model) {
+        if matches!(event, StreamEvent::Evolve(_)) {
+            newest += 1;
+        }
+        // An evolve event flushes *before* appending the new state, so
+        // steps it emits saw data only up to the previous newest state.
+        let horizon = match &event {
+            StreamEvent::Evolve(_) => newest - 1,
+            StreamEvent::Observe(_) => newest,
+        };
+        for f in stream.ingest(event).unwrap() {
+            finalized.push((f, horizon));
+        }
+    }
+    let (tail, _) = stream.finish().unwrap();
+    finalized.extend(tail.into_iter().map(|f| (f, newest)));
+    finalized
+}
+
+/// Named regression (was `tests/scratch_review.rs`): the singular-F,
+/// no-prior, sparse-observation stream must agree with the batch smoother
+/// run on exactly the data each finalized step had seen — the invariant the
+/// `InfoHead` forget/condense path promises, and the one a rank-deficient
+/// `[C; -B]` stack in `InfoHead::advance` breaks without rank-revealing
+/// elimination.
+///
+/// The original scratch test compared against the *full-hindsight* batch
+/// solution instead.  That comparison cannot converge for this model at any
+/// small lag: the live component is a pure random walk observed every 4th
+/// step, so observations beyond the 2-step finalization lag move the batch
+/// estimate by O(1) (the observed 1.73), for any correct fixed-lag
+/// smoother.  Against the matching-hindsight batch the agreement is exact.
+#[test]
+fn singular_f_no_prior_stream_matches_batch() {
+    let k = 12u64;
+    let model = singular_f_model(k);
+    let opts = StreamOptions {
+        lag: 2,
+        flush_every: 2,
+        covariances: false,
+        ..StreamOptions::default()
+    };
+    let finalized = stream_with_horizons(&model, opts);
+    assert_eq!(finalized.len(), k as usize + 1, "every step finalized once");
+    // Steps are forgotten while observations are still 4 steps apart: the
+    // condensation path this regression guards is genuinely exercised.
+    assert!(finalized.iter().any(|(f, h)| (*h - f.index as usize) <= 3));
+    for (f, horizon) in &finalized {
+        let i = f.index as usize;
+        let batch =
+            odd_even_smooth(&truncated(&model, *horizon), OddEvenOptions::default()).unwrap();
+        let diff = f
+            .mean
+            .iter()
+            .zip(batch.mean(i))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-8, "state {i} (horizon {horizon}): diff {diff}");
+    }
+    // The tail finalizes at `finish()` with full hindsight, so there the
+    // full-batch comparison is apples-to-apples and must hold too.
+    let full = odd_even_smooth(&model, OddEvenOptions::default()).unwrap();
+    for (f, horizon) in &finalized {
+        if *horizon == k as usize {
+            let i = f.index as usize;
+            let diff = f
+                .mean
+                .iter()
+                .zip(full.mean(i))
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(diff < 1e-8, "tail state {i}: diff {diff}");
+        }
     }
 }
 

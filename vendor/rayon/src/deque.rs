@@ -1,0 +1,44 @@
+//! Per-worker job queues.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::pool::JobRef;
+
+/// A double-ended job queue: the owning worker pushes and pops at the back
+/// (LIFO, so it unwinds its own splits depth-first while they are still hot
+/// in cache), while thieves steal from the front (FIFO, taking the oldest —
+/// hence largest — pending subtree and with it roughly half the remaining
+/// work).
+///
+/// This is a `Mutex<VecDeque>` rather than a lock-free Chase–Lev deque on
+/// purpose: the workspace schedules coarse tasks (each one a grain of
+/// smoother steps, i.e. several block QR factorizations), so queue
+/// operations are orders of magnitude rarer than the arithmetic they
+/// schedule, and the mutex is held for a handful of instructions at a time.
+pub(crate) struct Deque {
+    jobs: Mutex<VecDeque<JobRef>>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            jobs: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a job at the owner's end.
+    pub(crate) fn push(&self, job: JobRef) {
+        self.jobs.lock().expect("deque poisoned").push_back(job);
+    }
+
+    /// Dequeues the most recently pushed job (owner side, LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque poisoned").pop_back()
+    }
+
+    /// Steals the oldest job (thief side, FIFO).
+    pub(crate) fn steal(&self) -> Option<JobRef> {
+        self.jobs.lock().expect("deque poisoned").pop_front()
+    }
+}

@@ -1,0 +1,272 @@
+//! Parallel-iterator adaptors over index ranges and mutable slices.
+//!
+//! Work is split by recursive halving through [`crate::join`], so every
+//! piece is a stealable task.  Splitting honors the rayon grain bounds:
+//! pieces longer than `with_max_len` are always split further, and a
+//! *voluntary* (load-balancing) split never produces pieces shorter than
+//! `with_min_len`; between the bounds a split budget proportional to the
+//! pool size decides.  As in rayon, halving means max-forced splits land
+//! on halves, not on multiples of the grain — with `min == max == grain`
+//! (how `kalman-par` drives this) leaf tasks run *at most* `grain` and
+//! more than `grain / 2` consecutive iterations (unless the whole range is
+//! shorter), which can undershoot `min` when the two bounds conflict.
+//!
+//! Ordered operations (`map(..).collect()`, `enumerate()`) are index-stable
+//! by construction — each task writes results into its own disjoint
+//! pre-assigned slots — so results are identical to sequential execution
+//! regardless of thread count or steal timing.
+
+use std::mem::MaybeUninit;
+use std::ops::Range;
+
+use crate::pool::{current_worker, global_registry};
+
+/// Split budget for one adaptor invocation: aim for a few stealable pieces
+/// per worker so load imbalance can be smoothed out.
+fn split_budget() -> usize {
+    crate::current_num_threads().saturating_mul(4)
+}
+
+/// Runs `f` inside the current pool (inline when already on a worker,
+/// else on the global pool).
+fn in_pool<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    match current_worker() {
+        Some(_) => f(),
+        None => global_registry().in_worker(f),
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Index-range parallel iterator with grain-size bounds.
+pub struct ParRange {
+    range: Range<usize>,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            range: self,
+            min_len: 1,
+            max_len: usize::MAX,
+        }
+    }
+}
+
+impl ParRange {
+    /// Never splits into pieces shorter than `min` indices.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
+    }
+
+    /// Always splits pieces longer than `max` indices.
+    pub fn with_max_len(mut self, max: usize) -> Self {
+        self.max_len = max.max(1);
+        self
+    }
+
+    /// Applies `f` to every index, in parallel.
+    pub fn for_each<F: Fn(usize) + Sync + Send>(self, f: F) {
+        if self.range.is_empty() {
+            return;
+        }
+        let (min, max) = (self.min_len, self.max_len);
+        in_pool(|| split_indices(self.range, min, max, split_budget(), &f));
+    }
+
+    /// Maps every index through `f`.
+    pub fn map<T, F: Fn(usize) -> T + Sync + Send>(self, f: F) -> ParMap<F> {
+        ParMap {
+            range: self.range,
+            min_len: self.min_len,
+            max_len: self.max_len,
+            f,
+        }
+    }
+}
+
+/// Recursive halving over an index range; leaves run sequentially.
+fn split_indices<F: Fn(usize) + Sync>(
+    range: Range<usize>,
+    min: usize,
+    max: usize,
+    budget: usize,
+    f: &F,
+) {
+    let len = range.len();
+    let must_split = len > max;
+    let may_split = budget > 0 && len >= 2 * min && len >= 2;
+    if must_split || may_split {
+        let mid = range.start + len / 2;
+        let (lo, hi) = (range.start..mid, mid..range.end);
+        crate::join(
+            || split_indices(lo, min, max, budget / 2, f),
+            || split_indices(hi, min, max, budget - budget / 2, f),
+        );
+    } else {
+        for i in range {
+            f(i);
+        }
+    }
+}
+
+/// Mapped range adaptor; `collect` preserves index order (as rayon's
+/// indexed collect does).
+pub struct ParMap<F> {
+    range: Range<usize>,
+    min_len: usize,
+    max_len: usize,
+    f: F,
+}
+
+/// Raw output cursor shared by the collecting tasks; each task writes only
+/// the slots of its own index sub-range.
+struct SlotWriter<T>(*mut MaybeUninit<T>);
+
+impl<T> Clone for SlotWriter<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlotWriter<T> {}
+// SAFETY: tasks write disjoint slots (one per index, each index visited
+// exactly once), and the buffer outlives the parallel region.
+unsafe impl<T: Send> Send for SlotWriter<T> {}
+unsafe impl<T: Send> Sync for SlotWriter<T> {}
+
+impl<T> SlotWriter<T> {
+    /// Writes `value` into slot `offset`.
+    ///
+    /// # Safety
+    ///
+    /// `offset` must be in bounds and written at most once, and the buffer
+    /// must outlive the write.
+    unsafe fn write(self, offset: usize, value: T) {
+        unsafe { self.0.add(offset).write(MaybeUninit::new(value)) }
+    }
+}
+
+impl<F> ParMap<F> {
+    /// Collects mapped values in index order.
+    pub fn collect<C, T>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync + Send,
+        C: FromIterator<T>,
+        T: Send,
+    {
+        let n = self.range.len();
+        let start = self.range.start;
+        let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+        // SAFETY: MaybeUninit slots need no initialization; if a task
+        // panics below, dropping `buf` leaks the written values but is
+        // sound (MaybeUninit never runs destructors).
+        unsafe { buf.set_len(n) };
+        {
+            let out = SlotWriter(buf.as_mut_ptr());
+            let f = &self.f;
+            let (min, max) = (self.min_len, self.max_len);
+            if n > 0 {
+                in_pool(|| {
+                    split_indices(self.range, min, max, split_budget(), &move |i| {
+                        let value = f(i);
+                        // SAFETY: slot `i - start` is written exactly once.
+                        unsafe { out.write(i - start, value) };
+                    })
+                });
+            }
+        }
+        // SAFETY: every slot was initialized above; Vec<MaybeUninit<T>> and
+        // Vec<T> have identical layout.
+        let vec = unsafe {
+            let (ptr, len, cap) = (buf.as_mut_ptr(), buf.len(), buf.capacity());
+            std::mem::forget(buf);
+            Vec::from_raw_parts(ptr as *mut T, len, cap)
+        };
+        vec.into_iter().collect()
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut::par_chunks_mut`.
+pub trait ParallelSliceMut<T> {
+    /// Splits the slice into chunks of at most `chunk_size` elements, each
+    /// processed as a stealable task.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+/// Chunked mutable parallel iterator.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its chunk index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+        }
+    }
+}
+
+/// Enumerated chunked adaptor; chunk indices match the sequential
+/// `chunks_mut(..).enumerate()` numbering regardless of scheduling.
+pub struct ParEnumerate<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<T: Send> ParEnumerate<'_, T> {
+    /// Applies `f` to every `(chunk index, chunk)` pair, in parallel.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync + Send>(self, f: F) {
+        if self.slice.is_empty() {
+            return;
+        }
+        let size = self.chunk_size;
+        in_pool(|| split_chunks(self.slice, size, 0, split_budget(), &f));
+    }
+}
+
+/// Recursive halving on chunk boundaries; leaves iterate their chunks
+/// sequentially.
+fn split_chunks<T: Send, F: Fn((usize, &mut [T])) + Sync>(
+    slice: &mut [T],
+    size: usize,
+    base: usize,
+    budget: usize,
+    f: &F,
+) {
+    let nchunks = slice.len().div_ceil(size);
+    if nchunks >= 2 && budget > 0 {
+        let mid = nchunks / 2;
+        let (lo, hi) = slice.split_at_mut(mid * size);
+        crate::join(
+            || split_chunks(lo, size, base, budget / 2, f),
+            || split_chunks(hi, size, base + mid, budget - budget / 2, f),
+        );
+    } else {
+        for (j, chunk) in slice.chunks_mut(size).enumerate() {
+            f((base + j, chunk));
+        }
+    }
+}

@@ -1,29 +1,48 @@
-//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//! Offline work-stealing stand-in for [rayon](https://crates.io/crates/rayon).
 //!
 //! The build environment has no access to crates.io, so this crate provides
-//! the *exact subset* of rayon's API the workspace uses, with sequential
-//! execution semantics:
+//! the subset of rayon's API the workspace uses, backed by a real
+//! multithreaded work-stealing runtime:
 //!
-//! * [`join`], the parallel-iterator adaptors in [`prelude`], and
-//!   [`ThreadPool::install`] all run their work on the calling thread, in
-//!   the same order a single rayon worker would.
-//! * [`ThreadPoolBuilder`] records the requested worker count and
-//!   [`current_num_threads`] reports it, so thread-count plumbing (the
-//!   benchmark harness's core sweeps) behaves observably like rayon.
+//! * a lazily built **global pool** (sized by `RAYON_NUM_THREADS` or the
+//!   machine parallelism) plus explicit pools via [`ThreadPoolBuilder`];
+//! * one OS-thread worker per pool slot, each with its own deque; idle
+//!   workers steal from the injector queue and from siblings;
+//! * [`join`] pushes its second closure as a stealable task and *helps*
+//!   (pops it back or executes other runnable work) while waiting, so
+//!   nested fork-join parallelism composes without blocking workers;
+//! * the [`prelude`] parallel-iterator adaptors split work by recursive
+//!   halving, honoring `with_min_len`/`with_max_len` grain bounds, and keep
+//!   indexed operations (`map().collect()`, `enumerate()`) order-stable;
+//! * [`ThreadPool::install`] runs its closure **on the pool** and scopes
+//!   [`current_num_threads`] accordingly.
 //!
-//! Every primitive in `kalman-par` is *deterministic by construction* (the
-//! odd-even smoother is bitwise reproducible under any schedule), so
-//! sequential execution changes timing only, never results.  Swapping the
-//! real rayon back in is a one-line change in the workspace manifest.
+//! Scheduling is nondeterministic (that is the point), but every ordered
+//! adaptor writes to pre-assigned slots, so any caller whose per-item work
+//! is pure gets results bitwise identical to sequential execution — the
+//! property `kalman-par`'s determinism suite asserts.
+//!
+//! Swapping the real rayon back in is a one-line change in the workspace
+//! manifest.
 
-use std::cell::Cell;
+mod deque;
+mod iter;
+mod pool;
 
-thread_local! {
-    /// Worker count of the innermost `ThreadPool::install` on this thread.
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// Runs both closures (sequentially, in order) and returns both results.
+use pool::Registry;
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// `oper_b` is published as a stealable task while the calling thread runs
+/// `oper_a`; if no other worker steals it, the caller executes it next
+/// (LIFO), so the sequential order is the fallback.  Called outside any
+/// pool, the whole join moves onto the global pool first.
+///
+/// If either closure panics, the panic is propagated to the caller after
+/// both closures have finished (rayon semantics).
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -31,20 +50,20 @@ where
     RA: Send,
     RB: Send,
 {
-    (oper_a(), oper_b())
+    pool::join(oper_a, oper_b)
 }
 
-/// The number of threads in the current pool (the machine's parallelism when
-/// called outside any [`ThreadPool::install`]).
+/// The number of threads in the current pool: the enclosing pool's size on
+/// a worker thread (e.g. inside [`ThreadPool::install`]), the global pool's
+/// size elsewhere.
 pub fn current_num_threads() -> usize {
-    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    match pool::current_worker() {
+        Some((registry, _)) => registry.num_threads(),
+        None => pool::global_registry().num_threads(),
+    }
 }
 
-/// Error returned when a pool cannot be built (zero threads requested).
+/// Error returned when a pool cannot be built.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(String);
 
@@ -74,7 +93,7 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds the pool.
+    /// Builds the pool, spawning its worker threads.
     ///
     /// # Errors
     ///
@@ -88,141 +107,52 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        let (registry, handles) = Registry::new(threads);
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// A "pool" that runs installed closures on the calling thread while
-/// reporting the configured worker count.
+/// An explicitly built worker pool.  Dropping it shuts the workers down
+/// (any `install` in flight has completed by then, since `install` blocks
+/// its caller).
 pub struct ThreadPool {
-    threads: usize,
+    registry: Arc<Registry>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 impl ThreadPool {
-    /// Runs `f` with [`current_num_threads`] reporting this pool's size.
+    /// Runs `f` on this pool and returns its result: parallel primitives
+    /// called inside `f` use this pool's workers, and
+    /// [`current_num_threads`] reports this pool's size.  Panics in `f`
+    /// propagate to the caller.
     pub fn install<T: Send>(&self, f: impl FnOnce() -> T + Send) -> T {
-        POOL_THREADS.with(|t| {
-            let prev = t.replace(Some(self.threads));
-            let out = f();
-            t.set(prev);
-            out
-        })
+        self.registry.in_worker(f)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
 pub mod prelude {
-    //! Sequential re-implementations of the parallel-iterator adaptors.
-
-    /// Entry point mirroring `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// The "parallel" iterator type.
-        type Iter;
-        /// Converts `self` into a (sequentially executed) parallel iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    /// Index-range "parallel" iterator with grain-size hints.
-    pub struct ParRange {
-        range: std::ops::Range<usize>,
-    }
-
-    impl IntoParallelIterator for std::ops::Range<usize> {
-        type Iter = ParRange;
-        fn into_par_iter(self) -> ParRange {
-            ParRange { range: self }
-        }
-    }
-
-    impl ParRange {
-        /// Grain-size hint (accepted, ignored: execution is sequential).
-        pub fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-
-        /// Grain-size hint (accepted, ignored: execution is sequential).
-        pub fn with_max_len(self, _max: usize) -> Self {
-            self
-        }
-
-        /// Applies `f` to every index in order.
-        pub fn for_each<F: Fn(usize) + Sync + Send>(self, f: F) {
-            for i in self.range {
-                f(i);
-            }
-        }
-
-        /// Maps every index in order.
-        pub fn map<T, F: Fn(usize) -> T + Sync + Send>(self, f: F) -> ParMap<F> {
-            ParMap {
-                range: self.range,
-                f,
-            }
-        }
-    }
-
-    /// Mapped range adaptor; `collect` preserves index order (as rayon's
-    /// indexed collect does).
-    pub struct ParMap<F> {
-        range: std::ops::Range<usize>,
-        f: F,
-    }
-
-    impl<F> ParMap<F> {
-        /// Collects mapped values in index order.
-        pub fn collect<C, T>(self) -> C
-        where
-            F: Fn(usize) -> T + Sync + Send,
-            C: FromIterator<T>,
-        {
-            self.range.map(self.f).collect()
-        }
-    }
-
-    /// Mirror of `rayon::slice::ParallelSliceMut::par_chunks_mut`.
-    pub trait ParallelSliceMut<T> {
-        /// Splits the slice into chunks of at most `chunk_size` elements.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
-    }
-
-    impl<T: Send> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
-            ParChunksMut {
-                inner: self.chunks_mut(chunk_size),
-            }
-        }
-    }
-
-    /// Chunked mutable iterator with the rayon adaptor surface.
-    pub struct ParChunksMut<'a, T> {
-        inner: std::slice::ChunksMut<'a, T>,
-    }
-
-    impl<'a, T> ParChunksMut<'a, T> {
-        /// Pairs each chunk with its index.
-        pub fn enumerate(self) -> ParEnumerate<std::slice::ChunksMut<'a, T>> {
-            ParEnumerate { inner: self.inner }
-        }
-    }
-
-    /// Enumerated adaptor.
-    pub struct ParEnumerate<I> {
-        inner: I,
-    }
-
-    impl<I: Iterator> ParEnumerate<I> {
-        /// Applies `f` to every `(index, item)` pair in order.
-        pub fn for_each<F: Fn((usize, I::Item)) + Sync + Send>(self, f: F) {
-            for pair in self.inner.enumerate() {
-                f(pair);
-            }
-        }
-    }
+    //! The parallel-iterator traits and adaptors.
+    pub use crate::iter::{
+        IntoParallelIterator, ParChunksMut, ParEnumerate, ParMap, ParRange, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn join_returns_both() {
@@ -257,5 +187,98 @@ mod tests {
         assert_eq!(data[0], 0);
         assert_eq!(data[8], 8 + 1);
         assert_eq!(data[49], 49 + 6);
+    }
+
+    #[test]
+    fn for_each_visits_every_index_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000).into_par_iter().with_max_len(3).for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn work_is_distributed_across_pool_workers() {
+        // A 4-worker pool must run a well-split loop on more than one
+        // thread (even on a 1-core machine the OS interleaves workers, and
+        // the injector/steal path hands tasks to whoever wakes).
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..256).into_par_iter().with_max_len(1).for_each(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(
+            seen.len() > 1,
+            "expected work on several workers, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn install_runs_on_a_pool_worker() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inside = pool.install(|| std::thread::current().id());
+        assert_ne!(caller, inside);
+    }
+
+    #[test]
+    fn nested_joins_compose() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 8 {
+                range.sum()
+            } else {
+                let mid = range.start + len / 2;
+                let (a, b) = join(|| sum(range.start..mid), || sum(mid..range.end));
+                a + b
+            }
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(|| sum(0..10_000)), 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            join(|| 1, || -> usize { panic!("boom") });
+        });
+        assert!(result.is_err());
+        // The pool survives a panicked task.
+        let (a, b) = join(|| 2, || 3);
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn sleeping_tasks_overlap_in_time() {
+        // Proof of real concurrency valid even on a loaded 1-CPU machine:
+        // count how many tasks are inside their sleep simultaneously.  A
+        // sequential executor never exceeds 1; a pool must overlap (a
+        // sleeping worker frees the CPU for a sibling to claim the next
+        // task long before the 40 ms sleep ends).
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let in_flight = AtomicUsize::new(0);
+        let high_water = AtomicUsize::new(0);
+        pool.install(|| {
+            (0..8).into_par_iter().with_max_len(1).for_each(|_| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                high_water.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+        let peak = high_water.load(Ordering::SeqCst);
+        assert!(peak > 1, "tasks never overlapped (peak concurrency {peak})");
+    }
+
+    #[test]
+    fn collect_into_non_vec_collections() {
+        let set: HashSet<usize> = (0..50).into_par_iter().map(|i| i / 2).collect();
+        assert_eq!(set.len(), 25);
     }
 }

@@ -1,0 +1,450 @@
+//! The work-stealing runtime: registries (thread pools), worker threads,
+//! type-erased jobs, and completion latches.
+//!
+//! The design is a compact version of rayon's own: a [`Registry`] owns one
+//! [`Deque`](crate::deque::Deque) per worker plus an injector queue for
+//! submissions from outside the pool.  Blocked operations ([`join`] waiting
+//! for its second closure, [`Registry::in_worker`] waiting for an injected
+//! job) never simply sleep while runnable work exists — workers *help*: they
+//! pop their own deque, then the injector, then steal from siblings.
+
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::deque::Deque;
+
+/// How many times an idle worker polls all queues (yielding in between)
+/// before it goes to sleep on the registry's condvar.
+const IDLE_SPINS_BEFORE_SLEEP: u32 = 64;
+
+/// Sleep timeout backstop.  The SeqCst `pending`/`sleeping` handshake
+/// already rules out lost wakeups (pushers increment `pending` before
+/// reading `sleeping`; sleepers increment `sleeping` before re-checking
+/// `pending`, and re-check under the lock), so this is pure
+/// defense-in-depth — long enough that idle workers cost no measurable
+/// CPU, e.g. while a sequential benchmark leg runs next to an idle pool.
+const SLEEP_TIMEOUT: Duration = Duration::from_millis(500);
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A type-erased pointer to a job.  The job data lives on the stack frame
+/// that is blocked waiting for it (see [`StackJob`]); `execute` must be
+/// called exactly once before that frame resumes, which the owning frame
+/// guarantees by waiting on the job's latch.
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the pointee outlives it
+// (the frame that owns the pointee blocks on the job's latch, which is set
+// only by execution).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job.
+    ///
+    /// # Safety
+    ///
+    /// Must be called at most once per job, while the pointee is alive.
+    pub(crate) unsafe fn execute(self) {
+        unsafe { (self.exec)(self.data) }
+    }
+}
+
+/// A completion latch: a single atomic flag.
+///
+/// The latch lives inside a [`StackJob`] on the waiting thread's stack, and
+/// the waiter is free to pop that frame the instant [`Latch::probe`]
+/// returns `true` — so [`Latch::set`] must be the executing thread's **last
+/// access** to the job.  Sleeping waiters therefore park on the registry's
+/// condvar (which outlives every job), not on the latch itself
+/// ([`Registry::wait_for_latch`]), and completion wakes them through the
+/// registry ([`Registry::notify_sleepers`]) via a handle captured *before*
+/// the flag is set.
+pub(crate) struct Latch {
+    set: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Self {
+        Latch {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// Non-blocking check.
+    pub(crate) fn probe(&self) -> bool {
+        self.set.load(Ordering::SeqCst)
+    }
+
+    /// Publishes completion.  After this store the waiting frame may be
+    /// freed at any moment; the caller must not touch the latch (or
+    /// anything else in its job) again.
+    fn set(&self) {
+        self.set.store(true, Ordering::SeqCst);
+    }
+}
+
+enum JobResult<R> {
+    Pending,
+    Done(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job whose closure and result slot live on the stack frame that waits
+/// for it — the mechanism that lets `join` run closures borrowing local
+/// state on another thread without `'static` bounds.  The owning frame must
+/// not return until the latch is set.
+pub(crate) struct StackJob<F, R> {
+    latch: Latch,
+    /// The pool the job runs in; completion wakeups go through it because
+    /// it outlives the job (see [`Latch`]).
+    registry: Arc<Registry>,
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F, registry: Arc<Registry>) -> Self {
+        StackJob {
+            latch: Latch::new(),
+            registry,
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+        }
+    }
+
+    pub(crate) fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// Erases this job into a [`JobRef`].
+    ///
+    /// # Safety
+    ///
+    /// The caller must keep `self` alive until the latch is set, and ensure
+    /// the returned ref is executed at most once.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        unsafe fn execute_erased<F, R>(data: *const ())
+        where
+            F: FnOnce() -> R + Send,
+            R: Send,
+        {
+            // SAFETY: `data` points to a live StackJob (the owning frame is
+            // blocked on the latch) and this is the only execution.
+            let this = unsafe { &*(data as *const StackJob<F, R>) };
+            let func = unsafe { (*this.func.get()).take().expect("job executed twice") };
+            let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
+                Ok(value) => JobResult::Done(value),
+                Err(payload) => JobResult::Panicked(payload),
+            };
+            unsafe { *this.result.get() = result };
+            // Take a registry handle BEFORE publishing: setting the latch
+            // frees the waiting frame (and `this` with it) for reuse, so
+            // the wakeup must go through an owned handle.
+            let registry = Arc::clone(&this.registry);
+            this.latch.set();
+            registry.notify_sleepers();
+        }
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: execute_erased::<F, R>,
+        }
+    }
+
+    /// Takes the result; the latch must have been observed set.
+    /// Re-raises the job's panic on the caller's thread, like rayon.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Done(value) => value,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("result taken before the job completed"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry (pool state) and workers
+// ---------------------------------------------------------------------------
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    /// One work-stealing deque per worker.
+    deques: Vec<Deque>,
+    /// Jobs submitted from threads outside the pool; workers steal from it
+    /// like from a sibling deque.
+    injector: Deque,
+    /// Jobs queued anywhere but not yet claimed — lets sleepy workers check
+    /// "is there anything at all?" without scanning every queue.
+    pending: AtomicUsize,
+    /// Number of workers currently asleep (pushers skip the condvar lock
+    /// when it is zero).
+    sleeping: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    sleep_cvar: Condvar,
+    terminating: AtomicBool,
+}
+
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread; `None` on external threads.
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// `(registry, worker index)` of the calling thread, if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(Arc<Registry>, usize)> {
+    WORKER.with(|w| {
+        w.borrow()
+            .as_ref()
+            .map(|ctx| (Arc::clone(&ctx.registry), ctx.index))
+    })
+}
+
+impl Registry {
+    /// Spawns `num_threads` workers and returns the shared registry plus
+    /// their join handles (global pool leaks them; built pools join on
+    /// drop).
+    pub(crate) fn new(num_threads: usize) -> (Arc<Registry>, Vec<JoinHandle<()>>) {
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads).map(|_| Deque::new()).collect(),
+            injector: Deque::new(),
+            pending: AtomicUsize::new(0),
+            sleeping: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cvar: Condvar::new(),
+            terminating: AtomicBool::new(false),
+        });
+        let handles = (0..num_threads)
+            .map(|index| {
+                let registry = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-worker-{index}"))
+                    .spawn(move || worker_main(registry, index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Wakes every sleeper — called after a push and after a job
+    /// completion (cheap no-op while nobody sleeps).  Lost wakeups are
+    /// ruled out by a Dekker-style handshake: notifiers publish their event
+    /// (`pending` increment / latch store, SeqCst) before reading
+    /// `sleeping`; sleepers increment `sleeping` (SeqCst) before
+    /// re-checking the event under the lock.
+    fn notify_sleepers(&self) {
+        if self.sleeping.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+            self.sleep_cvar.notify_all();
+        }
+    }
+
+    /// Parks the calling thread until `latch` is probably set: wakes on the
+    /// next [`Registry::notify_sleepers`] (a completion or new work) or the
+    /// [`SLEEP_TIMEOUT`] backstop.  The caller re-checks `latch.probe()` in
+    /// its own loop.  Parking on the registry rather than the latch keeps
+    /// the sleeping machinery in an object that outlives the job.
+    pub(crate) fn wait_for_latch(&self, latch: &Latch) {
+        self.sleeping.fetch_add(1, Ordering::SeqCst);
+        let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        if !latch.probe() {
+            let _ = self
+                .sleep_cvar
+                .wait_timeout(guard, SLEEP_TIMEOUT)
+                .expect("sleep lock poisoned");
+        }
+        self.sleeping.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Queues a job on worker `index`'s own deque.
+    ///
+    /// # Safety
+    ///
+    /// As for [`JobRef::execute`]: the pointee must stay alive until
+    /// executed, and the ref must be executed exactly once.
+    pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].push(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_sleepers();
+    }
+
+    /// Queues a job from outside the pool.
+    ///
+    /// # Safety
+    ///
+    /// As [`Registry::push_local`].
+    pub(crate) unsafe fn inject(&self, job: JobRef) {
+        self.injector.push(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_sleepers();
+    }
+
+    /// Claims a runnable job for worker `index`: its own deque first
+    /// (LIFO), then the injector, then siblings' deques (FIFO steal).
+    pub(crate) fn find_work(&self, index: usize) -> Option<JobRef> {
+        let n = self.deques.len();
+        let job = self.deques[index]
+            .pop()
+            .or_else(|| self.injector.steal())
+            .or_else(|| (1..n).find_map(|k| self.deques[(index + k) % n].steal()));
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Runs `f` on a worker of this pool and returns its result.  Called on
+    /// a worker of this very pool it runs inline; otherwise the calling
+    /// thread injects the closure and blocks until a worker finishes it
+    /// (propagating panics).
+    pub(crate) fn in_worker<T, F>(self: &Arc<Self>, f: F) -> T
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let on_this_pool = WORKER.with(|w| {
+            w.borrow()
+                .as_ref()
+                .is_some_and(|ctx| Arc::ptr_eq(&ctx.registry, self))
+        });
+        if on_this_pool {
+            return f();
+        }
+        let job = StackJob::new(f, Arc::clone(self));
+        // SAFETY: we block on the latch below, so the job outlives its ref
+        // and is executed exactly once (by whichever worker claims it).
+        unsafe { self.inject(job.as_job_ref()) };
+        while !job.latch().probe() {
+            self.wait_for_latch(job.latch());
+        }
+        job.into_result()
+    }
+
+    pub(crate) fn terminate(&self) {
+        self.terminating.store(true, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        self.sleep_cvar.notify_all();
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx {
+            registry: Arc::clone(&registry),
+            index,
+        });
+    });
+    let mut idle_spins = 0u32;
+    while !registry.terminating.load(Ordering::SeqCst) {
+        if let Some(job) = registry.find_work(index) {
+            idle_spins = 0;
+            // SAFETY: claimed from a queue, so this is the unique execution.
+            unsafe { job.execute() };
+        } else if idle_spins < IDLE_SPINS_BEFORE_SLEEP {
+            idle_spins += 1;
+            std::thread::yield_now();
+        } else {
+            idle_spins = 0;
+            registry.sleeping.fetch_add(1, Ordering::SeqCst);
+            let guard = registry.sleep_lock.lock().expect("sleep lock poisoned");
+            if registry.pending.load(Ordering::SeqCst) == 0
+                && !registry.terminating.load(Ordering::SeqCst)
+            {
+                let _ = registry
+                    .sleep_cvar
+                    .wait_timeout(guard, SLEEP_TIMEOUT)
+                    .expect("sleep lock poisoned");
+            }
+            registry.sleeping.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global pool
+// ---------------------------------------------------------------------------
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|value| value.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The lazily built global pool (sized by `RAYON_NUM_THREADS`, defaulting
+/// to the machine parallelism, like rayon).  Its workers are detached.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Registry::new(default_num_threads()).0)
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Work-stealing `join`: see [`crate::join`].
+pub(crate) fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    match current_worker() {
+        // Outside any pool: move the whole join onto the global pool.
+        None => global_registry().in_worker(move || join(oper_a, oper_b)),
+        Some((registry, index)) => {
+            let job_b = StackJob::new(oper_b, Arc::clone(&registry));
+            // SAFETY: this frame blocks (helping) until the latch is set,
+            // and the ref is executed once — either by a thief or by the
+            // helping loop below popping it back.
+            unsafe { registry.push_local(index, job_b.as_job_ref()) };
+            let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+            // Help until B is done: pop it back ourselves (top of our own
+            // deque unless stolen), or execute other runnable work, or nap
+            // briefly when the thief is still busy with it.  Even if A
+            // panicked we must wait — B may be running on a thief that
+            // still references this frame.
+            while !job_b.latch().probe() {
+                if let Some(job) = registry.find_work(index) {
+                    // SAFETY: unique execution of a claimed job.
+                    unsafe { job.execute() };
+                } else {
+                    registry.wait_for_latch(job_b.latch());
+                }
+            }
+            let ra = match result_a {
+                Ok(value) => value,
+                Err(payload) => panic::resume_unwind(payload),
+            };
+            (ra, job_b.into_result())
+        }
+    }
+}
