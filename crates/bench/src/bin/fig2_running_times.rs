@@ -8,12 +8,84 @@
 //!
 //! `cargo run --release -p kalman-bench --bin fig2_running_times \
 //!     [--k6 500000] [--k48 20000] [--runs 3] [--paper] [--quick]`
+//!
+//! `--smoke` runs the CI-sized single-thread benchmark instead: the batch
+//! odd-even smoother at n ∈ {4, 8, 16} (k = `--ksmoke`, default 20 000),
+//! measured twice — once with the blocked kernels + workspace pooling and
+//! once with the unblocked reference kernels + pooling disabled — and
+//! records both timings plus the speedups to `--json PATH`
+//! (`BENCH_smoother.json` in CI).
+//!
+//! The in-process "reference" toggles only the kernel/pooling choices, not
+//! the structural rewrites (fused factor-and-apply, triangular-pentagonal
+//! eliminations, scratch reuse), so these speedups *understate* the gain
+//! over the pre-optimization tree; the checked-in `BENCH_smoother.json`
+//! additionally records `main-baseline/*` timings measured by interleaved
+//! A/B against the predecessor commit on the same machine, with the
+//! `vs-main/*` speedups the acceptance gate refers to.
 
+use kalman::prelude::*;
 use kalman_bench::sweep::{panel_model, run_sweep, Algorithm};
-use kalman_bench::{core_sweep, fmt_secs, print_row, Args};
+use kalman_bench::{core_sweep, fmt_secs, median_time, print_row, Args, BenchEntry};
+
+fn smoke(args: &mut Args) {
+    let k: usize = args.get("ksmoke", 20_000);
+    let runs: usize = args.get("runs", 3);
+    let json: String = args.get("json", String::new());
+
+    let opts = OddEvenOptions {
+        covariances: true,
+        policy: ExecPolicy::Seq,
+        compress_odd: true,
+    };
+    let mut entries = Vec::new();
+    println!("fig2 --smoke: single-thread batch odd-even smoother, k={k}, medians of {runs}");
+    print_row(&[
+        "n".into(),
+        "reference".into(),
+        "blocked".into(),
+        "speedup".into(),
+    ]);
+    for (n, seed) in [(4usize, 10u64), (8, 11), (16, 12)] {
+        let model = panel_model(n, k, seed);
+        // Reference: unblocked kernels, pooling off (the pre-optimization
+        // configuration, measured in-process for an apples-to-apples run).
+        kalman::dense::set_reference_kernels(true);
+        kalman::dense::set_pooling(false);
+        let t_ref = median_time(runs, || {
+            odd_even_smooth(&model, opts).expect("well-posed");
+        });
+        // Blocked: the default fast path.
+        kalman::dense::set_reference_kernels(false);
+        kalman::dense::set_pooling(true);
+        let t_blk = median_time(runs, || {
+            odd_even_smooth(&model, opts).expect("well-posed");
+        });
+        let speedup = t_ref / t_blk;
+        print_row(&[
+            n.to_string(),
+            fmt_secs(t_ref),
+            fmt_secs(t_blk),
+            format!("{speedup:.2}x"),
+        ]);
+        entries.push(BenchEntry::new(format!("smoother/n{n}/reference"), t_ref));
+        entries.push(BenchEntry::new(format!("smoother/n{n}/blocked"), t_blk));
+        entries.push(BenchEntry::new(format!("speedup/n{n}"), speedup));
+    }
+    if !json.is_empty() {
+        let config = format!("fig2 --smoke: odd-even, 1 thread, k={k}, runs={runs}, n in [4,8,16]");
+        kalman_bench::write_bench_json(&json, &config, &entries).expect("write json");
+        println!("wrote {json}");
+    }
+}
 
 fn main() {
     let mut args = Args::parse();
+    if args.has("smoke") {
+        smoke(&mut args);
+        args.finish();
+        return;
+    }
     let paper = args.has("paper");
     let quick = args.has("quick");
     let (dk6, dk48) = if paper {

@@ -11,10 +11,102 @@
 //!
 //! `cargo run --release -p kalman-bench --bin fig4_microbench \
 //!     [--n 48] [--k 20000] [--runs 3]`
+//!
+//! `--smoke` runs the CI-sized kernel microbenchmark instead: GEMM and QR
+//! (factor + `Qᵀ` application) across block sizes, blocked kernels versus
+//! the unblocked reference, single-threaded; `--json PATH` records the
+//! timings and speedups (`BENCH_kernels.json` in CI).
 
-use kalman::dense::{Matrix, QrFactor};
+use kalman::dense::{gemm, gemm_ref, Matrix, QrFactor, Trans};
 use kalman::par::{for_each_mut, run_with_threads, ExecPolicy};
-use kalman_bench::{core_sweep, median_time, print_row, Args};
+use kalman_bench::{core_sweep, median_time, print_row, Args, BenchEntry};
+
+/// Deterministic full-rank test matrix (no RNG needed in the kernel
+/// sweep); shared with the dense crate's kernel oracle tests.
+fn test_matrix(m: usize, n: usize) -> Matrix {
+    kalman::dense::random::deterministic_well_conditioned(m, n)
+}
+
+fn smoke(args: &mut Args) {
+    let runs: usize = args.get("runs", 5);
+    let json: String = args.get("json", String::new());
+    let mut entries = Vec::new();
+
+    println!("fig4 --smoke: dense kernel microbenchmark (single thread, medians of {runs})");
+    print_row(&[
+        "kernel".into(),
+        "reference".into(),
+        "blocked".into(),
+        "speedup".into(),
+    ]);
+
+    // GEMM: C = A·B at n×n·n, repeated to amortize timer resolution.
+    for n in [8usize, 16, 24, 48, 96, 192] {
+        let a = test_matrix(n, n);
+        let b = test_matrix(n, n);
+        let mut c = Matrix::zeros(n, n);
+        let reps = (4_000_000 / (n * n * n)).max(1);
+        let t_ref = median_time(runs, || {
+            for _ in 0..reps {
+                gemm_ref(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+            }
+        }) / reps as f64;
+        let t_blk = median_time(runs, || {
+            for _ in 0..reps {
+                gemm(1.0, &a, Trans::No, &b, Trans::No, 0.0, &mut c);
+            }
+        }) / reps as f64;
+        let name = format!("gemm/n{n}");
+        print_row(&[
+            name.clone(),
+            format!("{:.3e}", t_ref),
+            format!("{:.3e}", t_blk),
+            format!("{:.2}x", t_ref / t_blk),
+        ]);
+        entries.push(BenchEntry::new(format!("{name}/reference"), t_ref));
+        entries.push(BenchEntry::new(format!("{name}/blocked"), t_blk));
+        entries.push(BenchEntry::new(format!("{name}/speedup"), t_ref / t_blk));
+    }
+
+    // QR: factor a 2n×n stack and apply Qᵀ to a 2n×(n+1) companion — the
+    // odd-even elimination's primitive — blocked (compact-WY) vs unblocked.
+    for n in [8usize, 16, 24, 48, 96, 128, 192, 256] {
+        let a = test_matrix(2 * n, n);
+        let b = test_matrix(2 * n, n + 1);
+        let reps = (2_000_000 / (n * n * n)).max(1);
+        let t_ref = median_time(runs, || {
+            for _ in 0..reps {
+                let qr = QrFactor::new_unblocked(a.clone());
+                let mut rhs = b.clone();
+                qr.apply_qt(&mut rhs);
+                std::hint::black_box(&rhs);
+            }
+        }) / reps as f64;
+        let t_blk = median_time(runs, || {
+            for _ in 0..reps {
+                let mut rhs = b.clone();
+                let qr = QrFactor::new_applying(a.clone(), &mut [&mut rhs]);
+                std::hint::black_box(&qr);
+            }
+        }) / reps as f64;
+        let name = format!("qr/n{n}");
+        print_row(&[
+            name.clone(),
+            format!("{:.3e}", t_ref),
+            format!("{:.3e}", t_blk),
+            format!("{:.2}x", t_ref / t_blk),
+        ]);
+        entries.push(BenchEntry::new(format!("{name}/reference"), t_ref));
+        entries.push(BenchEntry::new(format!("{name}/blocked"), t_blk));
+        entries.push(BenchEntry::new(format!("{name}/speedup"), t_ref / t_blk));
+    }
+
+    if !json.is_empty() {
+        let config = format!("fig4 --smoke: dense kernels, 1 thread, runs={runs}");
+        kalman_bench::write_bench_json(&json, &config, &entries).expect("write json");
+        println!("wrote {json}");
+    }
+}
 
 /// A step structure, heap-allocated like the paper's array-of-pointers.
 struct Step {
@@ -24,6 +116,11 @@ struct Step {
 
 fn main() {
     let mut args = Args::parse();
+    if args.has("smoke") {
+        smoke(&mut args);
+        args.finish();
+        return;
+    }
     let n: usize = args.get("n", 48);
     let k: usize = args.get("k", 20_000);
     let runs: usize = args.get("runs", 3);

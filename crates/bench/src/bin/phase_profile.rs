@@ -1,0 +1,42 @@
+//! Dev helper: phase timing of the batch odd-even smoother (whiten /
+//! factor / solve / SelInv), single thread.
+use kalman::model::{whiten_model, LinearModel};
+use kalman::odd_even::{factor_odd_even_owned, selinv_diag};
+use kalman::prelude::*;
+use kalman_bench::{median_time, Args};
+use rand::SeedableRng;
+
+fn profile(model: &LinearModel, runs: usize) -> [f64; 4] {
+    let policy = ExecPolicy::Seq;
+    let t_whiten = median_time(runs, || {
+        std::hint::black_box(whiten_model(model).unwrap());
+    });
+    let steps = whiten_model(model).unwrap();
+    let t_factor = median_time(runs, || {
+        std::hint::black_box(factor_odd_even_owned(steps.clone(), policy, true).unwrap());
+    });
+    let r = factor_odd_even_owned(steps, policy, true).unwrap();
+    let t_solve = median_time(runs, || {
+        std::hint::black_box(r.solve(policy).unwrap());
+    });
+    let t_selinv = median_time(runs, || {
+        std::hint::black_box(selinv_diag(&r, policy).unwrap());
+    });
+    [t_whiten, t_factor, t_solve, t_selinv]
+}
+
+fn main() {
+    let mut args = Args::parse();
+    let k: usize = args.get("k", 4000);
+    let runs: usize = args.get("runs", 3);
+    args.finish();
+    for (n, seed) in [(4usize, 10u64), (8, 11), (16, 12)] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let model = kalman::model::generators::paper_benchmark(&mut rng, n, k, true);
+        let [w, f, s, c] = profile(&model, runs);
+        println!(
+            "n={n}: whiten {w:.4} factor {f:.4} solve {s:.4} selinv {c:.4}  total {:.4}",
+            w + f + s + c
+        );
+    }
+}

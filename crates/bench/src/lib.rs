@@ -105,6 +105,76 @@ impl Args {
     }
 }
 
+/// One measurement destined for a `BENCH_*.json` artifact.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Hierarchical name, e.g. `smoother/n4/blocked` or `speedup/n4`.
+    pub name: String,
+    /// The measured value (seconds for timings, ratio for speedups).
+    pub value: f64,
+}
+
+impl BenchEntry {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        BenchEntry {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// Writes a `BENCH_*.json` artifact: a flat, line-oriented JSON document —
+/// one entry per line — so diffs stay readable and `bench_check` can parse
+/// it without a JSON library.
+///
+/// # Errors
+///
+/// I/O errors creating or writing the file.
+pub fn write_bench_json(path: &str, config: &str, entries: &[BenchEntry]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"schema\": \"kalman-bench/1\",")?;
+    writeln!(f, "  \"config\": \"{}\",", config.replace('"', "'"))?;
+    writeln!(f, "  \"entries\": [")?;
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"name\": \"{}\", \"value\": {:.6e}}}{comma}",
+            e.name, e.value
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")
+}
+
+/// Parses a `BENCH_*.json` artifact written by [`write_bench_json`]
+/// (line-oriented; not a general JSON parser).
+///
+/// # Errors
+///
+/// I/O errors; malformed entry lines are skipped.
+pub fn read_bench_json(path: &str) -> std::io::Result<Vec<BenchEntry>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix("{\"name\": \"") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once("\", \"value\": ") else {
+            continue;
+        };
+        let Ok(value) = rest.trim_end_matches('}').parse::<f64>() else {
+            continue;
+        };
+        out.push(BenchEntry::new(name, value));
+    }
+    Ok(out)
+}
+
 /// Prints a row of right-aligned cells under 14-character columns.
 pub fn print_row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
@@ -137,5 +207,23 @@ mod tests {
     #[test]
     fn fmt_helpers() {
         assert_eq!(fmt_secs(1.23456), "1.2346");
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let path = std::env::temp_dir().join("kalman_bench_json_test.json");
+        let path = path.to_str().unwrap();
+        let entries = vec![
+            BenchEntry::new("smoother/n4/blocked", 0.123),
+            BenchEntry::new("speedup/n4", 1.75),
+        ];
+        write_bench_json(path, "test config \"quoted\"", &entries).unwrap();
+        let back = read_bench_json(path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "smoother/n4/blocked");
+        assert!((back[0].value - 0.123).abs() < 1e-12);
+        assert_eq!(back[1].name, "speedup/n4");
+        assert!((back[1].value - 1.75).abs() < 1e-12);
+        std::fs::remove_file(path).ok();
     }
 }

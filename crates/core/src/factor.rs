@@ -16,11 +16,19 @@
 //!
 //! All three batches are embarrassingly parallel across columns; the chain
 //! halves each level, so the critical path is `Θ(log k)` batches.
+//!
+//! The QRs fuse factorization with the companion transforms
+//! (`QrFactor::new_applying`), and every container the elimination needs
+//! lives in a reusable [`FactorScratch`]; together with the workspace-pooled
+//! matrices of `kalman-dense` this makes a steady-state caller (the
+//! streaming smoother re-factoring a fixed-size window per flush) perform
+//! zero heap allocations after warmup.
 
 use crate::rfactor::{OddEvenR, RRow};
 use kalman_dense::{Matrix, QrFactor};
 use kalman_model::{Result, WhitenedStep};
-use kalman_par::{map_collect, ExecPolicy};
+use kalman_par::{for_each_mut, map_collect, ExecPolicy};
+use std::sync::OnceLock;
 
 /// Evolution-like rows coupling a chain column to its predecessor.
 #[derive(Debug, Clone)]
@@ -43,15 +51,21 @@ struct LevelCol {
     dim: usize,
     /// Observation-like rows `(C, rhs)` with support only in this column.
     obs: Option<(Matrix, Matrix)>,
+    /// `obs` is the `n × n` upper-triangular block produced by the previous
+    /// level's compression (enables the triangular-pentagonal fast path).
+    obs_tri: bool,
     /// Evolution-like rows coupling to the previous chain column.
     evo: Option<EvoRows>,
 }
 
 /// Everything one even-column elimination needs, borrowed out of the chain.
+#[derive(Debug)]
 struct EvenTask {
     orig: usize,
     dim: usize,
     obs: Option<(Matrix, Matrix)>,
+    /// See [`LevelCol::obs_tri`].
+    obs_tri: bool,
     /// This column's evolution rows (couple to chain neighbour `t−1`).
     evo: Option<EvoRows>,
     /// The next column's evolution rows (couple `t` and `t+1`).
@@ -59,11 +73,21 @@ struct EvenTask {
     left_orig: Option<usize>,
     left_dim: Option<usize>,
     right_orig: Option<usize>,
+    /// Filled by the parallel batch (`for_each_mut` writes each task's
+    /// result next to its inputs, so the inputs are consumed by move —
+    /// the batch clones nothing).
+    out: Option<EvenOut>,
 }
 
-/// The products of eliminating one even column.
+/// The products of eliminating one even column.  The permanent row is kept
+/// as loose fields (not an [`RRow`]) so the sequential merge can move them
+/// into the reused `OddEvenR` slots without creating per-row containers.
+#[derive(Debug)]
 struct EvenOut {
-    row: RRow,
+    diag: Matrix,
+    off_left: Option<(usize, Matrix)>,
+    off_right: Option<(usize, Matrix)>,
+    rhs: Matrix,
     /// `D̃` rows left in column `t+1` after step 1 (feed the odd column's
     /// compression).
     dtilde: Option<(Matrix, Matrix)>,
@@ -74,89 +98,156 @@ struct EvenOut {
     resid_left_only: Option<(Matrix, Matrix)>,
 }
 
-/// Pads `(m, rhs)` with zero rows (zero equations) up to `rows`.
-fn pad_rows(m: Matrix, rhs: Matrix, rows: usize) -> (Matrix, Matrix) {
-    if m.rows() >= rows {
-        return (m, rhs);
+/// One odd column staged for the compression batch: the surviving column
+/// plus up to three observation-like row stacks (inline — no heap).
+#[derive(Debug)]
+struct OddInput {
+    orig: usize,
+    dim: usize,
+    evo: Option<EvoRows>,
+    /// `parts[1]` (the surviving obs block) is a `dim × dim` triangle.
+    obs_tri: bool,
+    parts: [Option<(Matrix, Matrix)>; 3],
+    /// Filled by the parallel compression batch (consumes `parts`).
+    result: Option<(Matrix, Matrix, bool)>,
+}
+
+/// Reusable containers for [`factor_odd_even_into`]: every `Vec` the
+/// elimination builds per call/level lives here and keeps its capacity, so
+/// repeated factorizations of same-shaped problems allocate nothing.
+///
+/// The scratch carries no results between calls; `Clone` intentionally
+/// produces a fresh (cold) scratch.
+#[derive(Debug, Default)]
+pub struct FactorScratch {
+    cols: Vec<LevelCol>,
+    next_cols: Vec<LevelCol>,
+    tasks: Vec<EvenTask>,
+    odd_inputs: Vec<OddInput>,
+}
+
+impl Clone for FactorScratch {
+    fn clone(&self) -> Self {
+        FactorScratch::default()
     }
-    let deficit = rows - m.rows();
-    (
-        Matrix::vstack(&[&m, &Matrix::zeros(deficit, m.cols())]),
-        Matrix::vstack(&[&rhs, &Matrix::zeros(deficit, rhs.cols())]),
-    )
 }
 
-fn vstack_opt(parts: &[(&Matrix, &Matrix)]) -> (Matrix, Matrix) {
-    let mats: Vec<&Matrix> = parts.iter().map(|(m, _)| *m).collect();
-    let rhss: Vec<&Matrix> = parts.iter().map(|(_, r)| *r).collect();
-    (Matrix::vstack(&mats), Matrix::vstack(&rhss))
+/// Stacks up to three `(rows, rhs)` pairs vertically, zero-padding to at
+/// least `min_rows` rows (inline-array variant of `vstack` + `pad_rows`
+/// fused into one allocation, so the hot path never re-copies a stack just
+/// to append zero equations).
+fn stack_parts(
+    parts: [Option<(&Matrix, &Matrix)>; 3],
+    ncols: usize,
+    min_rows: usize,
+) -> (Matrix, Matrix) {
+    let rows: usize = parts.iter().flatten().map(|(m, _)| m.rows()).sum();
+    let rows = rows.max(min_rows);
+    let mut stack = Matrix::zeros(rows, ncols);
+    let mut rhs = Matrix::zeros(rows, 1);
+    let mut r0 = 0;
+    for (m, r) in parts.iter().flatten() {
+        stack.set_block(r0, 0, m);
+        rhs.set_block(r0, 0, r);
+        r0 += m.rows();
+    }
+    (stack, rhs)
 }
 
-fn eliminate_even(task: &EvenTask, level: usize) -> EvenOut {
+fn eliminate_even(task: &mut EvenTask) -> EvenOut {
     let n = task.dim;
+    let obs = task.obs.take();
+    let next_evo = task.next_evo.take();
+    let evo = task.evo.take();
 
-    // ---- Step 1: factor [C_t; E_{t+1}] against column t; transform [0; D_{t+1}].
-    let obs_rows = task.obs.as_ref().map(|(c, _)| c.rows()).unwrap_or(0);
-    let (stacked, mut rhs1) = {
-        let mut parts: Vec<(&Matrix, &Matrix)> = Vec::with_capacity(2);
-        if let Some((c, r)) = &task.obs {
-            parts.push((c, r));
+    // ---- Step 1: eliminate column t from [C_t; E_{t+1}]; carry the
+    // transform onto [0; D_{t+1}] and the right-hand sides.  Outputs: the
+    // triangular R̂ (n×n), its rhs ρ (n×1), the fill X (n×w) and the
+    // leftover D̃ rows.
+    let (rhat, rho, x_fill, dtilde) = if task.obs_tri {
+        // The obs block is already a `n × n` triangle (level-0
+        // pre-triangularization or a previous level's compression), so the
+        // stack [C_tri; E] has the triangular-pentagonal shape: no
+        // stacking, no padding, reflectors of length 1+l, inputs by move.
+        let (mut r, mut rho) = obs.expect("obs_tri implies obs");
+        debug_assert_eq!(r.rows(), n);
+        match next_evo {
+            None => (r, rho, None, None),
+            Some(ne) => {
+                let l2 = ne.left.rows();
+                let mut d = ne.left;
+                let mut x_top = Matrix::zeros(n, ne.right.cols());
+                let mut x_bot = ne.right;
+                let mut rhs_bot = ne.rhs;
+                kalman_dense::qr_tri_stack_applying(
+                    &mut r,
+                    &mut d,
+                    &mut [(&mut x_top, &mut x_bot), (&mut rho, &mut rhs_bot)],
+                );
+                let dtilde = (l2 > 0).then_some((x_bot, rhs_bot));
+                (r, rho, Some(x_top), dtilde)
+            }
         }
-        if let Some(ne) = &task.next_evo {
-            parts.push((&ne.left, &ne.rhs));
-        }
-        if parts.is_empty() {
-            (Matrix::zeros(0, n), Matrix::zeros(0, 1))
-        } else {
-            vstack_opt(&parts)
-        }
+    } else {
+        // General shape (short observation blocks): dense QR of the
+        // zero-padded stack, fused with the companion transforms.
+        let obs_rows = obs.as_ref().map(|(c, _)| c.rows()).unwrap_or(0);
+        let (stacked, mut rhs1) = stack_parts(
+            [
+                obs.as_ref().map(|(c, r)| (c, r)),
+                next_evo.as_ref().map(|ne| (&ne.left, &ne.rhs)),
+                None,
+            ],
+            n,
+            n,
+        );
+        let step1_rows = stacked.rows();
+
+        // Companion block in column t+1 (zero where the obs rows are, D below).
+        let mut companion = next_evo.as_ref().map(|ne| {
+            let mut comp = Matrix::zeros(step1_rows, ne.right.cols());
+            comp.set_block(obs_rows, 0, &ne.right);
+            comp
+        });
+
+        let qr1 = match companion.as_mut() {
+            Some(comp) => QrFactor::new_applying(stacked, &mut [&mut rhs1, comp]),
+            None => QrFactor::new_applying(stacked, &mut [&mut rhs1]),
+        };
+        let rhat = qr1.r();
+        let rho = rhs1.sub_matrix(0, 0, n, 1);
+        let x_fill = companion.as_ref().map(|c| c.sub_matrix(0, 0, n, c.cols()));
+        let dtilde = companion.as_ref().and_then(|c| {
+            let rows = c.rows() - n;
+            if rows == 0 {
+                None
+            } else {
+                Some((
+                    c.sub_matrix(n, 0, rows, c.cols()),
+                    rhs1.sub_matrix(n, 0, rows, 1),
+                ))
+            }
+        });
+        (rhat, rho, x_fill, dtilde)
     };
-    let (stacked, rhs_padded) = pad_rows(stacked, rhs1, n);
-    rhs1 = rhs_padded;
-    let step1_rows = stacked.rows();
 
-    // Companion block in column t+1 (zero where the obs rows are, D below).
-    let mut companion = task.next_evo.as_ref().map(|ne| {
-        let mut comp = Matrix::zeros(step1_rows, ne.right.cols());
-        comp.set_block(obs_rows, 0, &ne.right);
-        comp
-    });
-
-    let qr1 = QrFactor::new(stacked);
-    let rhat = qr1.r();
-    qr1.apply_qt(&mut rhs1);
-    if let Some(comp) = companion.as_mut() {
-        qr1.apply_qt(comp);
-    }
-    let rho = rhs1.sub_matrix(0, 0, n, 1);
-    let x_fill = companion.as_ref().map(|c| c.sub_matrix(0, 0, n, c.cols()));
-    let dtilde = companion.as_ref().and_then(|c| {
-        let rows = c.rows() - n;
-        if rows == 0 {
-            None
-        } else {
-            Some((
-                c.sub_matrix(n, 0, rows, c.cols()),
-                rhs1.sub_matrix(n, 0, rows, 1),
-            ))
-        }
-    });
-
-    // ---- Step 2: absorb this column's evolution rows (if any).
-    match &task.evo {
+    // ---- Step 2: absorb this column's evolution rows (if any).  The stack
+    // [D_t; R̂_t] always has the triangular-pentagonal shape, and the
+    // companions live in their natural blocks — the transformed tops *are*
+    // the permanent row's blocks and the bottoms the residual rows, so no
+    // stacking or extraction copies remain.
+    match evo {
         None => {
             // First chain column: R̂ is final.
-            let mut off = Vec::with_capacity(1);
-            if let (Some(x), Some(ro)) = (&x_fill, task.right_orig) {
-                off.push((ro, x.clone()));
-            }
+            let off_right = match (x_fill, task.right_orig) {
+                (Some(x), Some(ro)) => Some((ro, x)),
+                _ => None,
+            };
             EvenOut {
-                row: RRow {
-                    diag: rhat,
-                    off,
-                    rhs: rho,
-                    level,
-                },
+                diag: rhat,
+                off_left: None,
+                off_right,
+                rhs: rho,
                 dtilde,
                 resid: None,
                 resid_left_only: None,
@@ -165,87 +256,119 @@ fn eliminate_even(task: &EvenTask, level: usize) -> EvenOut {
         Some(evo) => {
             let l = evo.right.rows();
             let left_dim = task.left_dim.expect("evo implies a left neighbour");
-            let stacked2 = Matrix::vstack(&[&evo.right, &rhat]);
-            let mut comp_left = Matrix::zeros(l + n, left_dim);
-            comp_left.set_block(0, 0, &evo.left);
-            let mut comp_right = x_fill.as_ref().map(|x| {
-                let mut cr = Matrix::zeros(l + n, x.cols());
-                cr.set_block(l, 0, x);
-                cr
-            });
-            let mut rhs2 = Matrix::vstack(&[&evo.rhs, &rho]);
-
-            let qr2 = QrFactor::new(stacked2);
-            qr2.apply_qt(&mut comp_left);
-            if let Some(cr) = comp_right.as_mut() {
-                qr2.apply_qt(cr);
-            }
-            qr2.apply_qt(&mut rhs2);
-
-            let mut off = Vec::with_capacity(2);
-            off.push((
-                task.left_orig.expect("evo implies a left neighbour"),
-                comp_left.sub_matrix(0, 0, n, left_dim),
-            ));
-            if let (Some(cr), Some(ro)) = (&comp_right, task.right_orig) {
-                off.push((ro, cr.sub_matrix(0, 0, n, cr.cols())));
-            }
-            let row = RRow {
-                diag: qr2.r(),
-                off,
-                rhs: rhs2.sub_matrix(0, 0, n, 1),
-                level,
-            };
-
-            let (resid, resid_left_only) = if l == 0 {
-                (None, None)
-            } else {
-                let z = comp_left.sub_matrix(n, 0, l, left_dim);
-                let r = rhs2.sub_matrix(n, 0, l, 1);
-                match &comp_right {
-                    Some(cr) => (
-                        Some(EvoRows {
-                            left: z,
-                            right: cr.sub_matrix(n, 0, l, cr.cols()),
-                            rhs: r,
-                        }),
-                        None,
-                    ),
-                    None => (None, Some((z, r))),
+            let left_orig = task.left_orig.expect("evo implies a left neighbour");
+            let mut diag = rhat;
+            let mut d = evo.right;
+            let mut cl_top = Matrix::zeros(n, left_dim);
+            let mut cl_bot = evo.left;
+            let mut rhs_top = rho;
+            let mut rhs_bot = evo.rhs;
+            match x_fill {
+                Some(mut x_top) => {
+                    let mut cr_bot = Matrix::zeros(l, x_top.cols());
+                    kalman_dense::qr_tri_stack_applying(
+                        &mut diag,
+                        &mut d,
+                        &mut [
+                            (&mut cl_top, &mut cl_bot),
+                            (&mut x_top, &mut cr_bot),
+                            (&mut rhs_top, &mut rhs_bot),
+                        ],
+                    );
+                    let resid = (l > 0).then_some(EvoRows {
+                        left: cl_bot,
+                        right: cr_bot,
+                        rhs: rhs_bot,
+                    });
+                    EvenOut {
+                        diag,
+                        off_left: Some((left_orig, cl_top)),
+                        off_right: task.right_orig.map(|ro| (ro, x_top)),
+                        rhs: rhs_top,
+                        dtilde,
+                        resid,
+                        resid_left_only: None,
+                    }
                 }
-            };
-            EvenOut {
-                row,
-                dtilde,
-                resid,
-                resid_left_only,
+                None => {
+                    kalman_dense::qr_tri_stack_applying(
+                        &mut diag,
+                        &mut d,
+                        &mut [(&mut cl_top, &mut cl_bot), (&mut rhs_top, &mut rhs_bot)],
+                    );
+                    let resid_left_only = (l > 0).then_some((cl_bot, rhs_bot));
+                    EvenOut {
+                        diag,
+                        off_left: Some((left_orig, cl_top)),
+                        off_right: None,
+                        rhs: rhs_top,
+                        dtilde,
+                        resid: None,
+                        resid_left_only,
+                    }
+                }
             }
         }
     }
 }
 
-/// Eliminates all even columns of `cols`, emitting their permanent rows into
-/// `emit` and returning the next level's (odd-column) chain.
+/// Moves an [`EvenOut`]'s permanent row into the reused slot `row`,
+/// retaining the slot's `off` capacity.
+fn emit_row(row: &mut RRow, out: &mut EvenOut, level: usize) {
+    row.diag = std::mem::replace(&mut out.diag, Matrix::zeros(0, 0));
+    row.rhs = std::mem::replace(&mut out.rhs, Matrix::zeros(0, 0));
+    row.level = level;
+    row.off.clear();
+    if let Some(pair) = out.off_left.take() {
+        row.off.push(pair);
+    }
+    if let Some(pair) = out.off_right.take() {
+        row.off.push(pair);
+    }
+}
+
+/// Clears and returns the next level slot of `levels`, reusing a previous
+/// call's inner vector when one exists.
+fn level_slot<'a>(levels: &'a mut Vec<Vec<usize>>, used: &mut usize) -> &'a mut Vec<usize> {
+    if *used == levels.len() {
+        levels.push(Vec::new());
+    }
+    let slot = &mut levels[*used];
+    slot.clear();
+    *used += 1;
+    slot
+}
+
+/// Eliminates all even columns of `scratch.cols`, emitting their permanent
+/// rows into `out` and leaving the next level's (odd-column) chain in
+/// `scratch.cols`.
 fn eliminate_level(
-    mut cols: Vec<LevelCol>,
+    scratch: &mut FactorScratch,
     level: usize,
     policy: ExecPolicy,
     compress_odd: bool,
-    emit: &mut [Option<RRow>],
-    levels: &mut Vec<Vec<usize>>,
+    out: &mut OddEvenR,
+    levels_used: &mut usize,
     trace: bool,
-) -> Vec<LevelCol> {
+) {
     let t_start = std::time::Instant::now();
+    let FactorScratch {
+        cols,
+        next_cols,
+        tasks,
+        odd_inputs,
+    } = scratch;
     let kk = cols.len();
     debug_assert!(kk >= 2, "base case handled by caller");
     let n_even = kk.div_ceil(2);
     let n_odd = kk / 2;
 
     // Extract each even task's inputs (pointer moves, no matrix copies).
-    let mut tasks: Vec<EvenTask> = Vec::with_capacity(n_even);
+    tasks.clear();
     for s in 0..n_even {
         let t = 2 * s;
         let obs = cols[t].obs.take();
+        let obs_tri = cols[t].obs_tri && obs.is_some();
         let evo = cols[t].evo.take();
         let next_evo = if t + 1 < kk {
             cols[t + 1].evo.take()
@@ -256,84 +379,119 @@ fn eliminate_level(
             orig: cols[t].orig,
             dim: cols[t].dim,
             obs,
+            obs_tri,
             evo,
             next_evo,
             left_orig: t.checked_sub(1).map(|p| cols[p].orig),
             left_dim: t.checked_sub(1).map(|p| cols[p].dim),
             right_orig: (t + 1 < kk).then(|| cols[t + 1].orig),
+            out: None,
         });
     }
 
     let t_extract = t_start.elapsed();
 
-    // Batch 1+2: eliminate the even columns in parallel.
+    // Batch 1+2: eliminate the even columns in parallel, each task
+    // consuming its inputs by move and parking its result in place.
     let t0 = std::time::Instant::now();
-    let mut outs: Vec<Option<EvenOut>> =
-        map_collect(policy, n_even, |s| Some(eliminate_even(&tasks[s], level)));
+    for_each_mut(policy, tasks, |_, task| {
+        let result = eliminate_even(task);
+        task.out = Some(result);
+    });
     let t_batch = t0.elapsed();
 
-    levels.push(tasks.iter().map(|t| t.orig).collect());
+    let slot = level_slot(&mut out.levels, levels_used);
+    slot.extend(tasks.iter().map(|t| t.orig));
     let t0 = std::time::Instant::now();
 
     // Collect permanent rows and stage the next level's inputs.
-    let mut next_inputs: Vec<(LevelCol, Vec<(Matrix, Matrix)>)> = Vec::with_capacity(n_odd);
+    odd_inputs.clear();
     for s in 0..n_odd {
         let odd = &mut cols[2 * s + 1];
-        let mut obs_parts: Vec<(Matrix, Matrix)> = Vec::with_capacity(3);
+        let mut parts: [Option<(Matrix, Matrix)>; 3] = [None, None, None];
         let (dtilde, evo) = {
-            let out_s = outs[s].as_mut().expect("filled above");
+            let out_s = tasks[s].out.as_mut().expect("filled above");
             (out_s.dtilde.take(), out_s.resid.take())
         };
-        if let Some(dt) = dtilde {
-            obs_parts.push(dt);
-        }
-        if let Some(o) = odd.obs.take() {
-            obs_parts.push(o);
-        }
+        parts[0] = dtilde;
+        parts[1] = odd.obs.take();
+        let odd_obs_tri = odd.obs_tri && parts[1].is_some();
         // Left-only residual from the *next* even column (the chain's last).
         if s + 1 < n_even {
-            if let Some(z) = outs[s + 1]
+            parts[2] = tasks[s + 1]
+                .out
                 .as_mut()
                 .expect("filled above")
                 .resid_left_only
-                .take()
-            {
-                obs_parts.push(z);
-            }
+                .take();
         }
-        next_inputs.push((
-            LevelCol {
-                orig: odd.orig,
-                dim: odd.dim,
-                obs: None, // filled by the compression batch below
-                evo,
-            },
-            obs_parts,
-        ));
+        odd_inputs.push(OddInput {
+            orig: odd.orig,
+            dim: odd.dim,
+            evo,
+            obs_tri: odd_obs_tri,
+            parts,
+            result: None,
+        });
     }
-    for (s, out) in outs.into_iter().enumerate() {
-        let out = out.expect("taken once");
-        emit[tasks[s].orig] = Some(out.row);
+    for task in tasks.iter_mut() {
+        let out_s = task.out.as_mut().expect("filled above");
+        emit_row(&mut out.rows[task.orig], out_s, level);
+        task.out = None;
     }
 
     let t_stage = t0.elapsed();
 
-    // Batch 3: compress each odd column's observation stack in parallel.
+    // Batch 3: compress each odd column's observation stack in parallel,
+    // consuming the staged parts by move.
     let t0 = std::time::Instant::now();
-    let compressed: Vec<Option<(Matrix, Matrix)>> = map_collect(policy, next_inputs.len(), |s| {
-        let (col, parts) = &next_inputs[s];
-        if parts.is_empty() {
-            return None;
+    for_each_mut(policy, odd_inputs, |_, input| {
+        if input.parts.iter().all(Option::is_none) {
+            input.result = None;
+            return;
         }
-        let refs: Vec<(&Matrix, &Matrix)> = parts.iter().map(|(m, r)| (m, r)).collect();
-        let (stack, mut rhs) = vstack_opt(&refs);
-        if compress_odd && stack.rows() > col.dim {
-            let r = kalman_dense::compress_rows(&stack, &mut rhs);
+        if compress_odd && input.obs_tri {
+            // The obs block is already a `dim × dim` triangle, so the
+            // compression is one triangular-pentagonal elimination of the
+            // dense rows (D̃ and any left-only residual) into it — and the
+            // single-dense-part common case moves its block straight in.
+            let (mut r, mut rhs_top) = input.parts[1].take().expect("obs_tri implies obs");
+            debug_assert_eq!(r.rows(), input.dim);
+            let dense0 = input.parts[0].take();
+            let dense2 = input.parts[2].take();
+            let dstack = match (dense0, dense2) {
+                (Some(p), None) | (None, Some(p)) => Some(p),
+                (Some(a), Some(b)) => Some(stack_parts(
+                    [Some((&a.0, &a.1)), Some((&b.0, &b.1)), None],
+                    input.dim,
+                    0,
+                )),
+                (None, None) => None,
+            };
+            if let Some((mut dstack, mut drhs)) = dstack {
+                kalman_dense::qr_tri_stack_applying(
+                    &mut r,
+                    &mut dstack,
+                    &mut [(&mut rhs_top, &mut drhs)],
+                );
+            }
+            input.result = Some((r, rhs_top, true));
+            return;
+        }
+        let refs = [
+            input.parts[0].as_ref().map(|(m, r)| (m, r)),
+            input.parts[1].as_ref().map(|(m, r)| (m, r)),
+            input.parts[2].as_ref().map(|(m, r)| (m, r)),
+        ];
+        let (stack, mut rhs) = stack_parts(refs, input.dim, 0);
+        input.parts = [None, None, None];
+        input.result = if compress_odd && stack.rows() > input.dim {
+            let r = kalman_dense::compress_rows_owned(stack, &mut rhs);
             let kept = r.rows();
-            Some((r, rhs.sub_matrix(0, 0, kept, 1)))
+            Some((r, rhs.sub_matrix(0, 0, kept, 1), true))
         } else {
-            Some((stack, rhs))
-        }
+            Some((stack, rhs, false))
+        };
     });
 
     let t_compress = t0.elapsed();
@@ -343,14 +501,26 @@ fn eliminate_level(
         );
     }
 
-    next_inputs
-        .into_iter()
-        .zip(compressed)
-        .map(|((mut col, _), obs)| {
-            col.obs = obs;
-            col
-        })
-        .collect()
+    next_cols.clear();
+    for mut input in odd_inputs.drain(..) {
+        let (obs, obs_tri) = match input.result.take() {
+            Some((c, rhs, tri)) => (Some((c, rhs)), tri),
+            None => (None, false),
+        };
+        next_cols.push(LevelCol {
+            orig: input.orig,
+            dim: input.dim,
+            obs,
+            obs_tri,
+            evo: input.evo,
+        });
+    }
+    std::mem::swap(cols, next_cols);
+}
+
+fn trace_enabled() -> bool {
+    static TRACE: OnceLock<bool> = OnceLock::new();
+    *TRACE.get_or_init(|| std::env::var_os("KALMAN_OE_TRACE").is_some())
 }
 
 /// Runs the odd-even QR factorization on borrowed whitened steps.
@@ -379,15 +549,49 @@ pub fn factor_odd_even_owned(
     policy: ExecPolicy,
     compress_odd: bool,
 ) -> Result<OddEvenR> {
+    let mut steps = steps;
+    let mut scratch = FactorScratch::default();
+    let mut out = OddEvenR::default();
+    factor_odd_even_into(&mut steps, policy, compress_odd, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// The reusable-everything form of the odd-even factorization: drains
+/// `steps`, reuses `scratch`'s containers and `out`'s rows/levels storage.
+/// In steady state (same window shape call after call — the streaming
+/// smoother's situation) the factorization performs no heap allocations:
+/// matrices cycle through the `kalman-dense` workspace pool and every
+/// container retains its capacity here.
+///
+/// `steps` is left empty (capacity retained) so the caller can refill it.
+pub fn factor_odd_even_into(
+    steps: &mut Vec<WhitenedStep>,
+    policy: ExecPolicy,
+    compress_odd: bool,
+    scratch: &mut FactorScratch,
+    out: &mut OddEvenR,
+) -> Result<()> {
     let k1 = steps.len();
+    // Size the output: reuse existing row slots, add/remove as needed.
+    out.rows.truncate(k1);
+    while out.rows.len() < k1 {
+        out.rows.push(RRow {
+            diag: Matrix::zeros(0, 0),
+            off: Vec::new(),
+            rhs: Matrix::zeros(0, 0),
+            level: 0,
+        });
+    }
+    let mut levels_used = 0usize;
+
     // Level-0 chain straight from the whitened model.
-    let mut cols: Vec<LevelCol> = steps
-        .into_iter()
-        .enumerate()
-        .map(|(i, ws)| LevelCol {
+    scratch.cols.clear();
+    for (i, ws) in steps.drain(..).enumerate() {
+        scratch.cols.push(LevelCol {
             orig: i,
             dim: ws.state_dim,
             obs: ws.obs.map(|o| (o.c, o.rhs)),
+            obs_tri: false,
             evo: ws.evo.map(|e| {
                 let mut left = e.b;
                 left.scale(-1.0);
@@ -397,52 +601,63 @@ pub fn factor_odd_even_owned(
                     rhs: e.rhs,
                 }
             }),
-        })
-        .collect();
+        });
+    }
 
-    let trace = std::env::var_os("KALMAN_OE_TRACE").is_some();
-    let mut emit: Vec<Option<RRow>> = (0..k1).map(|_| None).collect();
-    let mut levels: Vec<Vec<usize>> = Vec::new();
+    // Pre-triangularize every tall-enough observation block (one parallel
+    // batch): a QR of `C` alone costs a fraction of the stacked QR it
+    // replaces, and afterwards *every* elimination step — not just levels
+    // that went through a compression — runs the triangular-pentagonal
+    // fast path with short reflectors and no stack/extract copies.
+    for_each_mut(policy, &mut scratch.cols, |_, col| {
+        if let Some((c, mut rhs)) = col.obs.take() {
+            if c.rows() >= col.dim && col.dim > 0 {
+                let qr = QrFactor::new_applying(c, &mut [&mut rhs]);
+                let r = qr.r();
+                let rhs_top = rhs.sub_matrix(0, 0, col.dim, 1);
+                col.obs = Some((r, rhs_top));
+                col.obs_tri = true;
+            } else {
+                col.obs = Some((c, rhs));
+            }
+        }
+    });
+
+    let trace = trace_enabled();
     let mut level = 0usize;
-    while cols.len() > 1 {
-        cols = eliminate_level(
-            cols,
+    while scratch.cols.len() > 1 {
+        eliminate_level(
+            scratch,
             level,
             policy,
             compress_odd,
-            &mut emit,
-            &mut levels,
+            out,
+            &mut levels_used,
             trace,
         );
         level += 1;
     }
     // Base case: a single column with observation rows only.
-    let root = cols.pop().expect("non-empty model");
+    let root = scratch.cols.pop().expect("non-empty model");
     debug_assert!(
         root.evo.is_none(),
         "first chain column cannot carry evolution rows"
     );
-    let (stack, rhs) = root
-        .obs
-        .unwrap_or_else(|| (Matrix::zeros(0, root.dim), Matrix::zeros(0, 1)));
-    let (stack, mut rhs) = pad_rows(stack, rhs, root.dim);
-    let qr = QrFactor::new(stack);
-    qr.apply_qt(&mut rhs);
-    emit[root.orig] = Some(RRow {
-        diag: qr.r(),
-        off: Vec::new(),
-        rhs: rhs.sub_matrix(0, 0, root.dim, 1),
-        level,
-    });
-    levels.push(vec![root.orig]);
+    let (stack, mut rhs) = stack_parts(
+        [root.obs.as_ref().map(|(m, r)| (m, r)), None, None],
+        root.dim,
+        root.dim,
+    );
+    let qr = QrFactor::new_applying(stack, &mut [&mut rhs]);
+    let row = &mut out.rows[root.orig];
+    row.diag = qr.r();
+    row.off.clear();
+    row.rhs = rhs.sub_matrix(0, 0, root.dim, 1);
+    row.level = level;
+    level_slot(&mut out.levels, &mut levels_used).push(root.orig);
+    out.levels.truncate(levels_used);
 
-    Ok(OddEvenR {
-        rows: emit
-            .into_iter()
-            .map(|r| r.expect("every state eliminated exactly once"))
-            .collect(),
-        levels,
-    })
+    Ok(())
 }
 
 #[cfg(test)]
@@ -513,6 +728,36 @@ mod tests {
             for ((ta, ma), (tb, mb)) in a.off.iter().zip(&b.off) {
                 assert_eq!(ta, tb);
                 assert!(ma.approx_eq(mb, 1e-13));
+            }
+        }
+    }
+
+    /// Re-running the factorization through the same scratch and output
+    /// (the streaming pattern) must give results identical to a fresh run,
+    /// including when the problem shrinks between calls.
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_state() {
+        let mut scratch = FactorScratch::default();
+        let mut out = OddEvenR::default();
+        for (k, seed) in [(21usize, 61u64), (21, 62), (9, 63), (30, 64)] {
+            let model = generators::paper_benchmark(&mut rng(seed), 3, k, true);
+            let steps = whiten_model(&model).unwrap();
+            let fresh = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+            let mut owned = steps.clone();
+            factor_odd_even_into(&mut owned, ExecPolicy::Seq, true, &mut scratch, &mut out)
+                .unwrap();
+            assert!(owned.is_empty());
+            assert_eq!(out.levels, fresh.levels);
+            assert_eq!(out.rows.len(), fresh.rows.len());
+            for (a, b) in out.rows.iter().zip(&fresh.rows) {
+                assert!(a.diag.approx_eq(&b.diag, 0.0));
+                assert!(a.rhs.approx_eq(&b.rhs, 0.0));
+                assert_eq!(a.level, b.level);
+                assert_eq!(a.off.len(), b.off.len());
+                for ((ta, ma), (tb, mb)) in a.off.iter().zip(&b.off) {
+                    assert_eq!(ta, tb);
+                    assert!(ma.approx_eq(mb, 0.0));
+                }
             }
         }
     }

@@ -42,7 +42,7 @@ mod rfactor;
 mod selinv;
 mod smoother;
 
-pub use factor::{factor_odd_even, factor_odd_even_owned};
-pub use rfactor::{OddEvenR, RRow};
-pub use selinv::selinv_diag;
+pub use factor::{factor_odd_even, factor_odd_even_into, factor_odd_even_owned, FactorScratch};
+pub use rfactor::{OddEvenR, RRow, SolveScratch};
+pub use selinv::{selinv_diag, selinv_diag_into, SelinvScratch};
 pub use smoother::{odd_even_smooth, OddEvenOptions};

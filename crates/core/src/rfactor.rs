@@ -2,7 +2,7 @@
 
 use kalman_dense::{tri, Matrix};
 use kalman_model::{KalmanError, Result};
-use kalman_par::{map_collect, ExecPolicy};
+use kalman_par::{map_collect_into, ExecPolicy};
 
 /// One permanent block row of `R`, belonging to the state that was
 /// eliminated when the row was produced.
@@ -24,12 +24,30 @@ pub struct RRow {
 
 /// The complete odd-even `R` factor: one [`RRow`] per state plus the
 /// level structure that drives the parallel solve and SelInv phases.
-#[derive(Debug, Clone)]
+///
+/// An `OddEvenR` is reusable output storage: `factor_odd_even_into`
+/// overwrites the row slots and level lists in place, so a caller that
+/// factors same-shaped problems repeatedly (the streaming smoother) churns
+/// no containers.  `Default` is the empty factor to start from.
+#[derive(Debug, Clone, Default)]
 pub struct OddEvenR {
     /// Block rows indexed by original state index.
     pub rows: Vec<RRow>,
     /// `levels[l]` lists the states eliminated at level `l`, in chain order.
     pub levels: Vec<Vec<usize>>,
+}
+
+/// Reusable containers for [`OddEvenR::solve_into`] (per-level batch
+/// results).  Carries no state between calls; `Clone` yields a fresh one.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    solved: Vec<Option<Result<Matrix>>>,
+}
+
+impl Clone for SolveScratch {
+    fn clone(&self) -> Self {
+        SolveScratch::default()
+    }
 }
 
 impl OddEvenR {
@@ -59,35 +77,60 @@ impl OddEvenR {
     /// [`KalmanError::RankDeficient`] naming the first state whose diagonal
     /// block is singular.
     pub fn solve(&self, policy: ExecPolicy) -> Result<Vec<Vec<f64>>> {
-        let mut y: Vec<Vec<f64>> = vec![Vec::new(); self.num_states()];
+        let mut y: Vec<Vec<f64>> = Vec::new();
+        let mut scratch = SolveScratch::default();
+        self.solve_into(policy, &mut y, &mut scratch)?;
+        Ok(y)
+    }
+
+    /// [`OddEvenR::solve`] into reused storage: `y` (one vector per state)
+    /// and `scratch` retain their capacity across calls, so repeated solves
+    /// of same-shaped systems allocate nothing.  On error `y`'s contents
+    /// are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::RankDeficient`] naming the first state whose diagonal
+    /// block is singular.
+    pub fn solve_into(
+        &self,
+        policy: ExecPolicy,
+        y: &mut Vec<Vec<f64>>,
+        scratch: &mut SolveScratch,
+    ) -> Result<()> {
+        y.truncate(self.num_states());
+        while y.len() < self.num_states() {
+            y.push(Vec::new());
+        }
+        for v in y.iter_mut() {
+            v.clear();
+        }
         for level in self.levels.iter().rev() {
             // Columns in this level only reference deeper-level solutions,
             // which are already present in `y`.
-            let solved: Vec<Result<(usize, Vec<f64>)>> = {
-                let y_ref = &y;
-                map_collect(policy, level.len(), |idx| {
+            {
+                let y_ref = &*y;
+                map_collect_into(policy, level.len(), &mut scratch.solved, |idx| {
                     let j = level[idx];
                     let row = &self.rows[j];
                     let mut b = row.rhs.clone();
                     for (target, block) in &row.off {
                         let yt = &y_ref[*target];
                         debug_assert!(!yt.is_empty(), "solve order violated");
-                        let prod = block.mul_vec(yt);
-                        for (bi, pi) in b.col_mut(0).iter_mut().zip(&prod) {
-                            *bi -= pi;
-                        }
+                        block.sub_mul_vec_into(yt, b.col_mut(0));
                     }
                     tri::solve_upper_in_place(&row.diag, &mut b)
                         .map_err(|_| KalmanError::RankDeficient { state: j })?;
-                    Ok((j, b.into_vec()))
-                })
-            };
-            for r in solved {
-                let (j, v) = r?;
-                y[j] = v;
+                    Ok(b)
+                });
+            }
+            for (idx, slot) in scratch.solved.iter_mut().enumerate() {
+                let b = slot.take().expect("filled above")?;
+                let yj = &mut y[level[idx]];
+                yj.extend_from_slice(b.col(0));
             }
         }
-        Ok(y)
+        Ok(())
     }
 
     /// The block sparsity structure of `R` in permuted order, for

@@ -20,34 +20,52 @@
 //! and the critical path `Θ(log k · n log n)`.
 
 use crate::rfactor::OddEvenR;
-use kalman_dense::{matmul, matmul_nt, tri, Matrix};
+use kalman_dense::{gemm, tri, Matrix, Trans};
 use kalman_model::{KalmanError, Result};
-use kalman_par::{map_collect, ExecPolicy};
+use kalman_par::{map_collect_into, ExecPolicy};
 
-/// The computed selected-inverse blocks for one block row.
+/// The computed selected-inverse blocks for one block row.  The off blocks
+/// are inline (`|I| ≤ 2` structurally), so an `SRow` owns no containers and
+/// overwriting one in the reused table churns nothing but pooled matrices.
 #[derive(Debug, Clone)]
 struct SRow {
     /// `S_jj` (symmetric).
     diag: Matrix,
     /// `S_{j,a}` for each off-diagonal target `a` of row `j`, in the same
     /// order as `OddEvenR::rows[j].off`.
-    off: Vec<(usize, Matrix)>,
+    off: [Option<(usize, Matrix)>; 2],
+}
+
+/// Reusable containers for [`selinv_diag_into`]: the selected-inverse row
+/// table and per-level batch results.  Carries no state between calls;
+/// `Clone` yields a fresh one.
+#[derive(Debug, Default)]
+pub struct SelinvScratch {
+    s: Vec<Option<SRow>>,
+    computed: Vec<Option<Result<SRow>>>,
+}
+
+impl Clone for SelinvScratch {
+    fn clone(&self) -> Self {
+        SelinvScratch::default()
+    }
 }
 
 /// Looks up `S_{a,b}` from already-computed rows (`a != b`): stored either
-/// on row `a` (as `(b, S_ab)`) or on row `b` (as `(a, S_ba)`, transposed).
-fn lookup_cross(s: &[Option<SRow>], a: usize, b: usize) -> Matrix {
+/// on row `a` (as `(b, S_ab)`) or on row `b` (as `(a, S_ba)`, which the
+/// caller consumes transposed via the returned [`Trans`] flag — no copy).
+fn lookup_cross(s: &[Option<SRow>], a: usize, b: usize) -> (&Matrix, Trans) {
     if let Some(row) = &s[a] {
-        for (t, m) in &row.off {
+        for (t, m) in row.off.iter().flatten() {
             if *t == b {
-                return m.clone();
+                return (m, Trans::No);
             }
         }
     }
     if let Some(row) = &s[b] {
-        for (t, m) in &row.off {
+        for (t, m) in row.off.iter().flatten() {
             if *t == a {
-                return m.transpose();
+                return (m, Trans::Yes);
             }
         }
     }
@@ -60,63 +78,94 @@ fn lookup_cross(s: &[Option<SRow>], a: usize, b: usize) -> Matrix {
 ///
 /// [`KalmanError::RankDeficient`] naming the first singular diagonal block.
 pub fn selinv_diag(r: &OddEvenR, policy: ExecPolicy) -> Result<Vec<Matrix>> {
+    let mut out = Vec::new();
+    let mut scratch = SelinvScratch::default();
+    selinv_diag_into(r, policy, &mut out, &mut scratch)?;
+    Ok(out)
+}
+
+/// [`selinv_diag`] into reused storage: `out` receives one covariance block
+/// per state; `scratch` keeps the row table and batch buffers warm, so
+/// repeated runs over same-shaped factors allocate nothing beyond pooled
+/// matrices.
+///
+/// # Errors
+///
+/// [`KalmanError::RankDeficient`] naming the first singular diagonal block.
+pub fn selinv_diag_into(
+    r: &OddEvenR,
+    policy: ExecPolicy,
+    out: &mut Vec<Matrix>,
+    scratch: &mut SelinvScratch,
+) -> Result<()> {
     let k1 = r.num_states();
-    let mut s: Vec<Option<SRow>> = (0..k1).map(|_| None).collect();
+    let s = &mut scratch.s;
+    s.clear();
+    s.resize_with(k1, || None);
 
     // Root-to-level-0: reverse elimination order.
     for level in r.levels.iter().rev() {
-        let computed: Vec<Result<(usize, SRow)>> = {
-            let s_ref = &s;
-            map_collect(policy, level.len(), |idx| {
+        {
+            let s_ref = &*s;
+            map_collect_into(policy, level.len(), &mut scratch.computed, |idx| {
                 let j = level[idx];
                 let row = &r.rows[j];
-                // X_a = R_jj⁻¹ R_{j,a} for each target a.
-                let mut xs: Vec<(usize, Matrix)> = Vec::with_capacity(row.off.len());
-                for (a, block) in &row.off {
+                // X_a = R_jj⁻¹ R_{j,a} for each target a (|off| ≤ 2 is a
+                // structural invariant of the odd-even factorization; the
+                // inline arrays below rely on it).
+                debug_assert!(
+                    row.off.len() <= 2,
+                    "row {j} has {} off blocks",
+                    row.off.len()
+                );
+                let mut xs: [Option<(usize, Matrix)>; 2] = [None, None];
+                for (slot, (a, block)) in xs.iter_mut().zip(&row.off) {
                     let mut x = block.clone();
                     tri::solve_upper_in_place(&row.diag, &mut x)
                         .map_err(|_| KalmanError::RankDeficient { state: j })?;
-                    xs.push((*a, x));
+                    *slot = Some((*a, x));
                 }
-                // S_{j,a} = −Σ_b X_b S_{b,a}.
-                let mut s_off: Vec<(usize, Matrix)> = Vec::with_capacity(xs.len());
-                for (a, _) in &xs {
+                // S_{j,a} = −Σ_b X_b S_{b,a}, accumulated in place through
+                // `gemm` (no temporaries, transposed lookups read directly).
+                let mut s_off: [Option<(usize, Matrix)>; 2] = [None, None];
+                for (slot, (a, _)) in s_off.iter_mut().zip(xs.iter().flatten()) {
                     let na = r.rows[*a].diag.cols();
                     let mut acc = Matrix::zeros(row.diag.cols(), na);
-                    for (b, xb) in &xs {
-                        let s_ba = if b == a {
-                            s_ref[*b]
+                    for (b, xb) in xs.iter().flatten() {
+                        let (s_ba, trans) = if b == a {
+                            let diag = &s_ref[*b]
                                 .as_ref()
                                 .expect("deeper level already processed")
-                                .diag
-                                .clone()
+                                .diag;
+                            (diag, Trans::No)
                         } else {
                             lookup_cross(s_ref, *b, *a)
                         };
-                        acc += &matmul(xb, &s_ba);
+                        gemm(-1.0, xb, Trans::No, s_ba, trans, 1.0, &mut acc);
                     }
-                    acc.scale(-1.0);
-                    s_off.push((*a, acc));
+                    *slot = Some((*a, acc));
                 }
                 // S_jj = R_jj⁻¹R_jj⁻ᵀ − Σ_a S_{j,a} X_aᵀ.
                 let mut diag = tri::inv_gram_upper(&row.diag)
                     .map_err(|_| KalmanError::RankDeficient { state: j })?;
-                for ((_, s_ja), (_, xa)) in s_off.iter().zip(&xs) {
-                    diag -= &matmul_nt(s_ja, xa);
+                for ((_, s_ja), (_, xa)) in s_off.iter().flatten().zip(xs.iter().flatten()) {
+                    gemm(-1.0, s_ja, Trans::No, xa, Trans::Yes, 1.0, &mut diag);
                 }
                 diag.symmetrize();
-                Ok((j, SRow { diag, off: s_off }))
-            })
-        };
-        for res in computed {
-            let (j, row) = res?;
-            s[j] = Some(row);
+                Ok(SRow { diag, off: s_off })
+            });
+        }
+        for (idx, slot) in scratch.computed.iter_mut().enumerate() {
+            let row = slot.take().expect("filled above")?;
+            s[level[idx]] = Some(row);
         }
     }
 
-    Ok(s.into_iter()
-        .map(|row| row.expect("all states processed").diag)
-        .collect())
+    out.clear();
+    for row in s.iter_mut() {
+        out.push(row.take().expect("all states processed").diag);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

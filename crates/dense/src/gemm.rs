@@ -1,4 +1,8 @@
-use crate::Matrix;
+//! General matrix multiply: a cache-blocked, register-tiled microkernel
+//! path plus the original loop-nest kernel, retained as `gemm_ref` — the
+//! reference oracle the property tests compare against.
+
+use crate::{workspace, Matrix};
 
 /// Transpose option for [`gemm`] operands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,34 +21,130 @@ impl Trans {
             Trans::Yes => (m.cols(), m.rows()),
         }
     }
+
+    /// Reads `op(m)[i, j]`.
+    #[inline]
+    fn at(self, m: &Matrix, i: usize, j: usize) -> f64 {
+        match self {
+            Trans::No => m[(i, j)],
+            Trans::Yes => m[(j, i)],
+        }
+    }
 }
 
-/// General matrix multiply: `c = alpha * op(a) * op(b) + beta * c`.
-///
-/// `op(x)` is `x` or `xᵀ` according to the [`Trans`] flags.  The loops are
-/// ordered so that the innermost accesses are contiguous in the column-major
-/// storage for every transpose combination except `Tᵀ·Bᵀ` (rare; handled with
-/// a strided loop).
-///
-/// # Panics
-///
-/// Panics on dimension mismatch.
-pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
+/// Microkernel tile height (rows of `C` per register tile).
+const MR: usize = 4;
+/// Microkernel tile width (columns of `C` per register tile).
+const NR: usize = 4;
+/// Rows of `op(A)` packed per cache block.
+const MC: usize = 128;
+/// Inner (`k`) depth packed per cache block.
+const KC: usize = 256;
+/// Problems below this `m·k·n` volume skip packing and use the reference
+/// loops (packing overhead dominates for tiny blocks; threshold picked from
+/// the `fig4 --smoke` kernel sweep on the 1-core container).
+const BLOCK_MIN_VOLUME: usize = 2048;
+
+fn check_dims(a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &Matrix) -> (usize, usize, usize) {
     let (am, ak) = ta.dims(a);
     let (bk, bn) = tb.dims(b);
     assert_eq!(ak, bk, "gemm inner dimension mismatch: {ak} vs {bk}");
     assert_eq!(c.rows(), am, "gemm output row mismatch");
     assert_eq!(c.cols(), bn, "gemm output col mismatch");
+    (am, ak, bn)
+}
 
+#[inline]
+fn scale_c(beta: f64, c: &mut Matrix) {
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
         c.scale(beta);
     }
+}
+
+/// General matrix multiply: `c = alpha * op(a) * op(b) + beta * c`.
+///
+/// `op(x)` is `x` or `xᵀ` according to the [`Trans`] flags.  Large-enough
+/// products run through a cache-blocked path: `op(A)` panels are packed
+/// column-major in [`MR`]-row strips (with `alpha` folded in), `op(B)`
+/// panels in [`NR`]-column strips — the packing buffers double as the
+/// small-transpose staging area, so every transpose combination (including
+/// the formerly strided `Tᵀ·Bᵀ` case) feeds the same unrolled
+/// [`MR`]`×`[`NR`] register-tile microkernel with contiguous reads.  Small
+/// products use [`gemm_ref`].  Both paths are deterministic: results are
+/// bitwise identical run-to-run and across `ExecPolicy` choices.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64, c: &mut Matrix) {
+    let (am, ak, bn) = check_dims(a, ta, b, tb, c);
+    scale_c(beta, c);
     if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
         return;
     }
+    if workspace::reference_kernels() || am * ak * bn < BLOCK_MIN_VOLUME {
+        accumulate_ref(alpha, a, ta, b, tb, c);
+    } else {
+        accumulate_blocked(alpha, a, ta, b, tb, c);
+    }
+}
 
+/// The blocked GEMM path unconditionally (packed panels + microkernel),
+/// regardless of problem volume — for callers that know their sizes and
+/// for property tests pinning the blocked path against [`gemm_ref`] on
+/// every shape, including ones below the dispatch threshold.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm_blocked(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak, bn) = check_dims(a, ta, b, tb, c);
+    scale_c(beta, c);
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+    accumulate_blocked(alpha, a, ta, b, tb, c);
+}
+
+/// The unblocked reference GEMM (`c = alpha * op(a) * op(b) + beta * c`):
+/// simple loop nests ordered for contiguous column-major access.  This is
+/// the oracle the blocked path is property-tested against, and the kernel
+/// the benchmarks call when `KALMAN_REF_KERNELS` is set.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+pub fn gemm_ref(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (am, ak, bn) = check_dims(a, ta, b, tb, c);
+    scale_c(beta, c);
+    if alpha == 0.0 || am == 0 || bn == 0 || ak == 0 {
+        return;
+    }
+    accumulate_ref(alpha, a, ta, b, tb, c);
+}
+
+/// `c += alpha * op(a) * op(b)` with the original loop nests.
+fn accumulate_ref(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
+    let (am, ak) = ta.dims(a);
+    let bn = tb.dims(b).1;
     match (ta, tb) {
         (Trans::No, Trans::No) => {
             // c[:,j] += alpha * b[l,j] * a[:,l]  — all accesses contiguous.
@@ -106,6 +206,92 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
             }
         }
     }
+}
+
+/// `c += alpha * op(a) * op(b)` through packed panels and the MR×NR
+/// microkernel.
+fn accumulate_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
+    let (am, ak) = ta.dims(a);
+    let bn = tb.dims(b).1;
+
+    let b_panels = bn.div_ceil(NR);
+    let a_panels_max = am.min(MC).div_ceil(MR);
+    let mut bpack = workspace::take_f64(b_panels * NR * KC.min(ak));
+    let mut apack = workspace::take_f64(a_panels_max * MR * KC.min(ak));
+
+    let mut pc = 0;
+    while pc < ak {
+        let kc = KC.min(ak - pc);
+        // Pack op(B)[pc..pc+kc, :] into NR-column strips (zero-padded), so
+        // the microkernel reads NR consecutive values per k step no matter
+        // how op(B) is strided in the original storage.
+        for jp in 0..b_panels {
+            let j0 = jp * NR;
+            let panel = &mut bpack[jp * NR * kc..(jp + 1) * NR * kc];
+            for (p, row) in panel.chunks_exact_mut(NR).enumerate() {
+                for (jr, slot) in row.iter_mut().enumerate() {
+                    let j = j0 + jr;
+                    *slot = if j < bn { tb.at(b, pc + p, j) } else { 0.0 };
+                }
+            }
+        }
+
+        let mut ic = 0;
+        while ic < am {
+            let mc = MC.min(am - ic);
+            let a_panels = mc.div_ceil(MR);
+            // Pack alpha·op(A)[ic..ic+mc, pc..pc+kc] into MR-row strips.
+            for ip in 0..a_panels {
+                let i0 = ic + ip * MR;
+                let panel = &mut apack[ip * MR * kc..(ip + 1) * MR * kc];
+                for (p, row) in panel.chunks_exact_mut(MR).enumerate() {
+                    for (ir, slot) in row.iter_mut().enumerate() {
+                        let i = i0 + ir;
+                        *slot = if i < ic + mc {
+                            alpha * ta.at(a, i, pc + p)
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+            }
+
+            // Register-tiled sweep over the packed block.
+            for jp in 0..b_panels {
+                let j0 = jp * NR;
+                let nr = NR.min(bn - j0);
+                let b_panel = &bpack[jp * NR * kc..(jp + 1) * NR * kc];
+                for ip in 0..a_panels {
+                    let i0 = ic + ip * MR;
+                    let mr = MR.min(ic + mc - i0);
+                    let a_panel = &apack[ip * MR * kc..(ip + 1) * MR * kc];
+
+                    // Unrolled 4×4 inner kernel: 16 scalar accumulators,
+                    // contiguous MR/NR loads per k step.
+                    let mut acc = [[0.0f64; NR]; MR];
+                    for (ap, bp) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+                        for ir in 0..MR {
+                            let av = ap[ir];
+                            for jr in 0..NR {
+                                acc[ir][jr] += av * bp[jr];
+                            }
+                        }
+                    }
+                    for jr in 0..nr {
+                        let cj = &mut c.col_mut(j0 + jr)[i0..i0 + mr];
+                        for (ci, acc_row) in cj.iter_mut().zip(&acc) {
+                            *ci += acc_row[jr];
+                        }
+                    }
+                }
+            }
+            ic += mc;
+        }
+        pc += kc;
+    }
+
+    workspace::put_f64(apack);
+    workspace::put_f64(bpack);
 }
 
 /// `a * b` as a new matrix.
@@ -224,5 +410,35 @@ mod tests {
         assert_eq!(c2.rows(), 2);
         assert_eq!(c2.cols(), 3);
         assert_eq!(c2.max_abs(), 0.0);
+    }
+
+    /// The blocked path must agree with the reference loops on every
+    /// transpose combination and on shapes that exercise every packing edge
+    /// (non-multiples of MR/NR/KC, tall, wide, deep).
+    #[test]
+    fn blocked_path_matches_reference_all_transposes() {
+        let shapes = [(17, 13, 19), (33, 5, 64), (4, 100, 4), (65, 65, 1)];
+        for (m, k, n) in shapes {
+            let x = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17) as f64).sin());
+            let y = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 3) as f64).cos());
+            let xt = x.transpose();
+            let yt = y.transpose();
+            for (aa, ta, bb, tb) in [
+                (&x, Trans::No, &y, Trans::No),
+                (&xt, Trans::Yes, &y, Trans::No),
+                (&x, Trans::No, &yt, Trans::Yes),
+                (&xt, Trans::Yes, &yt, Trans::Yes),
+            ] {
+                let mut c_blocked = Matrix::from_fn(m, n, |i, j| (i + j) as f64);
+                let mut c_ref = c_blocked.clone();
+                accumulate_blocked(1.5, aa, ta, bb, tb, &mut c_blocked);
+                gemm_ref(1.5, aa, ta, bb, tb, 1.0, &mut c_ref);
+                assert!(
+                    c_blocked.approx_eq(&c_ref, 1e-11 * (1.0 + c_ref.max_abs())),
+                    "mismatch at ({m},{k},{n}) {ta:?}/{tb:?}: {}",
+                    c_blocked.max_abs_diff(&c_ref)
+                );
+            }
+        }
     }
 }

@@ -17,8 +17,13 @@
 //!   benchmark problems (random orthonormal evolution/observation matrices).
 //!
 //! All matrices are dense and owned; the smoothers operate on many small
-//! blocks (the paper uses n = 6, 48 and 500), so simple cache-aware loops are
-//! appropriate and keep the crate dependency-free.
+//! blocks (the paper uses n = 6, 48 and 500).  The kernels are tuned for
+//! that regime — a blocked, register-tiled GEMM microkernel, four-column
+//! Householder applications, a compact-WY blocked QR for large blocks, a
+//! triangular-pentagonal stack elimination ([`qr_tri_stack_applying`]),
+//! and a thread-local buffer-recycling [`workspace`] that makes
+//! steady-state loops allocation-free — while staying dependency-free (see
+//! DESIGN.md §"Dense kernels").
 //!
 //! # Example
 //!
@@ -44,13 +49,19 @@ mod matrix;
 mod qr;
 pub mod random;
 pub mod tri;
+pub mod workspace;
 
 pub use chol::{llt, Cholesky};
 pub use error::DenseError;
-pub use gemm::{gemm, matmul, matmul_nt, matmul_tn, matmul_tt, Trans};
+pub use gemm::{gemm, gemm_blocked, gemm_ref, matmul, matmul_nt, matmul_tn, matmul_tt, Trans};
 pub use lu::{solve, LuFactor};
 pub use matrix::Matrix;
-pub use qr::{compress_rows, qr_stacked, ColPivQr, QrFactor};
+pub use qr::{
+    compress_rows, compress_rows_owned, qr_stacked, qr_tri_stack_applying, ColPivQr, QrFactor,
+};
+pub use workspace::{
+    pooling_enabled, reference_kernels, set_pooling, set_reference_kernels, Workspace,
+};
 
 /// Result type for fallible dense operations (singular / not-SPD inputs).
 pub type Result<T> = std::result::Result<T, DenseError>;

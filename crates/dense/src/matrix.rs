@@ -10,18 +10,47 @@ use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 ///
 /// Vectors are represented as `rows × 1` matrices; see
 /// [`Matrix::col_from_slice`].
-#[derive(Clone, PartialEq)]
+///
+/// Storage is checked out of the thread-local [`crate::workspace`] pool and
+/// returned on drop, so matrix-heavy loops stop allocating once the pool
+/// has warmed up.  `Clone` goes through the same pool.
+#[derive(PartialEq)]
 pub struct Matrix {
     data: Vec<f64>,
     rows: usize,
     cols: usize,
 }
 
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut data = crate::workspace::take_f64(self.data.len());
+        data.copy_from_slice(&self.data);
+        Matrix {
+            data,
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.data.clear();
+        self.data.extend_from_slice(&source.data);
+        self.rows = source.rows;
+        self.cols = source.cols;
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        crate::workspace::put_f64(std::mem::take(&mut self.data));
+    }
+}
+
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
-            data: vec![0.0; rows * cols],
+            data: crate::workspace::take_f64(rows * cols),
             rows,
             cols,
         }
@@ -73,8 +102,10 @@ impl Matrix {
 
     /// Creates a column vector (an `n × 1` matrix) from a slice.
     pub fn col_from_slice(v: &[f64]) -> Self {
+        let mut data = crate::workspace::take_f64(v.len());
+        data.copy_from_slice(v);
         Matrix {
-            data: v.to_vec(),
+            data,
             rows: v.len(),
             cols: 1,
         }
@@ -146,8 +177,12 @@ impl Matrix {
     }
 
     /// Consumes the matrix, returning its column-major data.
-    pub fn into_vec(self) -> Vec<f64> {
-        self.data
+    ///
+    /// The returned vector leaves the workspace pool for good (it is
+    /// deallocated normally when dropped); hot paths should prefer reading
+    /// through [`Matrix::col`] and letting the matrix recycle itself.
+    pub fn into_vec(mut self) -> Vec<f64> {
+        std::mem::take(&mut self.data)
     }
 
     /// Two mutable column views `(j1, j2)` with `j1 != j2`.
@@ -164,6 +199,21 @@ impl Matrix {
             let c2 = &mut lo[j2 * r..(j2 + 1) * r];
             (&mut hi[..r], c2)
         }
+    }
+
+    /// Splits the column-major storage at column `j`: returns the raw data
+    /// of columns `0..j` (shared) and `j..cols` (mutable).  Both slices use
+    /// this matrix's row count as their column stride.  Used by the blocked
+    /// QR to apply a factored panel to the trailing columns in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > self.cols()`.
+    pub fn split_at_col_mut(&mut self, j: usize) -> (&[f64], &mut [f64]) {
+        assert!(j <= self.cols, "split_at_col_mut column out of bounds");
+        let r = self.rows;
+        let (lo, hi) = self.data.split_at_mut(j * r);
+        (lo, hi)
     }
 
     /// Returns the transpose as a new matrix.
@@ -288,14 +338,27 @@ impl Matrix {
         }
     }
 
-    /// Matrix-vector product `y = self * x` (allocating).
+    /// Matrix-vector product `y = self * x` (allocating; hot paths use
+    /// [`Matrix::mul_vec_into`] / [`Matrix::sub_mul_vec_into`] instead).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
         let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// In-place matrix-vector product `y = self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mul_vec output length mismatch");
+        y.fill(0.0);
         for (j, &xj) in x.iter().enumerate() {
             if xj != 0.0 {
                 for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
@@ -303,17 +366,47 @@ impl Matrix {
                 }
             }
         }
-        y
     }
 
-    /// Transposed matrix-vector product `y = selfᵀ * x` (allocating).
+    /// In-place product-subtract `y -= self * x` (the back-substitution
+    /// kernel: subtract an off-diagonal block's contribution without any
+    /// temporary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn sub_mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "sub_mul_vec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "sub_mul_vec output length mismatch");
+        for (j, &xj) in x.iter().enumerate() {
+            if xj != 0.0 {
+                for (yi, &aij) in y.iter_mut().zip(self.col(j)) {
+                    *yi -= aij * xj;
+                }
+            }
+        }
+    }
+
+    /// Transposed matrix-vector product `y = selfᵀ * x` (allocating; hot
+    /// paths use [`Matrix::mul_vec_t_into`] instead).
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.rows()`.
     pub fn mul_vec_t(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.rows, "mul_vec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
+        self.mul_vec_t_into(x, &mut y);
+        y
+    }
+
+    /// In-place transposed matrix-vector product `y = selfᵀ * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()` or `y.len() != self.cols()`.
+    pub fn mul_vec_t_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.rows, "mul_vec_t dimension mismatch");
+        assert_eq!(y.len(), self.cols, "mul_vec_t output length mismatch");
         for (j, yj) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (&aij, &xi) in self.col(j).iter().zip(x) {
@@ -321,7 +414,6 @@ impl Matrix {
             }
             *yj = acc;
         }
-        y
     }
 
     /// Frobenius norm.
@@ -566,6 +658,47 @@ mod tests {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(m.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
         assert_eq!(m.mul_vec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn in_place_matvec_variants_match() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, -1.0], &[3.0, 4.0, 0.5]]);
+        let x = [1.0, -2.0, 4.0];
+        let mut y = [99.0, 99.0]; // stale contents must be overwritten
+        m.mul_vec_into(&x, &mut y);
+        assert_eq!(y.to_vec(), m.mul_vec(&x));
+
+        let xt = [2.0, -1.0];
+        let mut yt = [0.0; 3];
+        m.mul_vec_t_into(&xt, &mut yt);
+        assert_eq!(yt.to_vec(), m.mul_vec_t(&xt));
+
+        // y -= A x on top of existing contents.
+        let mut acc = [10.0, 20.0];
+        m.sub_mul_vec_into(&x, &mut acc);
+        let prod = m.mul_vec(&x);
+        assert_eq!(acc[0], 10.0 - prod[0]);
+        assert_eq!(acc[1], 20.0 - prod[1]);
+    }
+
+    #[test]
+    fn clone_and_drop_roundtrip_through_workspace() {
+        // A dropped matrix's buffer is reused by the next same-class
+        // allocation on this thread (steady-state loops stop allocating).
+        let before = crate::workspace::Workspace::with(|ws| ws.stats());
+        {
+            let a = Matrix::zeros(8, 8);
+            let b = a.clone();
+            assert!(b.approx_eq(&a, 0.0));
+        }
+        let after = crate::workspace::Workspace::with(|ws| ws.stats());
+        if crate::workspace::pooling_enabled() {
+            assert!(after.pooled_elems >= before.pooled_elems);
+            let c = Matrix::zeros(8, 8);
+            let hits = crate::workspace::Workspace::with(|ws| ws.stats()).hits;
+            assert!(hits > before.hits, "pool should have served this");
+            assert_eq!(c.max_abs(), 0.0, "recycled buffer must be zeroed");
+        }
     }
 
     #[test]

@@ -104,6 +104,21 @@ pub fn sample_gaussian_cov<R: Rng + ?Sized>(rng: &mut R, chol: &Cholesky) -> Vec
     chol.l().mul_vec(&z)
 }
 
+/// A deterministic, well-conditioned test matrix (no RNG): hashed
+/// pseudo-random entries in ≈[−0.5, 0.5] with a boosted diagonal.  Shared
+/// by the kernel property tests and the benchmark harness so both exercise
+/// the same distribution (a low-rank matrix would leave `Q` numerically
+/// arbitrary outside the column space, voiding oracle comparisons).
+pub fn deterministic_well_conditioned(rows: usize, cols: usize) -> crate::Matrix {
+    crate::Matrix::from_fn(rows, cols, |i, j| {
+        let h = (i
+            .wrapping_mul(2654435761)
+            .wrapping_add(j.wrapping_mul(97003999))
+            % 10007) as f64;
+        h / 10007.0 - 0.5 + if i == j { 2.0 } else { 0.0 }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,9 @@ fn check_diag(u: &Matrix) -> Result<()> {
 
 /// Solves `U x = b` in place for each column of `b`, with `U` upper triangular.
 ///
-/// Only the upper triangle of `u` is referenced.
+/// Only the upper triangle of `u` is referenced.  Column-oriented (axpy)
+/// back substitution: the inner updates sweep contiguous columns of `u`,
+/// which vectorizes, unlike the classic strided row-dot formulation.
 ///
 /// # Errors
 ///
@@ -30,19 +32,23 @@ pub fn solve_upper_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
     assert_eq!(b.rows(), n, "solve_upper rhs row mismatch");
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
-        for i in (0..n).rev() {
-            let mut acc = bk[i];
-            for j in (i + 1)..n {
-                acc -= u[(i, j)] * bk[j];
+        for j in (0..n).rev() {
+            let uj = u.col(j);
+            let xj = bk[j] / uj[j];
+            bk[j] = xj;
+            if xj != 0.0 {
+                for (bi, &uij) in bk[..j].iter_mut().zip(uj) {
+                    *bi -= uij * xj;
+                }
             }
-            bk[i] = acc / u[(i, i)];
         }
     }
     Ok(())
 }
 
 /// Solves `Uᵀ x = b` in place for each column of `b`, with `U` upper
-/// triangular (so `Uᵀ` is lower triangular).
+/// triangular (so `Uᵀ` is lower triangular).  The dot against column `i`
+/// of `u` is contiguous.
 ///
 /// # Errors
 ///
@@ -54,12 +60,13 @@ pub fn solve_upper_transpose_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> 
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for i in 0..n {
+            let ui = u.col(i);
             let mut acc = bk[i];
-            // (Uᵀ)[i][j] = U[j][i] for j < i.
-            for j in 0..i {
-                acc -= u[(j, i)] * bk[j];
+            // (Uᵀ)[i][j] = U[j][i] for j < i — a contiguous column prefix.
+            for (&uji, &bj) in ui[..i].iter().zip(bk.iter()) {
+                acc -= uji * bj;
             }
-            bk[i] = acc / u[(i, i)];
+            bk[i] = acc / ui[i];
         }
     }
     Ok(())
@@ -67,7 +74,8 @@ pub fn solve_upper_transpose_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> 
 
 /// Solves `L x = b` in place for each column of `b`, with `L` lower triangular.
 ///
-/// Only the lower triangle of `l` is referenced.
+/// Only the lower triangle of `l` is referenced.  Column-oriented (axpy)
+/// forward substitution with contiguous column updates.
 ///
 /// # Errors
 ///
@@ -78,18 +86,22 @@ pub fn solve_lower_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> {
     assert_eq!(b.rows(), n, "solve_lower rhs row mismatch");
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
-        for i in 0..n {
-            let mut acc = bk[i];
-            for j in 0..i {
-                acc -= l[(i, j)] * bk[j];
+        for j in 0..n {
+            let lj = l.col(j);
+            let xj = bk[j] / lj[j];
+            bk[j] = xj;
+            if xj != 0.0 {
+                for (bi, &lij) in bk[j + 1..].iter_mut().zip(&lj[j + 1..]) {
+                    *bi -= lij * xj;
+                }
             }
-            bk[i] = acc / l[(i, i)];
         }
     }
     Ok(())
 }
 
-/// Solves `Lᵀ x = b` in place for each column of `b`, with `L` lower triangular.
+/// Solves `Lᵀ x = b` in place for each column of `b`, with `L` lower
+/// triangular.  The dot against column `i` of `l` is contiguous.
 ///
 /// # Errors
 ///
@@ -101,11 +113,13 @@ pub fn solve_lower_transpose_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> 
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for i in (0..n).rev() {
+            let li = l.col(i);
             let mut acc = bk[i];
-            for j in (i + 1)..n {
-                acc -= l[(j, i)] * bk[j];
+            // (Lᵀ)[i][j] = L[j][i] for j > i — a contiguous column suffix.
+            for (&lji, &bj) in li[i + 1..].iter().zip(bk[i + 1..].iter()) {
+                acc -= lji * bj;
             }
-            bk[i] = acc / l[(i, i)];
+            bk[i] = acc / li[i];
         }
     }
     Ok(())
@@ -164,15 +178,55 @@ pub fn invert_lower(l: &Matrix) -> Result<Matrix> {
 /// Computes `(UᵀU)⁻¹ = U⁻¹ U⁻ᵀ` for upper triangular `U`.
 ///
 /// This is the `R_jj⁻¹R_jj⁻ᵀ` kernel from the SelInv recurrences; the result
-/// is symmetric.
+/// is symmetric.  Both stages exploit the triangular structure: the inverse
+/// `W = U⁻¹` is built column by column over its nonzero prefix only, and
+/// the product `W Wᵀ` sums over the shared column suffix — together about
+/// a third of the flops of a dense inverse-then-multiply.
 ///
 /// # Errors
 ///
 /// [`DenseError::Singular`] if `U` has a zero diagonal entry.
 pub fn inv_gram_upper(u: &Matrix) -> Result<Matrix> {
-    let w = invert_upper(u)?;
-    let mut s = crate::gemm::matmul_nt(&w, &w);
-    s.symmetrize();
+    check_diag(u)?;
+    let n = u.rows();
+    // W = U⁻¹ (upper triangular): column j solves U x = e_j over rows 0..=j
+    // by column-oriented back substitution (contiguous axpy updates).
+    let mut w = Matrix::zeros(n, n);
+    for j in 0..n {
+        let wj = w.col_mut(j);
+        wj[j] = 1.0;
+        for k in (0..=j).rev() {
+            let uk = u.col(k);
+            let xk = wj[k] / uk[k];
+            wj[k] = xk;
+            if xk != 0.0 {
+                for (wi, &uik) in wj[..k].iter_mut().zip(uk) {
+                    *wi -= uik * xk;
+                }
+            }
+        }
+    }
+    // S = W Wᵀ: S[i,j] = Σ_{k ≥ j} W[i,k]·W[j,k] for i ≤ j (contiguous row
+    // pairs would be strided; sum column-wise instead).
+    let mut s = Matrix::zeros(n, n);
+    for k in 0..n {
+        let wk = w.col(k);
+        for j in 0..=k {
+            let wjk = wk[j];
+            if wjk != 0.0 {
+                let sj = s.col_mut(j);
+                for (si, &wik) in sj[..=j].iter_mut().zip(&wk[..=j]) {
+                    *si += wik * wjk;
+                }
+            }
+        }
+    }
+    // Mirror the lower triangle (accumulated in the upper part above).
+    for j in 0..n {
+        for i in 0..j {
+            s[(j, i)] = s[(i, j)];
+        }
+    }
     Ok(s)
 }
 

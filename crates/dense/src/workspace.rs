@@ -1,0 +1,433 @@
+//! Per-worker scratch workspace: a size-classed buffer recycler that makes
+//! the hot smoothing loops allocation-free in steady state.
+//!
+//! Every [`Matrix`](crate::Matrix) allocation in this crate is routed
+//! through a thread-local [`Workspace`]: buffers are handed out from
+//! power-of-two size-class free lists and returned when the matrix is
+//! dropped (see `Drop for Matrix`), so a loop that repeatedly builds and
+//! discards temporaries — the odd-even elimination tasks, SelInv rows,
+//! `InfoHead::advance`, a streaming smoother's per-flush pipeline — performs
+//! **zero heap allocations per iteration once the pool has warmed up**.
+//! The same pool recycles the index/coefficient vectors of the QR
+//! factorizations (`tau`, column-pivot permutations).
+//!
+//! Design rules (documented in DESIGN.md §"Dense kernels"):
+//!
+//! * **Per-worker**: the workspace is a `thread_local`, so parallel batches
+//!   need no synchronization and recycling stays deterministic.  A buffer
+//!   freed on a different thread than it was taken from simply warms that
+//!   thread's pool instead (ownership of buffers is never shared).
+//! * **Bounded**: each size class keeps at most `max(1, 2^15 >> class)`
+//!   buffers and only lengths between 2^[`MIN_CLASS`] and 2^[`MAX_CLASS`]
+//!   elements are pooled; everything beyond falls through to the global
+//!   allocator, so the pool retains at most ≈ 7 MiB per thread.
+//! * **Checkpoint/reset**: [`Workspace::checkpoint`] snapshots the pooled
+//!   byte count and [`Workspace::reset`] trims the pool back to it —
+//!   long-lived servers (e.g. a `SmootherPool`) use this to release warmup
+//!   growth after a burst of unusually large windows.
+//! * **Disableable**: [`set_pooling`] (or the `KALMAN_WS_DISABLE`
+//!   environment variable) turns recycling off globally, which the
+//!   benchmark harness uses to measure the allocator's contribution.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// Element budget per size class (per thread): class `c` keeps at most
+/// `max(1, MAX_CLASS_ELEMS >> c)` buffers, so tiny-block-heavy workloads
+/// (state dimension 4 smoothers juggle hundreds of 16-element buffers at
+/// once) stay pooled while each class is bounded to ~256 KiB (one buffer
+/// for the largest classes).
+pub const MAX_CLASS_ELEMS: usize = 1 << 15;
+/// Largest pooled size class: buffers of up to `2^MAX_CLASS` elements
+/// (256 Ki elements = 2 MiB of f64).  Bigger buffers go straight to the
+/// global allocator — at that size the allocation cost is amortized by the
+/// work done on the buffer, and pooling them would blow the retention
+/// bound.  Worst-case retention across all classes is ≈ 7 MiB per thread.
+pub const MAX_CLASS: usize = 18;
+/// Smallest pooled size class (16 elements); tinier buffers are dropped —
+/// `take` never requests below this, so they could never be served.
+pub const MIN_CLASS: usize = 4;
+
+/// Maximum pooled buffers for size class `class`.
+#[inline]
+fn class_capacity(class: usize) -> usize {
+    (MAX_CLASS_ELEMS >> class).max(1)
+}
+
+/// Global switch: 0 = unset (read env), 1 = enabled, 2 = disabled.
+static POOLING: AtomicU8 = AtomicU8::new(0);
+/// Global switch for the blocked kernels (GEMM microkernel, compact-WY QR).
+/// `true` forces the unblocked/naive reference paths everywhere.
+static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
+static REFERENCE_KERNELS_INIT: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables buffer pooling process-wide (default: enabled unless
+/// the `KALMAN_WS_DISABLE` environment variable is set).  Used by benchmarks
+/// to isolate the allocator's contribution; flipping it mid-computation is
+/// safe (buffers taken under either setting are correctly dropped).
+pub fn set_pooling(enabled: bool) {
+    POOLING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// `true` when buffer pooling is active.
+pub fn pooling_enabled() -> bool {
+    match POOLING.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let enabled = std::env::var_os("KALMAN_WS_DISABLE").is_none();
+            POOLING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+            enabled
+        }
+    }
+}
+
+/// Forces the unblocked/naive reference kernels (`gemm_ref`, per-reflector
+/// Householder application) process-wide.  The default (`false`, unless the
+/// `KALMAN_REF_KERNELS` environment variable is set) uses the blocked
+/// kernels.  The benchmark harness flips this to measure the blocked
+/// kernels' speedup within one process.
+pub fn set_reference_kernels(on: bool) {
+    // Value first, then the init flag: a concurrent `reference_kernels()`
+    // that observes the flag must not read a stale value.
+    REFERENCE_KERNELS.store(on, Ordering::Relaxed);
+    REFERENCE_KERNELS_INIT.store(true, Ordering::Relaxed);
+}
+
+/// `true` when the reference (unblocked) kernels are forced.
+pub fn reference_kernels() -> bool {
+    if !REFERENCE_KERNELS_INIT.load(Ordering::Relaxed) {
+        let on = std::env::var_os("KALMAN_REF_KERNELS").is_some();
+        set_reference_kernels(on);
+        return on;
+    }
+    REFERENCE_KERNELS.load(Ordering::Relaxed)
+}
+
+/// Pool usage counters (per thread), for benchmark reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// `take` calls served from the pool.
+    pub hits: u64,
+    /// `take` calls that fell through to the global allocator.
+    pub misses: u64,
+    /// f64 elements currently parked in the pool.
+    pub pooled_elems: usize,
+    /// `put` calls dropped because the buffer shape is not poolable.
+    pub rejected_shape: u64,
+    /// `put` calls dropped because the size class was full.
+    pub rejected_full: u64,
+}
+
+/// A snapshot of pool occupancy, returned by [`Workspace::checkpoint`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkspaceMark {
+    pooled_elems: usize,
+}
+
+/// The per-thread scratch arena: size-classed free lists of `Vec<f64>` and
+/// `Vec<usize>` buffers.
+///
+/// Most code never touches this type directly — `Matrix` construction and
+/// `Drop` go through it automatically — but hot loops that need raw scratch
+/// (the blocked GEMM's packing panels, the WY `apply` kernels) check
+/// buffers out and back in explicitly via [`Workspace::with`].
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// `f64` buffers; class `c` holds buffers of capacity exactly `2^c`.
+    f64_pool: Vec<Vec<Vec<f64>>>,
+    /// `usize` buffers, same classing.
+    usize_pool: Vec<Vec<Vec<usize>>>,
+    hits: u64,
+    misses: u64,
+    pooled_elems: usize,
+    rejected_shape: u64,
+    rejected_full: u64,
+}
+
+fn class_of(len: usize) -> Option<usize> {
+    if len == 0 {
+        return None;
+    }
+    let class = usize::BITS as usize - (len - 1).leading_zeros() as usize;
+    let class = class.max(MIN_CLASS); // round tiny buffers up to 16 elements
+    (class <= MAX_CLASS).then_some(class)
+}
+
+impl Workspace {
+    /// Runs `f` with the calling thread's workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from within another `with` closure
+    /// (the crate's own kernels never do).
+    pub fn with<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+        WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+    }
+
+    /// Checks out a zero-filled `f64` buffer of length `len`.  The zeroing
+    /// is part of the contract: `Matrix::zeros` (and through it nearly
+    /// every matrix constructor) relies on it.
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        if pooling_enabled() {
+            if let Some(class) = class_of(len) {
+                if let Some(mut buf) = self.f64_pool.get_mut(class).and_then(Vec::pop) {
+                    self.hits += 1;
+                    self.pooled_elems -= buf.capacity();
+                    buf.clear();
+                    buf.resize(len, 0.0);
+                    return buf;
+                }
+                self.misses += 1;
+                let mut buf = Vec::with_capacity(1usize << class);
+                buf.resize(len, 0.0);
+                return buf;
+            }
+        }
+        self.misses += 1;
+        vec![0.0; len]
+    }
+
+    /// Returns an `f64` buffer to the pool (drops it if the pool is full,
+    /// pooling is disabled, or the capacity is not one this pool manages).
+    pub fn put_f64(&mut self, buf: Vec<f64>) {
+        if !pooling_enabled() {
+            return;
+        }
+        let cap = buf.capacity();
+        if cap == 0 || !cap.is_power_of_two() {
+            self.rejected_shape += 1;
+            return;
+        }
+        let class = cap.trailing_zeros() as usize;
+        if !(MIN_CLASS..=MAX_CLASS).contains(&class) {
+            // Below MIN_CLASS no take ever asks for this capacity (requests
+            // round up), so pooling it would only strand the buffer.
+            self.rejected_shape += 1;
+            return;
+        }
+        if self.f64_pool.len() <= class {
+            self.f64_pool.resize_with(class + 1, Vec::new);
+        }
+        let bucket = &mut self.f64_pool[class];
+        if bucket.capacity() == 0 {
+            // One-time reservation so bucket growth never reallocates in
+            // the steady state the pool exists to keep allocation-free.
+            bucket.reserve_exact(class_capacity(class));
+        }
+        if bucket.len() < class_capacity(class) {
+            self.pooled_elems += cap;
+            bucket.push(buf);
+        } else {
+            self.rejected_full += 1;
+        }
+    }
+
+    /// Checks out a `usize` buffer of length `len`, zero-filled.
+    pub fn take_usize(&mut self, len: usize) -> Vec<usize> {
+        if pooling_enabled() {
+            if let Some(class) = class_of(len) {
+                if let Some(mut buf) = self.usize_pool.get_mut(class).and_then(Vec::pop) {
+                    self.hits += 1;
+                    buf.clear();
+                    buf.resize(len, 0);
+                    return buf;
+                }
+                self.misses += 1;
+                let mut buf = Vec::with_capacity(1usize << class);
+                buf.resize(len, 0);
+                return buf;
+            }
+        }
+        self.misses += 1;
+        vec![0; len]
+    }
+
+    /// Returns a `usize` buffer to the pool.
+    pub fn put_usize(&mut self, buf: Vec<usize>) {
+        if !pooling_enabled() {
+            return;
+        }
+        let cap = buf.capacity();
+        if cap == 0 || !cap.is_power_of_two() {
+            return;
+        }
+        let class = cap.trailing_zeros() as usize;
+        if !(MIN_CLASS..=MAX_CLASS).contains(&class) {
+            return;
+        }
+        if self.usize_pool.len() <= class {
+            self.usize_pool.resize_with(class + 1, Vec::new);
+        }
+        let bucket = &mut self.usize_pool[class];
+        if bucket.capacity() == 0 {
+            bucket.reserve_exact(class_capacity(class));
+        }
+        if bucket.len() < class_capacity(class) {
+            bucket.push(buf);
+        }
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            hits: self.hits,
+            misses: self.misses,
+            pooled_elems: self.pooled_elems,
+            rejected_shape: self.rejected_shape,
+            rejected_full: self.rejected_full,
+        }
+    }
+
+    /// Snapshots the pool occupancy for a later [`Workspace::reset`].
+    pub fn checkpoint(&self) -> WorkspaceMark {
+        WorkspaceMark {
+            pooled_elems: self.pooled_elems,
+        }
+    }
+
+    /// Trims pooled `f64` buffers (largest classes first) until occupancy is
+    /// back at the checkpoint — releases growth from an unusually large
+    /// transient working set without touching the warmed-up steady state.
+    /// The (tiny, uncounted) `usize` pivot-buffer pool is drained entirely.
+    pub fn reset(&mut self, mark: WorkspaceMark) {
+        let mut class = self.f64_pool.len();
+        while self.pooled_elems > mark.pooled_elems && class > 0 {
+            class -= 1;
+            let bucket = &mut self.f64_pool[class];
+            while self.pooled_elems > mark.pooled_elems {
+                match bucket.pop() {
+                    Some(buf) => self.pooled_elems -= buf.capacity(),
+                    None => break,
+                }
+            }
+        }
+        self.usize_pool.clear();
+    }
+
+    /// Drops every pooled buffer.
+    pub fn clear(&mut self) {
+        self.f64_pool.clear();
+        self.usize_pool.clear();
+        self.pooled_elems = 0;
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::default());
+}
+
+/// Checks out an `f64` buffer from the calling thread's workspace
+/// (crate-internal shorthand used by `Matrix` construction).  Falls back to
+/// a plain allocation if the workspace is busy (re-entrant use from inside
+/// a [`Workspace::with`] closure).
+#[inline]
+pub(crate) fn take_f64(len: usize) -> Vec<f64> {
+    WORKSPACE
+        .try_with(|cell| match cell.try_borrow_mut() {
+            Ok(mut ws) => ws.take_f64(len),
+            Err(_) => vec![0.0; len],
+        })
+        .unwrap_or_else(|_| vec![0.0; len])
+}
+
+/// Returns an `f64` buffer to the calling thread's workspace.
+#[inline]
+pub(crate) fn put_f64(buf: Vec<f64>) {
+    if buf.capacity() != 0 {
+        let _ = WORKSPACE.try_with(|cell| {
+            if let Ok(mut ws) = cell.try_borrow_mut() {
+                ws.put_f64(buf);
+            }
+        });
+    }
+}
+
+/// Checks out a `usize` buffer from the calling thread's workspace.
+#[inline]
+pub(crate) fn take_usize(len: usize) -> Vec<usize> {
+    WORKSPACE
+        .try_with(|cell| match cell.try_borrow_mut() {
+            Ok(mut ws) => ws.take_usize(len),
+            Err(_) => vec![0; len],
+        })
+        .unwrap_or_else(|_| vec![0; len])
+}
+
+/// Returns a `usize` buffer to the calling thread's workspace.
+#[inline]
+pub(crate) fn put_usize(buf: Vec<usize>) {
+    if buf.capacity() != 0 {
+        let _ = WORKSPACE.try_with(|cell| {
+            if let Ok(mut ws) = cell.try_borrow_mut() {
+                ws.put_usize(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_roundtrip_reuses_buffer() {
+        let mut ws = Workspace::default();
+        let a = ws.take_f64(100);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 0.0));
+        let cap = a.capacity();
+        assert!(cap >= 100 && cap.is_power_of_two());
+        ws.put_f64(a);
+        assert_eq!(ws.stats().pooled_elems, cap);
+        let b = ws.take_f64(70); // same class (128)
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(ws.stats().hits, 1);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn classes_round_up_and_cap() {
+        assert_eq!(class_of(0), None);
+        assert_eq!(class_of(1), Some(4));
+        assert_eq!(class_of(16), Some(4));
+        assert_eq!(class_of(17), Some(5));
+        assert_eq!(class_of(1 << MAX_CLASS), Some(MAX_CLASS));
+        assert_eq!(class_of((1 << MAX_CLASS) + 1), None);
+    }
+
+    #[test]
+    fn bucket_is_bounded() {
+        let mut ws = Workspace::default();
+        let cap = class_capacity(6); // buffers of 64 elements
+        for _ in 0..(cap + 10) {
+            ws.put_f64(Vec::with_capacity(64));
+        }
+        assert_eq!(ws.stats().pooled_elems, cap * 64);
+        assert_eq!(ws.stats().rejected_full, 10);
+    }
+
+    #[test]
+    fn checkpoint_reset_trims_back() {
+        let mut ws = Workspace::default();
+        ws.put_f64(Vec::with_capacity(64));
+        let mark = ws.checkpoint();
+        ws.put_f64(Vec::with_capacity(4096));
+        ws.put_f64(Vec::with_capacity(1024));
+        assert!(ws.stats().pooled_elems > 64);
+        ws.reset(mark);
+        assert_eq!(ws.stats().pooled_elems, 64);
+        ws.clear();
+        assert_eq!(ws.stats().pooled_elems, 0);
+    }
+
+    #[test]
+    fn usize_pool_roundtrips() {
+        let mut ws = Workspace::default();
+        let v = ws.take_usize(10);
+        assert_eq!(v.len(), 10);
+        ws.put_usize(v);
+        let w = ws.take_usize(5);
+        assert_eq!(w, vec![0; 5]);
+    }
+}

@@ -74,6 +74,14 @@
 #[global_allocator]
 static GLOBAL: tikv_jemallocator::Jemalloc = tikv_jemallocator::Jemalloc;
 
+/// Allocator instrumentation (per-thread allocation counting) exposed by
+/// the global allocator.  The `alloc_steady_state` integration test and the
+/// benchmark harness use it to prove the smoothing hot loops are
+/// allocation-free after the workspace pool warms up.
+pub mod alloc_stats {
+    pub use tikv_jemallocator::{thread_alloc_count, thread_recent_alloc_sizes};
+}
+
 pub use kalman_associative as associative;
 pub use kalman_dense as dense;
 pub use kalman_model as model;

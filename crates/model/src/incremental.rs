@@ -19,7 +19,7 @@
 use crate::{
     KalmanError, LinearModel, Observation, Prior, Result, WhitenedEvo, WhitenedObs, WhitenedStep,
 };
-use kalman_dense::{compress_rows, ColPivQr, Matrix};
+use kalman_dense::{compress_rows_owned, ColPivQr, Matrix};
 
 /// A whitened information block row `C u ≈ d` (noise implicitly `I`) on a
 /// single state: the "R-factor head" summarizing everything a stream has
@@ -56,7 +56,7 @@ impl InfoHead {
     pub fn from_prior(prior: &Prior) -> Result<Self> {
         let n = prior.mean.len();
         let c = prior.cov.whiten(&Matrix::identity(n), 0)?;
-        let d = Matrix::col_from_slice(&prior.cov.whiten_vec(&prior.mean, 0)?);
+        let d = prior.cov.whiten_col(&prior.mean, 0)?;
         Ok(InfoHead { c, d })
     }
 
@@ -116,7 +116,7 @@ impl InfoHead {
         let mut stacked_d = Matrix::vstack(&[&self.d, d]);
         let n = self.state_dim();
         if stacked_c.rows() > n {
-            self.c = compress_rows(&stacked_c, &mut stacked_d);
+            self.c = compress_rows_owned(stacked_c, &mut stacked_d);
             self.d = stacked_d.sub_matrix(0, 0, n, 1);
         } else {
             self.c = stacked_c;
@@ -132,7 +132,7 @@ impl InfoHead {
     /// SPD (`step` names the step for the error message).
     pub fn absorb_observation(&mut self, obs: &Observation, step: usize) -> Result<()> {
         let wg = obs.noise.whiten(&obs.g, step)?;
-        let wo = Matrix::col_from_slice(&obs.noise.whiten_vec(&obs.o, step)?);
+        let wo = obs.noise.whiten_col(&obs.o, step)?;
         self.absorb(&wg, &wo);
         Ok(())
     }
@@ -202,6 +202,24 @@ impl InfoHead {
 /// [`KalmanError::InvalidModel`] on structural violations, and covariance
 /// whitening failures.
 pub fn whiten_window(head: &InfoHead, steps: &[crate::LinearStep]) -> Result<Vec<WhitenedStep>> {
+    let mut whitened = Vec::with_capacity(steps.len());
+    whiten_window_into(head, steps, &mut whitened)?;
+    Ok(whitened)
+}
+
+/// [`whiten_window`] into a reused vector: `out` is cleared and refilled,
+/// retaining its capacity, so a streaming smoother that re-whitens a
+/// same-sized window every flush allocates nothing here (the whitened
+/// matrices cycle through the `kalman-dense` workspace pool).
+///
+/// # Errors
+///
+/// As [`whiten_window`]; on error `out`'s contents are unspecified.
+pub fn whiten_window_into(
+    head: &InfoHead,
+    steps: &[crate::LinearStep],
+    out: &mut Vec<WhitenedStep>,
+) -> Result<()> {
     if steps.is_empty() {
         return Err(KalmanError::InvalidModel("empty window".into()));
     }
@@ -217,25 +235,25 @@ pub fn whiten_window(head: &InfoHead, steps: &[crate::LinearStep]) -> Result<Vec
             steps[0].state_dim
         )));
     }
-    let mut whitened = Vec::with_capacity(steps.len());
+    out.clear();
     for (i, step) in steps.iter().enumerate() {
         if i > 0 && step.evolution.is_none() {
             return Err(KalmanError::InvalidModel(format!(
                 "window step {i} is missing its evolution equation"
             )));
         }
-        whitened.push(WhitenedStep::from_step(step, i)?);
+        out.push(WhitenedStep::from_step(step, i)?);
     }
     if !head.is_empty() {
         let (hc, hd) = head.rows_ref();
-        let first = &mut whitened[0];
+        let first = &mut out[0];
         first.obs = Some(WhitenedObs::with_rows_above(
             hc.clone(),
             hd.clone(),
             first.obs.take(),
         ));
     }
-    Ok(whitened)
+    Ok(())
 }
 
 /// One ingestion event of a streaming smoother.

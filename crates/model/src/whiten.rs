@@ -89,7 +89,7 @@ impl WhitenedStep {
             None => None,
             Some(obs) => {
                 let c = obs.noise.whiten(&obs.g, index)?;
-                let rhs = Matrix::col_from_slice(&obs.noise.whiten_vec(&obs.o, index)?);
+                let rhs = obs.noise.whiten_col(&obs.o, index)?;
                 Some(WhitenedObs { c, rhs })
             }
         };
@@ -97,12 +97,11 @@ impl WhitenedStep {
             None => None,
             Some(evo) => {
                 let b = evo.noise.whiten(&evo.f, index)?;
-                let h = evo
-                    .h
-                    .clone()
-                    .unwrap_or_else(|| Matrix::identity(step.state_dim));
-                let d = evo.noise.whiten(&h, index)?;
-                let rhs = Matrix::col_from_slice(&evo.noise.whiten_vec(&evo.c, index)?);
+                let d = match &evo.h {
+                    Some(h) => evo.noise.whiten(h, index)?,
+                    None => evo.noise.whiten(&Matrix::identity(step.state_dim), index)?,
+                };
+                let rhs = evo.noise.whiten_col(&evo.c, index)?;
                 Some(WhitenedEvo { b, d, rhs })
             }
         };

@@ -1,11 +1,41 @@
 //! The streaming fixed-lag smoother.
 
 use crate::{Checkpoint, FinalizedStep, StreamOptions};
+use kalman_dense::Matrix;
 use kalman_model::{
-    whiten_window, Evolution, InfoHead, KalmanError, LinearStep, Observation, Prior, Result,
-    Smoothed, StreamEvent, WhitenedEvo, WhitenedStep,
+    whiten_window, whiten_window_into, Evolution, InfoHead, KalmanError, LinearStep, Observation,
+    Prior, Result, Smoothed, StreamEvent, WhitenedEvo, WhitenedStep,
 };
-use kalman_odd_even::{factor_odd_even_owned, selinv_diag};
+use kalman_odd_even::{
+    factor_odd_even_into, factor_odd_even_owned, selinv_diag, selinv_diag_into, FactorScratch,
+    OddEvenR, SelinvScratch, SolveScratch,
+};
+
+/// Per-stream reusable storage for the flush pipeline: the whitened window,
+/// the odd-even factor, and the solved estimates all live here between
+/// flushes, so a steady-state flush (same window shape as the last one)
+/// performs **zero heap allocations** — containers keep their capacity and
+/// matrices cycle through the `kalman-dense` workspace pool.  Verified by
+/// the `alloc_steady_state` integration test.
+///
+/// The scratch carries no results between flushes; `Clone` intentionally
+/// yields a fresh (cold) scratch, so cloned streams re-warm independently.
+#[derive(Debug, Default)]
+struct FlushScratch {
+    steps: Vec<WhitenedStep>,
+    factor: FactorScratch,
+    r: OddEvenR,
+    solve: SolveScratch,
+    selinv: SelinvScratch,
+    means: Vec<Vec<f64>>,
+    covs: Vec<Matrix>,
+}
+
+impl Clone for FlushScratch {
+    fn clone(&self) -> Self {
+        FlushScratch::default()
+    }
+}
 
 /// An online smoother over one stream of steps.
 ///
@@ -35,6 +65,8 @@ pub struct StreamingSmoother {
     /// `buffer[0]` was already emitted (it is the anchor state of a resumed
     /// checkpoint) and must not be emitted again.
     base_emitted: bool,
+    /// Reused flush-pipeline storage (see [`FlushScratch`]).
+    scratch: FlushScratch,
 }
 
 fn check_options(opts: &StreamOptions) -> Result<()> {
@@ -66,6 +98,7 @@ impl StreamingSmoother {
             buffer: vec![LinearStep::initial(n)],
             base_index: 0,
             base_emitted: false,
+            scratch: FlushScratch::default(),
         })
     }
 
@@ -99,6 +132,7 @@ impl StreamingSmoother {
             buffer: vec![LinearStep::initial(n)],
             base_index: 0,
             base_emitted: false,
+            scratch: FlushScratch::default(),
         })
     }
 
@@ -119,6 +153,7 @@ impl StreamingSmoother {
             buffer: vec![LinearStep::initial(n)],
             base_index: checkpoint.index,
             base_emitted: true,
+            scratch: FlushScratch::default(),
         })
     }
 
@@ -270,14 +305,37 @@ impl StreamingSmoother {
     /// determine the window — enlarge the lag, provide a prior, or observe
     /// more states.  The stream is left unchanged on error.
     pub fn flush(&mut self) -> Result<Vec<FinalizedStep>> {
+        let mut out = Vec::new();
+        self.flush_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`StreamingSmoother::flush`] into a reused output buffer: `out` is
+    /// overwritten in place (existing [`FinalizedStep`] slots keep their
+    /// mean/covariance storage) and truncated to the number of finalized
+    /// steps, which is returned.
+    ///
+    /// In steady state — auto-flush cadence or a fixed manual cadence, so
+    /// every flush finalizes the same number of steps from a same-shaped
+    /// window — a flush performs **zero heap allocations** after the first
+    /// few warmup flushes: every container involved retains capacity (here
+    /// and in [`FlushScratch`]) and all matrix temporaries cycle through
+    /// the `kalman-dense` workspace pool.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingSmoother::flush`]; on error the stream is unchanged
+    /// and `out`'s contents are unspecified.
+    pub fn flush_into(&mut self, out: &mut Vec<FinalizedStep>) -> Result<usize> {
         let count = self.buffer.len().saturating_sub(self.opts.lag);
         if count == 0 {
-            return Ok(Vec::new());
+            out.truncate(0);
+            return Ok(0);
         }
-        let smoothed = self.smooth_window()?;
-        let finalized = self.emit(&smoothed, count);
+        self.smooth_window_scratch()?;
+        let emitted = self.emit_into(count, out);
         self.forget(count)?;
-        Ok(finalized)
+        Ok(emitted)
     }
 
     /// Ends the stream: smooths the window once more, finalizes **all**
@@ -288,8 +346,9 @@ impl StreamingSmoother {
     ///
     /// As [`StreamingSmoother::flush`].
     pub fn finish(mut self) -> Result<(Vec<FinalizedStep>, Checkpoint)> {
-        let smoothed = self.smooth_window()?;
-        let finalized = self.emit(&smoothed, self.buffer.len());
+        self.smooth_window_scratch()?;
+        let mut finalized = Vec::new();
+        self.emit_into(self.buffer.len(), &mut finalized);
         // Condense every remaining step, then the final state's own
         // observations, leaving the head on the final state.
         let last = self.buffer.len() - 1;
@@ -307,21 +366,43 @@ impl StreamingSmoother {
         ))
     }
 
-    /// Estimates for the first `count` buffered steps, skipping a resumed
-    /// base step that was already emitted.
-    fn emit(&mut self, smoothed: &Smoothed, count: usize) -> Vec<FinalizedStep> {
-        let mut out = Vec::with_capacity(count);
+    /// Writes estimates for the first `count` buffered steps into `out`
+    /// (reusing its slots; truncated to the emitted count), skipping a
+    /// resumed base step that was already emitted.  Reads the estimates
+    /// from the scratch filled by `smooth_window_scratch`.
+    fn emit_into(&self, count: usize, out: &mut Vec<FinalizedStep>) -> usize {
+        let mut emitted = 0;
         for j in 0..count {
             if j == 0 && self.base_emitted {
                 continue;
             }
-            out.push(FinalizedStep {
-                index: self.base_index + j as u64,
-                mean: smoothed.means[j].clone(),
-                covariance: smoothed.covariances.as_ref().map(|c| c[j].clone()),
-            });
+            let index = self.base_index + j as u64;
+            let mean = &self.scratch.means[j];
+            let cov = if self.opts.covariances {
+                Some(&self.scratch.covs[j])
+            } else {
+                None
+            };
+            if let Some(slot) = out.get_mut(emitted) {
+                slot.index = index;
+                slot.mean.clear();
+                slot.mean.extend_from_slice(mean);
+                match (&mut slot.covariance, cov) {
+                    (Some(dst), Some(src)) => dst.clone_from(src),
+                    (dst, Some(src)) => *dst = Some(src.clone()),
+                    (dst, None) => *dst = None,
+                }
+            } else {
+                out.push(FinalizedStep {
+                    index,
+                    mean: mean.clone(),
+                    covariance: cov.cloned(),
+                });
+            }
+            emitted += 1;
         }
-        out
+        out.truncate(emitted);
+        emitted
     }
 
     /// Condenses the first `count` buffered steps into the head: absorb
@@ -346,6 +427,9 @@ impl StreamingSmoother {
         Ok(())
     }
 
+    /// Allocating window smooth for `&self` callers
+    /// ([`StreamingSmoother::smoothed`]); the flush path uses
+    /// `smooth_window_scratch` instead.
     fn smooth_window(&self) -> Result<Smoothed> {
         let steps = whiten_window(&self.head, &self.buffer)?;
         let r = factor_odd_even_owned(steps, self.opts.policy, true)?;
@@ -356,6 +440,39 @@ impl StreamingSmoother {
             None
         };
         Ok(Smoothed { means, covariances })
+    }
+
+    /// Re-smooths the window through the reusable scratch: whiten →
+    /// factor → solve → (optionally) SelInv, leaving the estimates in
+    /// `self.scratch.means` / `self.scratch.covs`.
+    fn smooth_window_scratch(&mut self) -> Result<()> {
+        let Self {
+            opts,
+            head,
+            buffer,
+            scratch,
+            ..
+        } = self;
+        whiten_window_into(head, buffer, &mut scratch.steps)?;
+        factor_odd_even_into(
+            &mut scratch.steps,
+            opts.policy,
+            true,
+            &mut scratch.factor,
+            &mut scratch.r,
+        )?;
+        scratch
+            .r
+            .solve_into(opts.policy, &mut scratch.means, &mut scratch.solve)?;
+        if opts.covariances {
+            selinv_diag_into(
+                &scratch.r,
+                opts.policy,
+                &mut scratch.covs,
+                &mut scratch.selinv,
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,196 @@
+//! Counting-allocator proof that the streaming smoother's steady-state hot
+//! loop is allocation-free.
+//!
+//! The umbrella crate's global allocator (the vendored `tikv-jemallocator`
+//! stand-in) counts every heap allocation per thread.  This test drives a
+//! `StreamingSmoother` at a fixed cadence with pre-built events, lets the
+//! workspace pool and the flush scratch warm up, and then asserts that
+//! entire evolve→observe→flush cycles — including the odd-even
+//! factorization, back substitution, head condensation, and emission —
+//! perform **zero** heap allocations.
+
+use kalman::alloc_stats::thread_alloc_count;
+use kalman::dense::Matrix;
+use kalman::prelude::*;
+use kalman::stream::FinalizedStep;
+use std::sync::Mutex;
+
+/// The pooling toggle is process-global, so the tests in this file must not
+/// interleave (the harness runs tests on multiple threads by default).
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// Restores the pooling flag on drop, so a panicking test cannot leave the
+/// process-global toggle in the wrong state for its siblings.
+struct PoolingGuard(bool);
+
+impl PoolingGuard {
+    fn set(enabled: bool) -> Self {
+        let prior = kalman::dense::pooling_enabled();
+        kalman::dense::set_pooling(enabled);
+        PoolingGuard(prior)
+    }
+}
+
+impl Drop for PoolingGuard {
+    fn drop(&mut self) {
+        kalman::dense::set_pooling(self.0);
+    }
+}
+
+/// Pre-builds `cycles` windows' worth of ingestion events so event
+/// construction never pollutes the measured region.
+#[allow(clippy::type_complexity)]
+fn build_events(n: usize, cycles: usize, per_cycle: usize) -> Vec<(Evolution, Observation)> {
+    let mut events = Vec::with_capacity(cycles * per_cycle);
+    for i in 0..cycles * per_cycle {
+        let evo = Evolution::random_walk(n);
+        let obs = Observation {
+            g: Matrix::identity(n),
+            o: (0..n).map(|c| ((i * n + c) as f64 * 0.1).sin()).collect(),
+            noise: CovarianceSpec::Identity(n),
+        };
+        events.push((evo, obs));
+    }
+    events
+}
+
+fn run_steady_state(covariances: bool) {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let n = 4;
+    let lag = 6;
+    let flush_every = 4;
+    let opts = StreamOptions {
+        lag,
+        flush_every,
+        covariances,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+    };
+    let mut stream =
+        StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();
+    stream
+        .observe(Observation {
+            g: Matrix::identity(n),
+            o: vec![0.0; n],
+            noise: CovarianceSpec::Identity(n),
+        })
+        .unwrap();
+
+    const WARMUP: usize = 6;
+    const MEASURED: usize = 8;
+    let events = build_events(n, WARMUP + MEASURED + 1, flush_every);
+    let mut events = events.into_iter();
+    let mut out: Vec<FinalizedStep> = Vec::new();
+
+    // Warmup: fill the window to one cycle short of capacity (the buffer
+    // already holds the initial state), then run full flush cycles so every
+    // pool and scratch container reaches its steady-state capacity.
+    for _ in 0..lag - 1 {
+        let (evo, obs) = events.next().unwrap();
+        stream.evolve(evo).unwrap();
+        stream.observe(obs).unwrap();
+    }
+    for _ in 0..WARMUP - 1 {
+        for _ in 0..flush_every {
+            let (evo, obs) = events.next().unwrap();
+            stream.evolve(evo).unwrap();
+            stream.observe(obs).unwrap();
+        }
+        let emitted = stream.flush_into(&mut out).unwrap();
+        assert_eq!(emitted, flush_every);
+    }
+
+    // Measured steady state: every complete cycle must allocate nothing.
+    for cycle in 0..MEASURED {
+        let mut batch: Vec<(Evolution, Observation)> = Vec::with_capacity(flush_every);
+        for _ in 0..flush_every {
+            batch.push(events.next().unwrap());
+        }
+        let before = thread_alloc_count();
+        for (evo, obs) in batch.drain(..) {
+            stream.evolve(evo).unwrap();
+            stream.observe(obs).unwrap();
+        }
+        let emitted = stream.flush_into(&mut out).unwrap();
+        let allocs = thread_alloc_count() - before;
+        assert_eq!(emitted, flush_every);
+        if allocs > 0 {
+            // Aid debugging regressions: sizes of the offending allocations.
+            eprintln!(
+                "cycle {cycle}: recent allocation sizes {:?}",
+                kalman::alloc_stats::thread_recent_alloc_sizes()
+            );
+        }
+        assert_eq!(
+            allocs, 0,
+            "cycle {cycle} (covariances={covariances}): {allocs} heap allocations in a \
+             steady-state evolve/observe/flush cycle"
+        );
+    }
+
+    // Sanity: the estimates coming out of the allocation-free path agree
+    // with a fresh batch-style read of the window.
+    let est = stream.smoothed().unwrap();
+    assert_eq!(est.len(), stream.buffered_len());
+}
+
+#[test]
+fn streaming_flush_is_allocation_free_after_warmup() {
+    run_steady_state(false);
+}
+
+#[test]
+fn streaming_flush_with_covariances_is_allocation_free_after_warmup() {
+    run_steady_state(true);
+}
+
+/// The pooled allocator really is what makes the loop allocation-free:
+/// with pooling disabled the same cycle allocates (guards against the
+/// counter silently measuring nothing).
+#[test]
+fn disabling_the_workspace_pool_restores_allocations() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let n = 4;
+    let opts = StreamOptions {
+        lag: 6,
+        flush_every: 4,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+    };
+    let mut stream =
+        StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();
+    let events = build_events(n, 8, 4);
+    let mut events = events.into_iter();
+    let mut out = Vec::new();
+    for _ in 0..5 {
+        let (evo, obs) = events.next().unwrap();
+        stream.evolve(evo).unwrap();
+        stream.observe(obs).unwrap();
+    }
+    for _ in 0..3 {
+        for _ in 0..4 {
+            let (evo, obs) = events.next().unwrap();
+            stream.evolve(evo).unwrap();
+            stream.observe(obs).unwrap();
+        }
+        stream.flush_into(&mut out).unwrap();
+    }
+
+    let _pooling = PoolingGuard::set(false);
+    let mut batch = Vec::new();
+    for _ in 0..4 {
+        batch.push(events.next().unwrap());
+    }
+    let before = thread_alloc_count();
+    for (evo, obs) in batch.drain(..) {
+        stream.evolve(evo).unwrap();
+        stream.observe(obs).unwrap();
+    }
+    stream.flush_into(&mut out).unwrap();
+    let allocs = thread_alloc_count() - before;
+    assert!(
+        allocs > 50,
+        "expected the unpooled flush to allocate heavily, saw {allocs}"
+    );
+}

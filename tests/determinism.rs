@@ -69,6 +69,46 @@ fn odd_even_and_selinv_are_bitwise_equal_to_sequential() {
     }
 }
 
+/// The blocked dense kernels (packed GEMM microkernel, short-reflector
+/// triangular-pentagonal eliminations) must not disturb the bitwise
+/// Seq-vs-Par contract: at n = 16 the SelInv products run through the
+/// blocked GEMM path, so this pins that the blocked kernels perform
+/// identical arithmetic regardless of scheduling.
+#[test]
+fn blocked_kernels_stay_bitwise_equal_across_policies() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4101);
+    let model = generators::paper_benchmark(&mut rng, 16, 60, true);
+    let seq = odd_even_smooth(
+        &model,
+        OddEvenOptions {
+            covariances: true,
+            policy: ExecPolicy::Seq,
+            ..OddEvenOptions::default()
+        },
+    )
+    .unwrap();
+    for threads in THREADS {
+        for grain in [1usize, 10] {
+            let par = run_with_threads(threads, || {
+                odd_even_smooth(
+                    &model,
+                    OddEvenOptions {
+                        covariances: true,
+                        policy: ExecPolicy::par_with_grain(grain),
+                        ..OddEvenOptions::default()
+                    },
+                )
+                .unwrap()
+            });
+            assert_bitwise(
+                &par,
+                &seq,
+                &format!("blocked kernels, threads={threads} grain={grain}"),
+            );
+        }
+    }
+}
+
 /// Drives `models` through a pool under `policy`, returning each stream's
 /// finalized means in order.
 fn drive_pool(models: &[LinearModel], policy: ExecPolicy) -> Vec<Vec<Vec<f64>>> {

@@ -6,16 +6,58 @@
 //! keeps the `#[global_allocator]` wiring in place so that restoring the
 //! real dependency — which materially speeds up the multi-threaded
 //! smoothers, see DESIGN.md §"Allocator" — requires no source change.
+//!
+//! As a stand-in bonus the allocator keeps a **per-thread allocation
+//! counter** ([`thread_alloc_count`]): every `alloc`/`alloc_zeroed`/
+//! `realloc` on the calling thread bumps it.  The repository's
+//! `alloc_steady_state` integration test uses it to prove the streaming
+//! smoother's hot loop performs zero heap allocations per step after
+//! warmup (the real jemalloc exposes equivalent stats via `mallctl`).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap allocations (`alloc`, `alloc_zeroed`, `realloc`) the
+/// calling thread has performed through [`Jemalloc`] since it started.
+/// Deallocations are not counted.  Monotone; diff two readings to count the
+/// allocations of a code region.
+pub fn thread_alloc_count() -> u64 {
+    ALLOC_COUNT.with(Cell::get)
+}
+
+thread_local! {
+    static LAST_SIZES: Cell<[usize; 8]> = const { Cell::new([0; 8]) };
+}
+
+/// Debug helper: the sizes of the 8 most recent allocations (newest first).
+pub fn thread_recent_alloc_sizes() -> [usize; 8] {
+    LAST_SIZES.with(Cell::get)
+}
+
+#[inline]
+fn bump_sized(size: usize) {
+    // `try_with` so allocations during thread-local teardown never abort.
+    let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = LAST_SIZES.try_with(|c| {
+        let mut a = c.get();
+        a.rotate_right(1);
+        a[0] = size;
+        c.set(a);
+    });
+}
 
 /// Drop-in allocator handle with the same name as the real crate's.
 pub struct Jemalloc;
 
 // SAFETY: pure delegation to `std::alloc::System`, which upholds the
-// `GlobalAlloc` contract.
+// `GlobalAlloc` contract (the counter bump performs no allocation).
 unsafe impl GlobalAlloc for Jemalloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump_sized(layout.size());
         System.alloc(layout)
     }
 
@@ -24,10 +66,12 @@ unsafe impl GlobalAlloc for Jemalloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump_sized(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump_sized(new_size);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -51,5 +95,29 @@ mod tests {
             assert_eq!(*z, 0);
             Jemalloc.dealloc(z, layout);
         }
+    }
+
+    #[test]
+    fn counter_counts_this_thread_only() {
+        let before = thread_alloc_count();
+        unsafe {
+            let layout = Layout::from_size_align(32, 8).unwrap();
+            let p = Jemalloc.alloc(layout);
+            Jemalloc.dealloc(p, layout);
+        }
+        let after = thread_alloc_count();
+        assert_eq!(after - before, 1, "one alloc, dealloc not counted");
+        let other = std::thread::spawn(|| {
+            unsafe {
+                let layout = Layout::from_size_align(32, 8).unwrap();
+                let p = Jemalloc.alloc(layout);
+                Jemalloc.dealloc(p, layout);
+            }
+            thread_alloc_count()
+        })
+        .join()
+        .unwrap();
+        assert!(other >= 1);
+        assert_eq!(thread_alloc_count(), after, "other threads don't leak in");
     }
 }
