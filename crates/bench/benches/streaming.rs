@@ -14,6 +14,7 @@ fn opts(lag: usize) -> StreamOptions {
         covariances: false,
         policy: ExecPolicy::Seq,
         auto_flush: true,
+        lag_policy: None,
     }
 }
 

@@ -27,6 +27,71 @@
 use kalman::prelude::*;
 use kalman_bench::sweep::{panel_model, run_sweep, Algorithm};
 use kalman_bench::{core_sweep, fmt_secs, median_time, print_row, Args, BenchEntry};
+use std::time::Instant;
+
+/// Plan-reuse amortization on the serving path: the latency of a stream's
+/// *first* flush (symbolic plan build + cold per-stream scratch) versus a
+/// steady-state flush re-executing the cached plan, on a fixed window
+/// shape (n = 4, lag = flush_every = 32).  Medians over `reps` fresh
+/// streams / all steady flushes; the ratio is the `speedup/plan_reuse`
+/// entry the CI gate watches.
+fn flush_amortization(reps: usize) -> (f64, f64) {
+    let n = 4usize;
+    let opts = StreamOptions {
+        lag: 32,
+        flush_every: 32,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        ..StreamOptions::default()
+    };
+    let model = panel_model(n, 1_000, 99);
+    let prior = model.prior.as_ref().expect("panel models carry priors");
+    let mut firsts = Vec::new();
+    let mut steadies = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let mut stream = StreamingSmoother::with_prior(prior.mean.clone(), prior.cov.clone(), opts)
+            .expect("valid options");
+        let mut next = 0usize;
+        let feed = |stream: &mut StreamingSmoother, count: usize, next: &mut usize| {
+            for _ in 0..count {
+                let step = &model.steps[*next];
+                if *next > 0 {
+                    stream
+                        .evolve(step.evolution.clone().expect("chain step"))
+                        .expect("well-formed step");
+                }
+                if let Some(obs) = &step.observation {
+                    stream.observe(obs.clone()).expect("well-formed obs");
+                }
+                *next += 1;
+            }
+        };
+        feed(&mut stream, 64, &mut next); // fill to window capacity
+        let t = Instant::now();
+        stream.flush_into(&mut out).expect("window solvable");
+        firsts.push(t.elapsed().as_secs_f64());
+        for cycle in 0..8 {
+            feed(&mut stream, 32, &mut next);
+            let t = Instant::now();
+            stream.flush_into(&mut out).expect("window solvable");
+            if cycle >= 2 {
+                steadies.push(t.elapsed().as_secs_f64());
+            }
+        }
+        assert_eq!(
+            stream.plan_builds(),
+            1,
+            "steady cadence must reuse one plan"
+        );
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    (median(&mut firsts), median(&mut steadies))
+}
 
 fn smoke(args: &mut Args) {
     let k: usize = args.get("ksmoke", 20_000);
@@ -72,8 +137,24 @@ fn smoke(args: &mut Args) {
         entries.push(BenchEntry::new(format!("smoother/n{n}/blocked"), t_blk));
         entries.push(BenchEntry::new(format!("speedup/n{n}"), speedup));
     }
+
+    // Plan-reuse amortization: first (planning) flush vs steady-state
+    // (cached-plan) flush on the streaming serving path.
+    let (first, steady) = flush_amortization(9);
+    let amortization = first / steady;
+    println!(
+        "plan reuse (stream n=4, window 64): first flush {first:.2e} s, steady flush \
+         {steady:.2e} s, amortization {amortization:.2}x"
+    );
+    entries.push(BenchEntry::new("stream/first_flush", first));
+    entries.push(BenchEntry::new("stream/steady_flush", steady));
+    entries.push(BenchEntry::new("speedup/plan_reuse", amortization));
+
     if !json.is_empty() {
-        let config = format!("fig2 --smoke: odd-even, 1 thread, k={k}, runs={runs}, n in [4,8,16]");
+        let config = format!(
+            "fig2 --smoke: odd-even, 1 thread, k={k}, runs={runs}, n in [4,8,16]; \
+             stream/* + speedup/plan_reuse: first vs steady-state flush of a n=4 lag=32 stream"
+        );
         kalman_bench::write_bench_json(&json, &config, &entries).expect("write json");
         println!("wrote {json}");
     }

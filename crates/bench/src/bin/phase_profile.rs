@@ -1,7 +1,10 @@
 //! Dev helper: phase timing of the batch odd-even smoother (whiten /
-//! factor / solve / SelInv), single thread.
+//! factor / solve / SelInv), single thread — plus the plan/execute split:
+//! how long building the symbolic `PlanSchedule` takes versus executing
+//! the numeric pipeline through a reused `SmoothPlan`, and what the
+//! one-shot path pays for re-planning every call.
 use kalman::model::{whiten_model, LinearModel};
-use kalman::odd_even::{factor_odd_even_owned, selinv_diag};
+use kalman::odd_even::{factor_odd_even_owned, selinv_diag, PlanSchedule, SmoothPlan};
 use kalman::prelude::*;
 use kalman_bench::{median_time, Args};
 use rand::SeedableRng;
@@ -25,6 +28,34 @@ fn profile(model: &LinearModel, runs: usize) -> [f64; 4] {
     [t_whiten, t_factor, t_solve, t_selinv]
 }
 
+/// `(plan build, steady-state planned execute)` for the model's shape: the
+/// symbolic schedule construction alone, and a full re-factorization
+/// through a warm reused plan (whiten excluded from both).
+fn profile_plan(model: &LinearModel, runs: usize) -> (f64, f64) {
+    let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+    let t_build = median_time(runs, || {
+        std::hint::black_box(PlanSchedule::build(&dims));
+    });
+    let opts = OddEvenOptions {
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        compress_odd: true,
+    };
+    let mut plan = SmoothPlan::for_dims(&dims, opts);
+    let mut steps = whiten_model(model).unwrap();
+    plan.execute(&mut steps).unwrap(); // warm the plan's arena
+    let t_execute = median_time(runs, || {
+        steps.clear();
+        steps.extend(whiten_model(model).unwrap());
+        plan.execute(&mut steps).unwrap();
+    });
+    // Subtract the re-whitening the timed closure needs to refill steps.
+    let t_rewhiten = median_time(runs, || {
+        std::hint::black_box(whiten_model(model).unwrap());
+    });
+    (t_build, (t_execute - t_rewhiten).max(0.0))
+}
+
 fn main() {
     let mut args = Args::parse();
     let k: usize = args.get("k", 4000);
@@ -37,6 +68,12 @@ fn main() {
         println!(
             "n={n}: whiten {w:.4} factor {f:.4} solve {s:.4} selinv {c:.4}  total {:.4}",
             w + f + s + c
+        );
+        let (plan_build, planned_exec) = profile_plan(&model, runs);
+        println!(
+            "       plan-build {plan_build:.6} planned-execute {planned_exec:.4}  \
+             (build amortizes to {:.2}% of one execute)",
+            100.0 * plan_build / planned_exec.max(1e-12)
         );
     }
 }

@@ -24,6 +24,7 @@
 //! streaming smoother re-factoring a fixed-size window per flush) perform
 //! zero heap allocations after warmup.
 
+use crate::plan::{PlanLevel, PlanSchedule};
 use crate::rfactor::{OddEvenR, RRow};
 use kalman_dense::{Matrix, QrFactor};
 use kalman_model::{Result, WhitenedStep};
@@ -114,7 +115,11 @@ struct OddInput {
 
 /// Reusable containers for [`factor_odd_even_into`]: every `Vec` the
 /// elimination builds per call/level lives here and keeps its capacity, so
-/// repeated factorizations of same-shaped problems allocate nothing.
+/// repeated factorizations of same-shaped problems allocate nothing.  The
+/// scratch also caches the symbolic [`PlanSchedule`] of the last shape it
+/// factored, so the one-shot entry points re-plan only when the shape
+/// changes (a [`crate::SmoothPlan`] supplies its own, possibly shared,
+/// schedule instead and leaves this one empty).
 ///
 /// The scratch carries no results between calls; `Clone` intentionally
 /// produces a fresh (cold) scratch.
@@ -124,6 +129,7 @@ pub struct FactorScratch {
     next_cols: Vec<LevelCol>,
     tasks: Vec<EvenTask>,
     odd_inputs: Vec<OddInput>,
+    schedule: PlanSchedule,
 }
 
 impl Clone for FactorScratch {
@@ -327,28 +333,16 @@ fn emit_row(row: &mut RRow, out: &mut EvenOut, level: usize) {
     }
 }
 
-/// Clears and returns the next level slot of `levels`, reusing a previous
-/// call's inner vector when one exists.
-fn level_slot<'a>(levels: &'a mut Vec<Vec<usize>>, used: &mut usize) -> &'a mut Vec<usize> {
-    if *used == levels.len() {
-        levels.push(Vec::new());
-    }
-    let slot = &mut levels[*used];
-    slot.clear();
-    *used += 1;
-    slot
-}
-
-/// Eliminates all even columns of `scratch.cols`, emitting their permanent
-/// rows into `out` and leaving the next level's (odd-column) chain in
-/// `scratch.cols`.
+/// Eliminates all even columns of `scratch.cols` following the symbolic
+/// `plan` for this level, emitting their permanent rows into `out` and
+/// leaving the next level's (odd-column) chain in `scratch.cols`.
 fn eliminate_level(
+    plan: &PlanLevel,
     scratch: &mut FactorScratch,
     level: usize,
     policy: ExecPolicy,
     compress_odd: bool,
     out: &mut OddEvenR,
-    levels_used: &mut usize,
     trace: bool,
 ) {
     let t_start = std::time::Instant::now();
@@ -357,16 +351,22 @@ fn eliminate_level(
         next_cols,
         tasks,
         odd_inputs,
+        ..
     } = scratch;
     let kk = cols.len();
     debug_assert!(kk >= 2, "base case handled by caller");
-    let n_even = kk.div_ceil(2);
-    let n_odd = kk / 2;
+    debug_assert_eq!(kk, plan.evens.len() + plan.odds.len(), "plan mismatch");
+    let n_even = plan.evens.len();
+    let n_odd = plan.odds.len();
 
-    // Extract each even task's inputs (pointer moves, no matrix copies).
+    // Extract each even task's inputs (pointer moves, no matrix copies);
+    // the chain positions, dimensions and neighbour links come from the
+    // symbolic plan instead of being re-derived from the chain.
     tasks.clear();
-    for s in 0..n_even {
+    for (s, slot) in plan.evens.iter().enumerate() {
         let t = 2 * s;
+        debug_assert_eq!(cols[t].orig, slot.orig, "plan/chain divergence");
+        debug_assert_eq!(cols[t].dim, slot.dim, "plan/chain divergence");
         let obs = cols[t].obs.take();
         let obs_tri = cols[t].obs_tri && obs.is_some();
         let evo = cols[t].evo.take();
@@ -376,15 +376,15 @@ fn eliminate_level(
             None
         };
         tasks.push(EvenTask {
-            orig: cols[t].orig,
-            dim: cols[t].dim,
+            orig: slot.orig,
+            dim: slot.dim,
             obs,
             obs_tri,
             evo,
             next_evo,
-            left_orig: t.checked_sub(1).map(|p| cols[p].orig),
-            left_dim: t.checked_sub(1).map(|p| cols[p].dim),
-            right_orig: (t + 1 < kk).then(|| cols[t + 1].orig),
+            left_orig: slot.left_orig,
+            left_dim: slot.left_orig.map(|_| slot.left_dim),
+            right_orig: slot.right_orig,
             out: None,
         });
     }
@@ -400,14 +400,13 @@ fn eliminate_level(
     });
     let t_batch = t0.elapsed();
 
-    let slot = level_slot(&mut out.levels, levels_used);
-    slot.extend(tasks.iter().map(|t| t.orig));
     let t0 = std::time::Instant::now();
 
     // Collect permanent rows and stage the next level's inputs.
     odd_inputs.clear();
     for s in 0..n_odd {
         let odd = &mut cols[2 * s + 1];
+        debug_assert_eq!(odd.orig, plan.odds[s].orig, "plan/chain divergence");
         let mut parts: [Option<(Matrix, Matrix)>; 3] = [None, None, None];
         let (dtilde, evo) = {
             let out_s = tasks[s].out.as_mut().expect("filled above");
@@ -563,6 +562,11 @@ pub fn factor_odd_even_owned(
 /// matrices cycle through the `kalman-dense` workspace pool and every
 /// container retains its capacity here.
 ///
+/// Internally this is plan-then-execute: the symbolic [`PlanSchedule`]
+/// cached in `scratch` is rebuilt only when the shape changed, then the
+/// numeric executor runs against it.  Callers that want to share or manage
+/// plans explicitly use [`crate::SmoothPlan`] instead.
+///
 /// `steps` is left empty (capacity retained) so the caller can refill it.
 pub fn factor_odd_even_into(
     steps: &mut Vec<WhitenedStep>,
@@ -571,8 +575,32 @@ pub fn factor_odd_even_into(
     scratch: &mut FactorScratch,
     out: &mut OddEvenR,
 ) -> Result<()> {
+    scratch.schedule.ensure_steps(steps);
+    // The schedule moves out for the duration of the numeric phase so the
+    // executor can borrow it and the scratch disjointly (a pointer-sized
+    // shuffle, no allocation).
+    let schedule = std::mem::take(&mut scratch.schedule);
+    let result = execute_factor(&schedule, steps, policy, compress_odd, scratch, out);
+    scratch.schedule = schedule;
+    result
+}
+
+/// The numeric phase of the odd-even factorization: runs the elimination
+/// recursion dictated by `schedule` over `steps` (which must match the
+/// schedule's shape — callers have already re-planned if needed), reusing
+/// `scratch`'s containers and `out`'s storage.
+pub(crate) fn execute_factor(
+    schedule: &PlanSchedule,
+    steps: &mut Vec<WhitenedStep>,
+    policy: ExecPolicy,
+    compress_odd: bool,
+    scratch: &mut FactorScratch,
+    out: &mut OddEvenR,
+) -> Result<()> {
     let k1 = steps.len();
-    // Size the output: reuse existing row slots, add/remove as needed.
+    debug_assert!(schedule.matches_steps(steps), "unplanned shape");
+    // Size the output: reuse existing row slots, add/remove as needed, and
+    // copy the elimination-order level lists straight from the plan.
     out.rows.truncate(k1);
     while out.rows.len() < k1 {
         out.rows.push(RRow {
@@ -582,7 +610,15 @@ pub fn factor_odd_even_into(
             level: 0,
         });
     }
-    let mut levels_used = 0usize;
+    let elim = schedule.elim_levels();
+    out.levels.truncate(elim.len());
+    while out.levels.len() < elim.len() {
+        out.levels.push(Vec::new());
+    }
+    for (dst, src) in out.levels.iter_mut().zip(elim) {
+        dst.clear();
+        dst.extend_from_slice(src);
+    }
 
     // Level-0 chain straight from the whitened model.
     scratch.cols.clear();
@@ -609,7 +645,7 @@ pub fn factor_odd_even_into(
     // replaces, and afterwards *every* elimination step — not just levels
     // that went through a compression — runs the triangular-pentagonal
     // fast path with short reflectors and no stack/extract copies.
-    for_each_mut(policy, &mut scratch.cols, |_, col| {
+    for_each_mut(policy.for_len(k1), &mut scratch.cols, |_, col| {
         if let Some((c, mut rhs)) = col.obs.take() {
             if c.rows() >= col.dim && col.dim > 0 {
                 let qr = QrFactor::new_applying(c, &mut [&mut rhs]);
@@ -624,21 +660,15 @@ pub fn factor_odd_even_into(
     });
 
     let trace = trace_enabled();
-    let mut level = 0usize;
-    while scratch.cols.len() > 1 {
-        eliminate_level(
-            scratch,
-            level,
-            policy,
-            compress_odd,
-            out,
-            &mut levels_used,
-            trace,
-        );
-        level += 1;
+    for (level, plan) in schedule.plan_levels().iter().enumerate() {
+        // The plan's per-level execution decision: levels that fit in one
+        // grain run sequentially (no scheduler overhead; bitwise equal).
+        let level_policy = policy.for_len(plan.evens.len());
+        eliminate_level(plan, scratch, level, level_policy, compress_odd, out, trace);
     }
     // Base case: a single column with observation rows only.
     let root = scratch.cols.pop().expect("non-empty model");
+    debug_assert_eq!((root.orig, root.dim), schedule.root(), "plan divergence");
     debug_assert!(
         root.evo.is_none(),
         "first chain column cannot carry evolution rows"
@@ -653,9 +683,7 @@ pub fn factor_odd_even_into(
     row.diag = qr.r();
     row.off.clear();
     row.rhs = rhs.sub_matrix(0, 0, root.dim, 1);
-    row.level = level;
-    level_slot(&mut out.levels, &mut levels_used).push(root.orig);
-    out.levels.truncate(levels_used);
+    row.level = schedule.plan_levels().len();
 
     Ok(())
 }

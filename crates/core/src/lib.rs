@@ -20,6 +20,15 @@
 //! specialized to the odd-even structure (the paper's Algorithm 2, §4);
 //! this phase is separable and can be skipped (the "NC" variant).
 //!
+//! The engine is built as a plan/execute split in the style of sparse
+//! direct solvers: a symbolic [`PlanSchedule`] captures everything that
+//! depends only on the problem *shape* (the odd-even level schedule, block
+//! dimensions, chain neighbours), and a [`SmoothPlan`] executes the numeric
+//! pipeline against it through plan-owned scratch — build once, execute
+//! many, bitwise identical to the one-shot entry points below (which are
+//! thin wrappers building a transient plan).  See DESIGN.md §"Plan/execute
+//! lifecycle".
+//!
 //! # Example
 //!
 //! ```
@@ -38,11 +47,13 @@
 #![forbid(unsafe_code)]
 
 mod factor;
+mod plan;
 mod rfactor;
 mod selinv;
 mod smoother;
 
 pub use factor::{factor_odd_even, factor_odd_even_into, factor_odd_even_owned, FactorScratch};
+pub use plan::{signature_of_dims, PlanCache, PlanSchedule, SmoothPlan};
 pub use rfactor::{OddEvenR, RRow, SolveScratch};
 pub use selinv::{selinv_diag, selinv_diag_into, SelinvScratch};
 pub use smoother::{odd_even_smooth, OddEvenOptions};

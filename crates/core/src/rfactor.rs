@@ -107,10 +107,14 @@ impl OddEvenR {
         }
         for level in self.levels.iter().rev() {
             // Columns in this level only reference deeper-level solutions,
-            // which are already present in `y`.
+            // which are already present in `y`.  Deep levels are tiny (the
+            // chain halves per level), so batches that fit in one grain run
+            // sequentially — the same per-level decision the factorization
+            // executor makes (bitwise identical either way).
+            let level_policy = policy.for_len(level.len());
             {
                 let y_ref = &*y;
-                map_collect_into(policy, level.len(), &mut scratch.solved, |idx| {
+                map_collect_into(level_policy, level.len(), &mut scratch.solved, |idx| {
                     let j = level[idx];
                     let row = &self.rows[j];
                     let mut b = row.rhs.clone();

@@ -103,11 +103,13 @@ pub fn selinv_diag_into(
     s.clear();
     s.resize_with(k1, || None);
 
-    // Root-to-level-0: reverse elimination order.
+    // Root-to-level-0: reverse elimination order.  As in the solve phase,
+    // levels that fit in one grain run sequentially (bitwise identical).
     for level in r.levels.iter().rev() {
+        let level_policy = policy.for_len(level.len());
         {
             let s_ref = &*s;
-            map_collect_into(policy, level.len(), &mut scratch.computed, |idx| {
+            map_collect_into(level_policy, level.len(), &mut scratch.computed, |idx| {
                 let j = level[idx];
                 let row = &r.rows[j];
                 // X_a = R_jj⁻¹ R_{j,a} for each target a (|off| ≤ 2 is a

@@ -1,9 +1,8 @@
 //! High-level driver: whiten → factor → solve → (optionally) SelInv.
 
-use crate::factor::factor_odd_even_owned;
-use crate::selinv::selinv_diag;
-use kalman_model::{LinearModel, Result, Smoothed, WhitenedStep};
-use kalman_par::{map_collect, ExecPolicy};
+use crate::plan::SmoothPlan;
+use kalman_model::{LinearModel, Result, Smoothed};
+use kalman_par::ExecPolicy;
 
 /// Options for the odd-even smoother.
 #[derive(Debug, Clone, Copy)]
@@ -61,26 +60,23 @@ impl OddEvenOptions {
 /// 3. back substitution (parallel within levels, root to level 0),
 /// 4. SelInv covariance phase (skipped for the NC variant).
 ///
+/// This is the one-shot wrapper around the plan/execute split: it builds a
+/// transient [`SmoothPlan`] for the model's shape and executes it once.
+/// Callers that smooth the same shape repeatedly hold a plan themselves —
+/// [`SmoothPlan::for_model`] then [`SmoothPlan::smooth_model_into`] — which
+/// amortizes planning and makes steady-state re-solves allocation-free,
+/// with bitwise-identical results.
+///
 /// # Errors
 ///
 /// Model validation errors, covariance failures, and
 /// [`kalman_model::KalmanError::RankDeficient`] for underdetermined data.
 pub fn odd_even_smooth(model: &LinearModel, options: OddEvenOptions) -> Result<Smoothed> {
-    model.validate()?;
-    let k1 = model.num_states();
-    let whitened: Vec<Result<WhitenedStep>> = map_collect(options.policy, k1, |i| {
-        WhitenedStep::from_model_step(model, i)
-    });
-    let steps: Vec<WhitenedStep> = whitened.into_iter().collect::<Result<_>>()?;
-
-    let r = factor_odd_even_owned(steps, options.policy, options.compress_odd)?;
-    let means = r.solve(options.policy)?;
-    let covariances = if options.covariances {
-        Some(selinv_diag(&r, options.policy)?)
-    } else {
-        None
-    };
-    Ok(Smoothed { means, covariances })
+    let mut plan = SmoothPlan::for_model(model, options)?;
+    // One-shot: this plan is never re-executed, so arena retention would
+    // only cost later callers locality without ever being harvested.
+    plan.set_arena(false);
+    plan.smooth_model(model)
 }
 
 #[cfg(test)]

@@ -20,7 +20,10 @@
 //! * **Bounded**: each size class keeps at most `max(1, 2^15 >> class)`
 //!   buffers and only lengths between 2^[`MIN_CLASS`] and 2^[`MAX_CLASS`]
 //!   elements are pooled; everything beyond falls through to the global
-//!   allocator, so the pool retains at most ≈ 7 MiB per thread.
+//!   allocator, so the pool retains at most ≈ 7 MiB per thread.  Callers
+//!   that execute a batch-scale working set repeatedly (a `SmoothPlan`)
+//!   lift the per-class budgets for the duration with [`arena_scope`], so
+//!   the pool sizes itself to the plan's recursion instead of the budgets.
 //! * **Checkpoint/reset**: [`Workspace::checkpoint`] snapshots the pooled
 //!   byte count and [`Workspace::reset`] trims the pool back to it —
 //!   long-lived servers (e.g. a `SmootherPool`) use this to release warmup
@@ -56,6 +59,14 @@ fn class_capacity(class: usize) -> usize {
 
 /// Global switch: 0 = unset (read env), 1 = enabled, 2 = disabled.
 static POOLING: AtomicU8 = AtomicU8::new(0);
+
+thread_local! {
+    /// Live [`ArenaScope`] guards on this thread.  Thread-local on purpose:
+    /// the budgets being lifted belong to the *thread's* pool, so one
+    /// thread's batch-scale plan must not let unrelated threads retain
+    /// without bound.
+    static ARENA_SCOPES: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
 /// Global switch for the blocked kernels (GEMM microkernel, compact-WY QR).
 /// `true` forces the unblocked/naive reference paths everywhere.
 static REFERENCE_KERNELS: AtomicBool = AtomicBool::new(false);
@@ -80,6 +91,56 @@ pub fn pooling_enabled() -> bool {
             enabled
         }
     }
+}
+
+/// RAII guard returned by [`arena_scope`]; dropping it restores the normal
+/// per-class retention budgets (once no other guard on this thread is
+/// alive).  `!Send` by construction — the guard must drop on the thread
+/// whose counter it incremented.
+#[derive(Debug)]
+pub struct ArenaScope(std::marker::PhantomData<*const ()>);
+
+impl Drop for ArenaScope {
+    fn drop(&mut self) {
+        let _ = ARENA_SCOPES.try_with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Lifts the workspace's per-class retention budgets for the lifetime of the
+/// returned guard — the "plan-owned arena" mode of the pool.
+///
+/// The default budgets (`max(1, 2^15 >> class)` buffers per class) bound a
+/// long-running server's idle retention, but they are far smaller than the
+/// working set of a batch-scale solve: an odd-even factorization of
+/// `k = 20 000` steps keeps ~3 `n×n` blocks per step alive in its `R`
+/// factor, so each repeated same-shape solve would push tens of thousands of
+/// small buffers past the budget into the global allocator.  A
+/// `SmoothPlan`-style caller that executes the same recursion many times
+/// holds an `ArenaScope` across the numeric phases: every buffer the
+/// recursion releases is retained (sizing the pool exactly to the plan's
+/// working set), so steady-state re-executions perform zero heap
+/// allocations.  The scope is per-thread (matching the pool it lifts) and
+/// nestable; buffers retained under a scope stay pooled after it ends
+/// ([`Workspace::checkpoint`] / [`Workspace::reset`] trim them when a
+/// server wants the memory back).
+pub fn arena_scope() -> ArenaScope {
+    ARENA_SCOPES.with(|c| c.set(c.get() + 1));
+    ArenaScope(std::marker::PhantomData)
+}
+
+/// `true` while any [`ArenaScope`] guard is alive on this thread.
+#[inline]
+pub fn arena_active() -> bool {
+    ARENA_SCOPES.try_with(|c| c.get() > 0).unwrap_or(false)
+}
+
+/// The per-thread retention budget (in buffers) for pooled buffers of
+/// `len` elements — what [`arena_scope`] lifts.  Callers sizing a reusable
+/// working set (a `SmoothPlan` deciding whether it needs an arena at all)
+/// compare their buffer counts against this.  Returns 0 for lengths the
+/// pool never retains.
+pub fn budget_for_len(len: usize) -> usize {
+    class_of(len).map(class_capacity).unwrap_or(0)
 }
 
 /// Forces the unblocked/naive reference kernels (`gemm_ref`, per-reflector
@@ -215,7 +276,7 @@ impl Workspace {
             // the steady state the pool exists to keep allocation-free.
             bucket.reserve_exact(class_capacity(class));
         }
-        if bucket.len() < class_capacity(class) {
+        if bucket.len() < class_capacity(class) || arena_active() {
             self.pooled_elems += cap;
             bucket.push(buf);
         } else {
@@ -263,7 +324,7 @@ impl Workspace {
         if bucket.capacity() == 0 {
             bucket.reserve_exact(class_capacity(class));
         }
-        if bucket.len() < class_capacity(class) {
+        if bucket.len() < class_capacity(class) || arena_active() {
             bucket.push(buf);
         }
     }
@@ -396,8 +457,13 @@ mod tests {
         assert_eq!(class_of((1 << MAX_CLASS) + 1), None);
     }
 
+    /// The arena flag is process-global, so the two budget tests must not
+    /// overlap (the harness runs tests on multiple threads).
+    static BUDGET_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bucket_is_bounded() {
+        let _lock = BUDGET_TESTS.lock().unwrap_or_else(|p| p.into_inner());
         let mut ws = Workspace::default();
         let cap = class_capacity(6); // buffers of 64 elements
         for _ in 0..(cap + 10) {
@@ -405,6 +471,25 @@ mod tests {
         }
         assert_eq!(ws.stats().pooled_elems, cap * 64);
         assert_eq!(ws.stats().rejected_full, 10);
+    }
+
+    #[test]
+    fn arena_scope_lifts_class_budgets() {
+        let _lock = BUDGET_TESTS.lock().unwrap_or_else(|p| p.into_inner());
+        let mut ws = Workspace::default();
+        let cap = class_capacity(6); // buffers of 64 elements
+        let guard = arena_scope();
+        assert!(arena_active());
+        for _ in 0..(cap + 10) {
+            ws.put_f64(Vec::with_capacity(64));
+        }
+        // Every buffer retained: the budget is lifted under the scope.
+        assert_eq!(ws.stats().pooled_elems, (cap + 10) * 64);
+        assert_eq!(ws.stats().rejected_full, 0);
+        drop(guard);
+        // Back to normal: the over-budget bucket rejects further puts.
+        ws.put_f64(Vec::with_capacity(64));
+        assert_eq!(ws.stats().rejected_full, 1);
     }
 
     #[test]

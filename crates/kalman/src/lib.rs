@@ -101,11 +101,12 @@ pub mod prelude {
         Smoothed,
     };
     pub use kalman_nonlinear::{gauss_newton_smooth, GaussNewtonOptions, NonlinearModel};
-    pub use kalman_odd_even::{odd_even_smooth, OddEvenOptions};
+    pub use kalman_odd_even::{odd_even_smooth, OddEvenOptions, PlanSchedule, SmoothPlan};
     pub use kalman_par::{run_with_threads, ExecPolicy};
     pub use kalman_seq::{paige_saunders_smooth, rts_smooth, SmootherOptions};
     pub use kalman_stream::{
-        Checkpoint, FinalizedStep, SmootherPool, StreamId, StreamOptions, StreamingSmoother,
+        Checkpoint, FinalizedStep, LagPolicy, PollBatch, SmootherPool, StreamId, StreamOptions,
+        StreamingSmoother,
     };
     pub use kalman_tridiag::{normal_equations_smooth, TridiagMethod};
 }

@@ -49,6 +49,20 @@ impl ExecPolicy {
             ExecPolicy::Par { grain } => (*grain).max(1),
         }
     }
+
+    /// The policy a batch of `len` items should actually run under: a
+    /// parallel policy degrades to [`ExecPolicy::Seq`] when the batch fits
+    /// in a single grain — such a batch cannot split, so going through the
+    /// scheduler only adds task overhead.  This is the per-level execution
+    /// decision a `SmoothPlan` records for the deep (tiny) levels of the
+    /// odd-even recursion.  Arithmetic is unaffected: the parallel
+    /// primitives are index-stable, so `Seq` and `Par` are bitwise equal.
+    pub fn for_len(self, len: usize) -> ExecPolicy {
+        match self {
+            ExecPolicy::Par { grain } if len <= grain.max(1) => ExecPolicy::Seq,
+            p => p,
+        }
+    }
 }
 
 /// Runs `f` inside a dedicated rayon pool with `threads` worker threads.
@@ -93,6 +107,15 @@ mod tests {
         assert_eq!(ExecPolicy::par_with_grain(0).grain(), 1);
         assert_eq!(ExecPolicy::par_with_grain(7).grain(), 7);
         assert_eq!(ExecPolicy::Seq.grain(), 1);
+    }
+
+    #[test]
+    fn for_len_degrades_single_grain_batches() {
+        let par = ExecPolicy::par_with_grain(10);
+        assert_eq!(par.for_len(10), ExecPolicy::Seq);
+        assert_eq!(par.for_len(1), ExecPolicy::Seq);
+        assert_eq!(par.for_len(11), par);
+        assert_eq!(ExecPolicy::Seq.for_len(1_000_000), ExecPolicy::Seq);
     }
 
     #[test]

@@ -68,6 +68,6 @@ mod pool;
 mod smoother;
 
 pub use checkpoint::Checkpoint;
-pub use options::{FinalizedStep, StreamOptions};
-pub use pool::{SmootherPool, StreamId};
+pub use options::{FinalizedStep, LagPolicy, StreamOptions};
+pub use pool::{PollBatch, PollEntry, SmootherPool, StreamId};
 pub use smoother::StreamingSmoother;

@@ -2,11 +2,92 @@
 
 use crate::{Checkpoint, FinalizedStep, StreamingSmoother};
 use kalman_model::{Evolution, KalmanError, Observation, Result, StreamEvent};
+use kalman_odd_even::PlanCache;
 use kalman_par::{for_each_mut, ExecPolicy};
 
 /// Handle to one stream inside a [`SmootherPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StreamId(usize);
+
+/// One stream's outcome inside a [`PollBatch`].  The slot owns its
+/// finalized-step storage, which [`SmootherPool::poll_into`] reuses across
+/// polls, so steady-state serving churns no containers.
+#[derive(Debug)]
+pub struct PollEntry {
+    id: StreamId,
+    /// The stream itself, moved in for the duration of the parallel flush
+    /// (so the batch owns both the stream and its output slot without any
+    /// per-poll staging allocations) and moved back before `poll_into`
+    /// returns.
+    stream: Option<StreamingSmoother>,
+    outcome: Result<()>,
+    steps: Vec<FinalizedStep>,
+}
+
+impl PollEntry {
+    fn empty() -> PollEntry {
+        PollEntry {
+            id: StreamId(usize::MAX),
+            stream: None,
+            outcome: Ok(()),
+            steps: Vec::new(),
+        }
+    }
+
+    /// The stream this entry belongs to.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The flushed steps, or the per-stream flush error (the stream itself
+    /// is unchanged on error and recovers on a later poll).
+    pub fn result(&self) -> Result<&[FinalizedStep]> {
+        match &self.outcome {
+            Ok(()) => Ok(&self.steps),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// `true` when the flush succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Reusable output storage for [`SmootherPool::poll_into`].
+///
+/// Slots persist at their high-water mark: a poll that flushes fewer
+/// streams than the last one keeps the surplus entries (and their warmed
+/// step buffers) parked for the next larger poll, so a fluctuating ready
+/// set still serves allocation-free.
+#[derive(Debug, Default)]
+pub struct PollBatch {
+    entries: Vec<PollEntry>,
+    /// Entries filled by the most recent poll (`entries[..used]`).
+    used: usize,
+}
+
+impl PollBatch {
+    /// An empty batch (warms up over the first few polls).
+    pub fn new() -> PollBatch {
+        PollBatch::default()
+    }
+
+    /// The per-stream outcomes of the last poll.
+    pub fn entries(&self) -> &[PollEntry] {
+        &self.entries[..self.used]
+    }
+
+    /// Number of streams the last poll flushed.
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// `true` when the last poll flushed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+}
 
 /// Multiplexes many independent [`StreamingSmoother`]s and batches their
 /// window re-smooths through the workspace scheduler — the serving layer
@@ -22,10 +103,17 @@ pub struct StreamId(usize);
 /// coordination, instead of the deeper-but-narrower within-window
 /// parallelism.  Pooled streams are therefore switched to manual flushing
 /// and should use [`ExecPolicy::Seq`] internally.
+///
+/// The pool also owns a [`PlanCache`]: before each batched flush, every
+/// ready stream is handed the shared symbolic [`kalman_odd_even::PlanSchedule`]
+/// for its window shape, so a thousand same-shaped streams plan once and
+/// execute a thousand times ([`SmootherPool::plan_cache_stats`] reports how
+/// well this works).
 pub struct SmootherPool {
     entries: Vec<Option<StreamingSmoother>>,
     policy: ExecPolicy,
     live: usize,
+    plan_cache: PlanCache,
 }
 
 impl SmootherPool {
@@ -35,7 +123,17 @@ impl SmootherPool {
             entries: Vec::new(),
             policy,
             live: 0,
+            plan_cache: PlanCache::new(),
         }
+    }
+
+    /// `(cached shapes, lookup hits, lookup misses)` of the shared plan
+    /// cache.  Steady-state serving of shape-stable streams stops touching
+    /// the cache entirely, so the counters stop moving once every stream
+    /// carries its schedule.
+    pub fn plan_cache_stats(&self) -> (usize, u64, u64) {
+        let (hits, misses) = self.plan_cache.stats();
+        (self.plan_cache.len(), hits, misses)
     }
 
     /// Adds a stream (its auto-flush is disabled: the pool owns flushing).
@@ -128,25 +226,73 @@ impl SmootherPool {
     /// [`KalmanError::RankDeficient`] while its data is still
     /// underdetermined) reports the error and is left unchanged; it flushes
     /// normally once its window becomes solvable.
+    ///
+    /// This is the allocating convenience form; a serving loop that polls
+    /// at high frequency uses [`SmootherPool::poll_into`] with a reused
+    /// [`PollBatch`], which allocates nothing in steady state.
     pub fn poll(&mut self) -> Vec<(StreamId, Result<Vec<FinalizedStep>>)> {
-        let policy = self.policy;
-        let mut batch: Vec<(StreamId, &mut StreamingSmoother, Result<Vec<FinalizedStep>>)> = self
-            .entries
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(i, e)| match e {
-                Some(s) if s.ready() => Some((StreamId(i), s, Ok(Vec::new()))),
-                _ => None,
-            })
-            .collect();
-        for_each_mut(policy, &mut batch, |_, (_, stream, out)| {
-            *out = stream.flush();
-        });
+        let mut batch = PollBatch::new();
+        self.poll_into(&mut batch);
+        let used = batch.used;
         batch
+            .entries
             .into_iter()
-            .filter(|(_, _, out)| !matches!(out, Ok(steps) if steps.is_empty()))
-            .map(|(id, _, out)| (id, out))
+            .take(used)
+            .filter(|e| !matches!(&e.outcome, Ok(()) if e.steps.is_empty()))
+            .map(|e| match e.outcome {
+                Ok(()) => (e.id, Ok(e.steps)),
+                Err(err) => (e.id, Err(err)),
+            })
             .collect()
+    }
+
+    /// [`SmootherPool::poll`] into reused storage: `out`'s entries (and
+    /// their finalized-step slots) are overwritten in place, so a
+    /// steady-state poll — same streams ready, same window shapes —
+    /// performs **zero heap allocations** end to end.
+    ///
+    /// Mechanics: ready streams are *moved* into their output slots (a
+    /// pointer-sized shuffle, no staging vector), handed the shared
+    /// symbolic plan for their window shape from the pool's [`PlanCache`],
+    /// flushed in one parallel batch under the pool's [`ExecPolicy`], and
+    /// moved back.  Per-stream errors land in the corresponding
+    /// [`PollEntry`] exactly like [`SmootherPool::poll`].
+    pub fn poll_into(&mut self, out: &mut PollBatch) {
+        let policy = self.policy;
+        // Stage: move each ready stream into an output slot, installing the
+        // pool-shared schedule for its current window shape on the way.
+        let mut count = 0;
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            let ready = matches!(slot, Some(s) if s.ready());
+            if !ready {
+                continue;
+            }
+            let mut stream = slot.take().expect("readiness checked above");
+            stream.prepare_pooled_plan(&mut self.plan_cache);
+            if out.entries.len() == count {
+                out.entries.push(PollEntry::empty());
+            }
+            let entry = &mut out.entries[count];
+            entry.id = StreamId(i);
+            entry.stream = Some(stream);
+            entry.outcome = Ok(());
+            count += 1;
+        }
+        // Surplus slots from a larger previous poll stay parked (capacity
+        // retained); only `used` marks this poll's extent.
+        out.used = count;
+        // One parallel batch: each task owns its stream and output slot.
+        for_each_mut(policy, &mut out.entries[..count], |_, entry| {
+            let stream = entry.stream.as_mut().expect("staged above");
+            entry.outcome = stream.flush_into(&mut entry.steps).map(|_| ());
+            if entry.outcome.is_err() {
+                entry.steps.clear();
+            }
+        });
+        // Return the streams to their pool slots.
+        for entry in out.entries[..count].iter_mut() {
+            self.entries[entry.id.0] = entry.stream.take();
+        }
     }
 
     /// Ends one stream: removes it from the pool, finalizes its whole
@@ -180,6 +326,7 @@ mod tests {
     fn pooled_opts() -> StreamOptions {
         StreamOptions {
             lag: 8,
+            lag_policy: None,
             flush_every: 4,
             covariances: false,
             policy: ExecPolicy::Seq,
@@ -350,6 +497,7 @@ mod tests {
             covariances: false,
             policy: ExecPolicy::Seq,
             auto_flush: false,
+            lag_policy: None,
         };
         let healthy = pool.insert(
             StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap(),

@@ -1,34 +1,39 @@
 //! The streaming fixed-lag smoother.
 
-use crate::{Checkpoint, FinalizedStep, StreamOptions};
+use crate::{Checkpoint, FinalizedStep, LagPolicy, StreamOptions};
 use kalman_dense::Matrix;
 use kalman_model::{
     whiten_window, whiten_window_into, Evolution, InfoHead, KalmanError, LinearStep, Observation,
     Prior, Result, Smoothed, StreamEvent, WhitenedEvo, WhitenedStep,
 };
-use kalman_odd_even::{
-    factor_odd_even_into, factor_odd_even_owned, selinv_diag, selinv_diag_into, FactorScratch,
-    OddEvenR, SelinvScratch, SolveScratch,
-};
+use kalman_odd_even::{factor_odd_even_owned, selinv_diag, OddEvenOptions, PlanCache, SmoothPlan};
 
 /// Per-stream reusable storage for the flush pipeline: the whitened window,
-/// the odd-even factor, and the solved estimates all live here between
-/// flushes, so a steady-state flush (same window shape as the last one)
-/// performs **zero heap allocations** — containers keep their capacity and
-/// matrices cycle through the `kalman-dense` workspace pool.  Verified by
-/// the `alloc_steady_state` integration test.
+/// the cached [`SmoothPlan`] (symbolic schedule + numeric scratch + the
+/// odd-even factor), and the solved estimates all live here between
+/// flushes.  The plan is rebuilt only when the window *shape* changes, so a
+/// steady-state flush re-executes a ready-made plan and performs **zero
+/// heap allocations** — containers keep their capacity and matrices cycle
+/// through the `kalman-dense` workspace pool.  Verified by the
+/// `alloc_steady_state` integration test.
 ///
 /// The scratch carries no results between flushes; `Clone` intentionally
 /// yields a fresh (cold) scratch, so cloned streams re-warm independently.
 #[derive(Debug, Default)]
 struct FlushScratch {
     steps: Vec<WhitenedStep>,
-    factor: FactorScratch,
-    r: OddEvenR,
-    solve: SolveScratch,
-    selinv: SelinvScratch,
+    /// Window shape of the pending flush (per-step state dimensions).
+    dims: Vec<usize>,
+    /// The cached window plan; `None` until the first flush.
+    plan: Option<SmoothPlan>,
     means: Vec<Vec<f64>>,
     covs: Vec<Matrix>,
+    /// Previous flush's estimates (`LagPolicy::Auto` only): the revisions
+    /// the next re-smooth applies to these measure the information-decay
+    /// rate.
+    prev_means: Vec<Vec<f64>>,
+    /// Global index of `prev_means[0]`.
+    prev_base: u64,
 }
 
 impl Clone for FlushScratch {
@@ -54,7 +59,8 @@ impl Clone for FlushScratch {
 /// * the head constrains `buffer[0]`'s state and summarizes every forgotten
 ///   step *plus* the evolution into `buffer[0]`, but not `buffer[0]`'s own
 ///   observations;
-/// * `buffer.len() ≤ lag + flush_every` whenever auto-flush is on.
+/// * `buffer.len() ≤ current_lag + flush_every` whenever auto-flush is on
+///   (and `current_lag ≤` the lag policy's maximum).
 #[derive(Debug, Clone)]
 pub struct StreamingSmoother {
     opts: StreamOptions,
@@ -65,17 +71,31 @@ pub struct StreamingSmoother {
     /// `buffer[0]` was already emitted (it is the anchor state of a resumed
     /// checkpoint) and must not be emitted again.
     base_emitted: bool,
+    /// The lag currently in effect ([`LagPolicy::Auto`] adapts it between
+    /// flushes; fixed policies never change it).
+    cur_lag: usize,
+    /// Times the window plan's schedule was (re)built or swapped — stays at
+    /// 1 for a shape-stable stream, counting how well plan caching works.
+    plan_builds: u64,
     /// Reused flush-pipeline storage (see [`FlushScratch`]).
     scratch: FlushScratch,
 }
 
 fn check_options(opts: &StreamOptions) -> Result<()> {
-    if opts.lag == 0 || opts.flush_every == 0 {
-        return Err(KalmanError::Stream(
-            "lag and flush_every must both be at least 1".into(),
-        ));
+    if opts.flush_every == 0 {
+        return Err(KalmanError::Stream("flush_every must be at least 1".into()));
     }
-    Ok(())
+    match opts.effective_lag_policy() {
+        LagPolicy::Fixed(0) => Err(KalmanError::Stream("lag must be at least 1".into())),
+        LagPolicy::Auto { min, max, tol }
+            if min == 0 || max < min || !(tol.is_finite() && tol > 0.0) =>
+        {
+            Err(KalmanError::Stream(
+                "auto lag policy needs 1 <= min <= max and a positive finite tol".into(),
+            ))
+        }
+        _ => Ok(()),
+    }
 }
 
 impl StreamingSmoother {
@@ -93,11 +113,13 @@ impl StreamingSmoother {
             ));
         }
         Ok(StreamingSmoother {
+            cur_lag: opts.effective_lag_policy().initial_lag(),
             opts,
             head: InfoHead::empty(n),
             buffer: vec![LinearStep::initial(n)],
             base_index: 0,
             base_emitted: false,
+            plan_builds: 0,
             scratch: FlushScratch::default(),
         })
     }
@@ -127,11 +149,13 @@ impl StreamingSmoother {
         let n = mean.len();
         let head = InfoHead::from_prior(&Prior { mean, cov })?;
         Ok(StreamingSmoother {
+            cur_lag: opts.effective_lag_policy().initial_lag(),
             opts,
             head,
             buffer: vec![LinearStep::initial(n)],
             base_index: 0,
             base_emitted: false,
+            plan_builds: 0,
             scratch: FlushScratch::default(),
         })
     }
@@ -148,11 +172,13 @@ impl StreamingSmoother {
         check_options(&opts)?;
         let n = checkpoint.state_dim();
         Ok(StreamingSmoother {
+            cur_lag: opts.effective_lag_policy().initial_lag(),
             opts,
             head: checkpoint.head,
             buffer: vec![LinearStep::initial(n)],
             base_index: checkpoint.index,
             base_emitted: true,
+            plan_builds: 0,
             scratch: FlushScratch::default(),
         })
     }
@@ -186,7 +212,29 @@ impl StreamingSmoother {
     /// `true` when a [`StreamingSmoother::flush`] would finalize a full
     /// batch of `flush_every` steps.
     pub fn ready(&self) -> bool {
-        self.buffer.len() >= self.opts.window_capacity()
+        self.buffer.len() >= self.cur_lag + self.opts.flush_every
+    }
+
+    /// The finalization lag currently in effect: the configured lag for
+    /// fixed policies, the adapted one under [`LagPolicy::Auto`].
+    pub fn current_lag(&self) -> usize {
+        self.cur_lag
+    }
+
+    /// How many times the window plan's schedule has been (re)built or
+    /// swapped.  A shape-stable stream reports `1` after its first flush no
+    /// matter how many flushes ran — the cached-plan serving pattern; a
+    /// higher count means window shapes keep changing (plan-cache
+    /// invalidation).
+    pub fn plan_builds(&self) -> u64 {
+        self.plan_builds
+    }
+
+    /// Shape signature of the cached window plan (`None` before the first
+    /// flush); pooled streams with equal signatures share one symbolic
+    /// schedule.
+    pub fn plan_signature(&self) -> Option<u64> {
+        self.scratch.plan.as_ref().map(|p| p.signature())
     }
 
     /// Appends a new state evolving from the newest one.  Returns the steps
@@ -327,12 +375,13 @@ impl StreamingSmoother {
     /// As [`StreamingSmoother::flush`]; on error the stream is unchanged
     /// and `out`'s contents are unspecified.
     pub fn flush_into(&mut self, out: &mut Vec<FinalizedStep>) -> Result<usize> {
-        let count = self.buffer.len().saturating_sub(self.opts.lag);
+        let count = self.buffer.len().saturating_sub(self.cur_lag);
         if count == 0 {
             out.truncate(0);
             return Ok(0);
         }
         self.smooth_window_scratch()?;
+        self.adapt_lag();
         let emitted = self.emit_into(count, out);
         self.forget(count)?;
         Ok(emitted)
@@ -442,37 +491,157 @@ impl StreamingSmoother {
         Ok(Smoothed { means, covariances })
     }
 
-    /// Re-smooths the window through the reusable scratch: whiten →
-    /// factor → solve → (optionally) SelInv, leaving the estimates in
-    /// `self.scratch.means` / `self.scratch.covs`.
+    /// The [`OddEvenOptions`] this stream's window plans execute under.
+    fn plan_options(&self) -> OddEvenOptions {
+        OddEvenOptions {
+            covariances: self.opts.covariances,
+            policy: self.opts.policy,
+            compress_odd: true,
+        }
+    }
+
+    /// Re-smooths the window through the cached plan: whiten → (re-plan if
+    /// the window shape changed) → execute → solve → (optionally) SelInv,
+    /// leaving the estimates in `self.scratch.means` / `self.scratch.covs`.
     fn smooth_window_scratch(&mut self) -> Result<()> {
+        let plan_opts = self.plan_options();
         let Self {
             opts,
             head,
             buffer,
             scratch,
+            plan_builds,
             ..
         } = self;
         whiten_window_into(head, buffer, &mut scratch.steps)?;
-        factor_odd_even_into(
-            &mut scratch.steps,
-            opts.policy,
-            true,
-            &mut scratch.factor,
-            &mut scratch.r,
-        )?;
+        scratch.dims.clear();
         scratch
-            .r
-            .solve_into(opts.policy, &mut scratch.means, &mut scratch.solve)?;
+            .dims
+            .extend(scratch.steps.iter().map(|s| s.state_dim));
+        let plan = match &mut scratch.plan {
+            Some(p) => {
+                if p.ensure_shape(&scratch.dims) {
+                    *plan_builds += 1;
+                }
+                p
+            }
+            slot => {
+                *plan_builds += 1;
+                slot.insert(SmoothPlan::for_dims(&scratch.dims, plan_opts))
+            }
+        };
+        plan.execute(&mut scratch.steps)?;
+        plan.solve_into(&mut scratch.means)?;
         if opts.covariances {
-            selinv_diag_into(
-                &scratch.r,
-                opts.policy,
-                &mut scratch.covs,
-                &mut scratch.selinv,
-            )?;
+            plan.selinv_into(&mut scratch.covs)?;
         }
         Ok(())
+    }
+
+    /// Installs a pool-shared symbolic schedule for the *current* window
+    /// shape before a batched flush, so every same-shaped stream in a
+    /// [`crate::SmootherPool`] executes one schedule instead of planning
+    /// its own.  No-op when the cached plan already covers the shape.
+    pub(crate) fn prepare_pooled_plan(&mut self, cache: &mut PlanCache) {
+        let plan_opts = self.plan_options();
+        let Self {
+            buffer,
+            scratch,
+            plan_builds,
+            ..
+        } = self;
+        scratch.dims.clear();
+        scratch.dims.extend(buffer.iter().map(|s| s.state_dim));
+        let covered = matches!(&scratch.plan, Some(p) if p.dims() == &scratch.dims[..]);
+        if covered {
+            return;
+        }
+        let schedule = cache.get_or_build(&scratch.dims);
+        *plan_builds += 1;
+        match &mut scratch.plan {
+            Some(p) => p.set_schedule(schedule),
+            slot => {
+                *slot = Some(SmoothPlan::new(schedule, plan_opts));
+            }
+        }
+    }
+
+    /// Measures the information-decay rate and re-sizes the lag
+    /// ([`LagPolicy::Auto`] only).  Runs right after a window re-smooth:
+    /// the revisions this smooth applied to states it shares with the
+    /// previous smooth decay geometrically with depth, and fitting that
+    /// decay tells us how far back data newer than the lag can still move
+    /// an estimate by more than the tolerance.
+    fn adapt_lag(&mut self) {
+        let LagPolicy::Auto { min, max, tol } = self.opts.effective_lag_policy() else {
+            return;
+        };
+        let scratch = &mut self.scratch;
+        let cur_base = self.base_index;
+        let cur_len = scratch.means.len();
+        let prev_len = scratch.prev_means.len();
+        'fit: {
+            if prev_len == 0 {
+                break 'fit; // first smooth: nothing to compare against yet
+            }
+            let start = cur_base.max(scratch.prev_base);
+            let end = (cur_base + cur_len as u64).min(scratch.prev_base + prev_len as u64);
+            if end <= start + 1 {
+                break 'fit;
+            }
+            // Max-abs revision of the state at global index g.
+            let rev = |g: u64| -> f64 {
+                let a = &scratch.means[(g - cur_base) as usize];
+                let b = &scratch.prev_means[(g - scratch.prev_base) as usize];
+                a.iter()
+                    .zip(b)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0, f64::max)
+            };
+            let newest = cur_base + cur_len as u64 - 1;
+            // Shallowest and deepest shared states; depths are distances
+            // from the current window's newest state (the reference the
+            // finalization lag is measured against).
+            let d_shallow = (newest - (end - 1)) as usize;
+            let shallow = rev(end - 1);
+            let deep = rev(start);
+            let gap = (end - 1 - start) as usize;
+            let target = if shallow <= tol {
+                // Even the freshest shared state no longer moves.  The
+                // measurement proves a lag of `d_shallow` suffices —
+                // shallower depths are unmeasured, so do not shrink past
+                // what the evidence covers.
+                d_shallow.clamp(min, max)
+            } else if deep >= shallow {
+                // No measurable decay across the window — stay maximal.
+                max
+            } else if deep <= 0.0 {
+                // Revisions vanish somewhere inside the window: the depth
+                // of the oldest shared state is certainly lag enough.
+                ((newest - start) as usize).clamp(min, max)
+            } else {
+                // rev(d) ≈ shallow · ρ^(d − d_shallow) with
+                // ρ = (deep/shallow)^(1/gap); solve rev(L) = tol for L.
+                let ln_rho = (deep / shallow).ln() / gap as f64;
+                let need = d_shallow as f64 + (tol / shallow).ln() / ln_rho;
+                need.ceil().clamp(min as f64, max as f64) as usize
+            };
+            // Rate-limit to one halving/doubling per flush so a noisy fit
+            // cannot whipsaw the window size.
+            let floor = (self.cur_lag / 2).max(min);
+            let ceil = (self.cur_lag * 2).min(max);
+            self.cur_lag = target.clamp(floor, ceil);
+        }
+        // Record this smooth as the next comparison baseline.
+        scratch.prev_base = cur_base;
+        scratch.prev_means.truncate(cur_len);
+        while scratch.prev_means.len() < cur_len {
+            scratch.prev_means.push(Vec::new());
+        }
+        for (dst, src) in scratch.prev_means.iter_mut().zip(&scratch.means) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
     }
 }
 
@@ -528,6 +697,7 @@ mod tests {
     use kalman_dense::Matrix;
     use kalman_model::{events_of, generators, CovarianceSpec};
     use kalman_odd_even::{odd_even_smooth, OddEvenOptions};
+    use kalman_par::ExecPolicy;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -800,6 +970,159 @@ mod tests {
         // Stream is still usable after rejected events.
         stream.observe(identity_obs(2, vec![0.0, 0.0])).unwrap();
         assert_eq!(stream.next_index(), 1);
+    }
+
+    /// Drives an auto-lag stream over a scalar random walk with the given
+    /// observation noise variance and returns the adapted lag.
+    fn adapted_lag(obs_var: f64, steps: usize) -> usize {
+        let opts = StreamOptions {
+            lag: 0, // ignored: the policy overrides it
+            lag_policy: Some(LagPolicy::Auto {
+                min: 2,
+                max: 64,
+                tol: 1e-6,
+            }),
+            flush_every: 4,
+            covariances: false,
+            policy: ExecPolicy::Seq,
+            auto_flush: true,
+        };
+        let mut stream =
+            StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+        assert_eq!(stream.current_lag(), 64);
+        for i in 0..steps {
+            if i > 0 {
+                stream.evolve(Evolution::random_walk(1)).unwrap();
+            }
+            stream
+                .observe(Observation {
+                    g: Matrix::identity(1),
+                    o: vec![(i as f64 * 0.37).sin() * 3.0],
+                    noise: CovarianceSpec::ScaledIdentity(1, obs_var),
+                })
+                .unwrap();
+        }
+        stream.current_lag()
+    }
+
+    /// `LagPolicy::Auto` must size the lag to the measured mixing rate: a
+    /// strongly observed random walk (information decays in a couple of
+    /// steps) gets a short lag, a weakly observed one (correlation length
+    /// ~sqrt(r/q) steps) keeps a long one.
+    #[test]
+    fn auto_lag_tracks_information_decay_rate() {
+        let fast = adapted_lag(0.01, 600);
+        let slow = adapted_lag(400.0, 600);
+        assert!(
+            fast + 4 <= slow,
+            "fast-mixing lag {fast} should be well below slow-mixing lag {slow}"
+        );
+        assert!((2..=64).contains(&fast));
+        assert!((2..=64).contains(&slow));
+        // The strongly observed chain should get close to the floor.
+        assert!(fast <= 8, "fast-mixing lag {fast} stayed large");
+    }
+
+    /// Auto-lag streams still finalize every step exactly once, and agree
+    /// with the batch smoother wherever the adapted lag covers the
+    /// remaining hindsight.
+    #[test]
+    fn auto_lag_stream_finalizes_exactly_once() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let model = generators::paper_benchmark(&mut rng, 2, 150, true);
+        let opts = StreamOptions {
+            lag: 0,
+            lag_policy: Some(LagPolicy::Auto {
+                min: 4,
+                max: 32,
+                tol: 1e-9,
+            }),
+            flush_every: 5,
+            covariances: false,
+            policy: ExecPolicy::Seq,
+            auto_flush: true,
+        };
+        let (finalized, ckpt) = stream_model(&model, opts);
+        assert_eq!(finalized.len(), 151);
+        for (i, f) in finalized.iter().enumerate() {
+            assert_eq!(f.index, i as u64);
+        }
+        assert_eq!(ckpt.index, 150);
+    }
+
+    #[test]
+    fn rejects_degenerate_lag_policies() {
+        let bad = |p: LagPolicy| StreamOptions {
+            lag_policy: Some(p),
+            ..StreamOptions::default()
+        };
+        assert!(StreamingSmoother::new(1, bad(LagPolicy::Fixed(0))).is_err());
+        assert!(StreamingSmoother::new(
+            1,
+            bad(LagPolicy::Auto {
+                min: 0,
+                max: 4,
+                tol: 1e-9
+            })
+        )
+        .is_err());
+        assert!(StreamingSmoother::new(
+            1,
+            bad(LagPolicy::Auto {
+                min: 8,
+                max: 4,
+                tol: 1e-9
+            })
+        )
+        .is_err());
+        assert!(StreamingSmoother::new(
+            1,
+            bad(LagPolicy::Auto {
+                min: 2,
+                max: 4,
+                tol: 0.0
+            })
+        )
+        .is_err());
+        assert!(StreamingSmoother::new(1, bad(LagPolicy::auto())).is_ok());
+    }
+
+    /// A shape-stable stream plans its window once and re-executes it for
+    /// every subsequent flush; the wind-down at `finish()` (a shorter
+    /// window) re-plans once more.
+    #[test]
+    fn steady_stream_builds_its_window_plan_once() {
+        let opts = StreamOptions {
+            lag: 6,
+            flush_every: 3,
+            covariances: false,
+            policy: ExecPolicy::Seq,
+            ..StreamOptions::default()
+        };
+        let mut stream =
+            StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap();
+        assert_eq!(stream.plan_builds(), 0);
+        assert!(stream.plan_signature().is_none());
+        for i in 0..40 {
+            if i > 0 {
+                stream.evolve(Evolution::random_walk(1)).unwrap();
+            }
+            stream.observe(identity_obs(1, vec![i as f64])).unwrap();
+        }
+        assert_eq!(
+            stream.plan_builds(),
+            1,
+            "steady flush cadence must reuse one plan"
+        );
+        let sig = stream.plan_signature().unwrap();
+        assert_eq!(
+            sig,
+            kalman_odd_even::signature_of_dims(vec![1; 9]),
+            "window plan covers the full lag+flush window"
+        );
+        let builds_before_finish = stream.plan_builds();
+        let (_, _) = stream.finish().unwrap();
+        let _ = builds_before_finish;
     }
 
     #[test]

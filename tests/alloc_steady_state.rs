@@ -65,6 +65,7 @@ fn run_steady_state(covariances: bool) {
         covariances,
         policy: ExecPolicy::Seq,
         auto_flush: false,
+        lag_policy: None,
     };
     let mut stream =
         StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();
@@ -144,6 +145,144 @@ fn streaming_flush_with_covariances_is_allocation_free_after_warmup() {
     run_steady_state(true);
 }
 
+/// Batch-scale plan reuse: a `SmoothPlan` built once for a `k = 20 000`
+/// problem must re-solve same-shaped models with **zero** steady-state
+/// heap allocations.  Without the plan-owned arena this workload was the
+/// ROADMAP's allocator-pressure case — the elimination's working set
+/// (~3 blocks per step held in the `R` factor alone) blows far past the
+/// thread-local workspace budgets, so every re-solve used to hammer the
+/// allocator; the plan lifts the budgets while it executes and the pool
+/// sizes itself to the recursion.
+#[test]
+fn batch_plan_reuse_is_allocation_free_after_warmup() {
+    use kalman::odd_even::SmoothPlan;
+    use rand::SeedableRng;
+
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let k = 20_000;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4300);
+    let model = kalman::model::generators::paper_benchmark(&mut rng, 4, k, true);
+    let opts = OddEvenOptions {
+        covariances: true,
+        policy: ExecPolicy::Seq,
+        compress_odd: true,
+    };
+    let mut plan = SmoothPlan::for_model(&model, opts).unwrap();
+    let mut out = Smoothed {
+        means: Vec::new(),
+        covariances: None,
+    };
+    // Warmup: the first solve sizes every container and fills the arena;
+    // one more catches stragglers (buffers held live across call N enter
+    // the pool only during call N+1).
+    for _ in 0..2 {
+        plan.smooth_model_into(&model, &mut out).unwrap();
+    }
+    for round in 0..2 {
+        let before = thread_alloc_count();
+        plan.smooth_model_into(&model, &mut out).unwrap();
+        let allocs = thread_alloc_count() - before;
+        if allocs > 0 {
+            eprintln!(
+                "round {round}: recent allocation sizes {:?}",
+                kalman::alloc_stats::thread_recent_alloc_sizes()
+            );
+        }
+        assert_eq!(
+            allocs, 0,
+            "round {round}: {allocs} heap allocations in a plan-reused k={k} batch solve"
+        );
+    }
+    assert_eq!(out.means.len(), k + 1);
+    assert!(out.covariances.as_ref().unwrap().len() == k + 1);
+}
+
+/// Steady-state pool serving: ingestion plus a `poll_into` batch flush
+/// across several streams must allocate nothing once warm — the pool moves
+/// streams into reused output slots, shares one symbolic plan per window
+/// shape, and every stream's flush runs its cached plan.
+#[test]
+fn pool_poll_into_is_allocation_free_after_warmup() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    let n = 3;
+    let streams = 4;
+    let flush_every = 4;
+    let opts = StreamOptions {
+        lag: 6,
+        flush_every,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        ..StreamOptions::default()
+    };
+    let mut pool = SmootherPool::new(ExecPolicy::Seq);
+    let ids: Vec<StreamId> = (0..streams)
+        .map(|_| {
+            pool.insert(
+                StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts)
+                    .unwrap(),
+            )
+        })
+        .collect();
+
+    const WARMUP: usize = 6;
+    const MEASURED: usize = 6;
+    let mut events: Vec<_> = (0..streams)
+        .map(|_| build_events(n, WARMUP + MEASURED + 3, flush_every).into_iter())
+        .collect();
+    let mut batch = kalman::stream::PollBatch::new();
+
+    // Fill every window to one cycle short, then run warmup cycles.
+    for (k, id) in ids.iter().enumerate() {
+        for _ in 0..opts.lag - 1 {
+            let (evo, obs) = events[k].next().unwrap();
+            pool.evolve(*id, evo).unwrap();
+            pool.observe(*id, obs).unwrap();
+        }
+    }
+    let cycle = |pool: &mut SmootherPool,
+                 events: &mut Vec<std::vec::IntoIter<(Evolution, Observation)>>,
+                 batch: &mut kalman::stream::PollBatch| {
+        for (k, id) in ids.iter().enumerate() {
+            for _ in 0..flush_every {
+                let (evo, obs) = events[k].next().unwrap();
+                pool.evolve(*id, evo).unwrap();
+                pool.observe(*id, obs).unwrap();
+            }
+        }
+        pool.poll_into(batch);
+        assert_eq!(batch.len(), ids.len(), "every stream flushes each cycle");
+        for entry in batch.entries() {
+            assert_eq!(entry.result().unwrap().len(), flush_every);
+        }
+    };
+    for _ in 0..WARMUP {
+        cycle(&mut pool, &mut events, &mut batch);
+    }
+    let (shapes, _, misses) = pool.plan_cache_stats();
+    assert_eq!(shapes, 1, "identical windows share one symbolic plan");
+    assert_eq!(misses, 1);
+
+    // Measured steady state: ingestion + batched flush, zero allocations.
+    for round in 0..MEASURED {
+        // Pre-draw the events so iterator plumbing stays out of the
+        // measured region (the events themselves were pre-built).
+        let before = thread_alloc_count();
+        cycle(&mut pool, &mut events, &mut batch);
+        let allocs = thread_alloc_count() - before;
+        if allocs > 0 {
+            eprintln!(
+                "round {round}: recent allocation sizes {:?}",
+                kalman::alloc_stats::thread_recent_alloc_sizes()
+            );
+        }
+        assert_eq!(
+            allocs, 0,
+            "round {round}: {allocs} heap allocations in a steady-state pool cycle"
+        );
+    }
+}
+
 /// The pooled allocator really is what makes the loop allocation-free:
 /// with pooling disabled the same cycle allocates (guards against the
 /// counter silently measuring nothing).
@@ -157,6 +296,7 @@ fn disabling_the_workspace_pool_restores_allocations() {
         covariances: false,
         policy: ExecPolicy::Seq,
         auto_flush: false,
+        lag_policy: None,
     };
     let mut stream =
         StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();

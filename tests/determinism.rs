@@ -178,6 +178,80 @@ fn smoother_pool_poll_is_bitwise_deterministic() {
     }
 }
 
+/// Pooled polls route every same-shaped stream through one shared
+/// symbolic `PlanSchedule` (the pool's plan cache) and flush via the
+/// allocation-free `poll_into` batch.  Neither sharing a schedule across
+/// concurrently flushing streams nor the slot-reusing batch may perturb a
+/// single bit relative to the sequential loop.
+#[test]
+fn pooled_polls_through_the_shared_plan_cache_are_bitwise_deterministic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4300);
+    let models: Vec<LinearModel> = (0..6)
+        .map(|_| generators::paper_benchmark(&mut rng, 2, 120, true))
+        .collect();
+    let opts = StreamOptions {
+        lag: 16,
+        flush_every: 4,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        ..StreamOptions::default()
+    };
+
+    type PoolRun = (Vec<Vec<Vec<f64>>>, (usize, u64, u64));
+    let drive = |policy: ExecPolicy| -> PoolRun {
+        let mut pool = SmootherPool::new(policy);
+        let ids: Vec<StreamId> = models
+            .iter()
+            .map(|m| {
+                let p = m.prior.as_ref().unwrap();
+                pool.insert(
+                    StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts).unwrap(),
+                )
+            })
+            .collect();
+        let mut out: Vec<Vec<Vec<f64>>> = vec![Vec::new(); models.len()];
+        let mut batch = PollBatch::new();
+        for si in 0..models[0].num_states() {
+            for (k, model) in models.iter().enumerate() {
+                let step = &model.steps[si];
+                if si > 0 {
+                    pool.evolve(ids[k], step.evolution.clone().unwrap())
+                        .unwrap();
+                }
+                if let Some(obs) = &step.observation {
+                    pool.observe(ids[k], obs.clone()).unwrap();
+                }
+            }
+            pool.poll_into(&mut batch);
+            for entry in batch.entries() {
+                let k = ids.iter().position(|x| *x == entry.id()).unwrap();
+                out[k].extend(entry.result().unwrap().iter().map(|f| f.mean.clone()));
+            }
+        }
+        for (k, id) in ids.iter().enumerate() {
+            let (tail, _) = pool.finish(*id).unwrap();
+            out[k].extend(tail.into_iter().map(|f| f.mean));
+        }
+        (out, pool.plan_cache_stats())
+    };
+
+    let (reference, (shapes, _, misses)) = drive(ExecPolicy::Seq);
+    assert_eq!(shapes, 1, "six identical streams share one schedule");
+    assert_eq!(misses, 1);
+    assert_eq!(reference.iter().map(Vec::len).sum::<usize>(), 6 * 121);
+    for threads in THREADS {
+        for grain in GRAINS {
+            let (got, (got_shapes, _, _)) =
+                run_with_threads(threads, || drive(ExecPolicy::par_with_grain(grain)));
+            assert_eq!(got_shapes, 1);
+            assert!(
+                got == reference,
+                "shared-plan pool output changed under threads={threads} grain={grain}"
+            );
+        }
+    }
+}
+
 /// Scheduler stress: `join` nested inside `install`, recursing deep enough
 /// to guarantee stealing, while several OS threads run their own pools
 /// (plus the global one) concurrently.

@@ -1,0 +1,261 @@
+//! The plan/execute contract: executing through a reused `SmoothPlan` is
+//! bitwise identical to one-shot smoothing, plans follow shape changes
+//! (cache invalidation), and pooled streams share one symbolic schedule
+//! per window shape.
+
+use kalman::model::LinearModel;
+use kalman::odd_even::SmoothPlan;
+use kalman::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn assert_bitwise(a: &Smoothed, b: &Smoothed, what: &str) {
+    assert_eq!(a.max_mean_diff(b), 0.0, "{what}: means differ bitwise");
+    assert_eq!(
+        a.max_cov_diff(b),
+        Some(0.0),
+        "{what}: covariances differ bitwise"
+    );
+}
+
+/// Plan-reused executes must be bitwise equal to freshly planned one-shot
+/// calls, under both policies, across the acceptance state dimensions.
+#[test]
+fn plan_reuse_is_bitwise_equal_to_one_shot() {
+    for (n, seed) in [(4usize, 901u64), (8, 902), (16, 903)] {
+        for policy in [ExecPolicy::Seq, ExecPolicy::par_with_grain(3)] {
+            let opts = OddEvenOptions {
+                covariances: true,
+                policy,
+                compress_odd: true,
+            };
+            // Two models with the same shape but different data: the plan
+            // must be a pure function of shape, not of the numbers.
+            let model_a = kalman::model::generators::paper_benchmark(&mut rng(seed), n, 37, true);
+            let model_b =
+                kalman::model::generators::paper_benchmark(&mut rng(seed + 50), n, 37, true);
+            let fresh_a = odd_even_smooth(&model_a, opts).unwrap();
+            let fresh_b = odd_even_smooth(&model_b, opts).unwrap();
+
+            let mut plan = SmoothPlan::for_model(&model_a, opts).unwrap();
+            for round in 0..3 {
+                let planned_a = plan.smooth_model(&model_a).unwrap();
+                assert_bitwise(
+                    &fresh_a,
+                    &planned_a,
+                    &format!("n={n} {policy:?} round {round} (model a)"),
+                );
+                let planned_b = plan.smooth_model(&model_b).unwrap();
+                assert_bitwise(
+                    &fresh_b,
+                    &planned_b,
+                    &format!("n={n} {policy:?} round {round} (model b)"),
+                );
+            }
+        }
+    }
+}
+
+/// A plan asked to smooth a different shape re-plans (in place) and keeps
+/// producing answers identical to one-shot calls — including non-uniform
+/// dimension sequences.
+#[test]
+fn plan_follows_shape_changes() {
+    let opts = OddEvenOptions::default();
+    let models = [
+        kalman::model::generators::paper_benchmark(&mut rng(910), 3, 17, true),
+        kalman::model::generators::paper_benchmark(&mut rng(911), 3, 9, false),
+        kalman::model::generators::dimension_change(&mut rng(912), 3, 21),
+        kalman::model::generators::paper_benchmark(&mut rng(913), 3, 17, true),
+    ];
+    let mut plan = SmoothPlan::for_model(&models[0], opts).unwrap();
+    let mut signatures = Vec::new();
+    for (i, model) in models.iter().enumerate() {
+        let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+        plan.ensure_shape(&dims);
+        let planned = plan.smooth_model(model).unwrap();
+        let fresh = odd_even_smooth(model, opts).unwrap();
+        assert_bitwise(&fresh, &planned, &format!("model {i}"));
+        signatures.push(plan.signature());
+    }
+    // Same shape hashes the same; different shapes differ.
+    assert_eq!(signatures[0], signatures[3]);
+    assert_ne!(signatures[0], signatures[1]);
+    assert_ne!(signatures[1], signatures[2]);
+}
+
+/// Mid-stream window-shape changes (an irregular manual flush cadence, so
+/// the window length differs from flush to flush) must invalidate the
+/// cached window plan — and *only* then: a flush at an already-planned
+/// shape reuses the plan.  Estimates stay within the fixed-lag equivalence
+/// bound of the hindsight batch solution throughout.
+#[test]
+fn stream_plan_cache_invalidates_on_window_shape_change() {
+    let model = kalman::model::generators::paper_benchmark(&mut rng(920), 3, 60, true);
+    let opts = StreamOptions {
+        lag: 16,
+        flush_every: 1,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        ..StreamOptions::default()
+    };
+    let prior = model.prior.as_ref().unwrap();
+    let mut stream =
+        StreamingSmoother::with_prior(prior.mean.clone(), prior.cov.clone(), opts).unwrap();
+    let mut finalized = Vec::new();
+
+    let feed = |stream: &mut StreamingSmoother, range: std::ops::RangeInclusive<usize>| {
+        for i in range {
+            let step = &model.steps[i];
+            if i > 0 {
+                stream.evolve(step.evolution.clone().unwrap()).unwrap();
+            }
+            if let Some(obs) = &step.observation {
+                stream.observe(obs.clone()).unwrap();
+            }
+        }
+    };
+
+    // Window fills to 21 steps → first flush plans shape #1.
+    feed(&mut stream, 0..=20);
+    finalized.extend(stream.flush().unwrap());
+    assert_eq!(stream.plan_builds(), 1);
+    // Refill to exactly 21 again → same shape, plan reused.
+    feed(&mut stream, 21..=25);
+    finalized.extend(stream.flush().unwrap());
+    assert_eq!(
+        stream.plan_builds(),
+        1,
+        "same window shape must not re-plan"
+    );
+    // A different fill level (24 steps) → invalidation, shape #2.
+    feed(&mut stream, 26..=33);
+    finalized.extend(stream.flush().unwrap());
+    assert_eq!(stream.plan_builds(), 2, "changed window shape must re-plan");
+    // And another (43 steps) → shape #3.
+    feed(&mut stream, 34..=60);
+    finalized.extend(stream.flush().unwrap());
+    assert_eq!(stream.plan_builds(), 3);
+
+    let (tail, _) = stream.finish().unwrap();
+    finalized.extend(tail);
+    assert_eq!(finalized.len(), 61);
+
+    // Fixed-lag equivalence against hindsight: post-window influence has
+    // decayed by ≈0.38^16 by finalization time on this model family.
+    let batch = odd_even_smooth(&model, OddEvenOptions::nc(ExecPolicy::Seq)).unwrap();
+    for f in &finalized {
+        let i = f.index as usize;
+        let diff = f
+            .mean
+            .iter()
+            .zip(batch.mean(i))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(diff < 1e-4, "state {i}: diff {diff}");
+    }
+}
+
+fn drive_pool_collect(
+    pool: &mut SmootherPool,
+    ids: &[StreamId],
+    models: &[LinearModel],
+    use_poll_into: bool,
+) -> Vec<Vec<FinalizedStep>> {
+    let mut collected: Vec<Vec<FinalizedStep>> = vec![Vec::new(); models.len()];
+    let mut batch = PollBatch::new();
+    let rounds = models.iter().map(|m| m.num_states()).max().unwrap();
+    for si in 0..rounds {
+        for (k, model) in models.iter().enumerate() {
+            let Some(step) = model.steps.get(si) else {
+                continue;
+            };
+            if si > 0 {
+                pool.evolve(ids[k], step.evolution.clone().unwrap())
+                    .unwrap();
+            }
+            if let Some(obs) = &step.observation {
+                pool.observe(ids[k], obs.clone()).unwrap();
+            }
+        }
+        if use_poll_into {
+            pool.poll_into(&mut batch);
+            for entry in batch.entries() {
+                let k = ids.iter().position(|x| *x == entry.id()).unwrap();
+                collected[k].extend(entry.result().unwrap().iter().cloned());
+            }
+        } else {
+            for (id, steps) in pool.poll() {
+                let k = ids.iter().position(|x| *x == id).unwrap();
+                collected[k].extend(steps.unwrap());
+            }
+        }
+    }
+    collected
+}
+
+/// Pooled streams with equal window shapes must share one symbolic
+/// schedule (one plan-cache entry), `poll_into` must agree with `poll`,
+/// and a stream whose shape differs gets its own entry.
+#[test]
+fn pool_shares_plans_per_window_signature() {
+    let opts = || StreamOptions {
+        lag: 8,
+        flush_every: 4,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        ..StreamOptions::default()
+    };
+    // Three dim-2 streams and one dim-3 stream.
+    let models: Vec<LinearModel> = vec![
+        kalman::model::generators::paper_benchmark(&mut rng(930), 2, 50, true),
+        kalman::model::generators::paper_benchmark(&mut rng(931), 2, 50, true),
+        kalman::model::generators::paper_benchmark(&mut rng(932), 2, 50, true),
+        kalman::model::generators::paper_benchmark(&mut rng(933), 3, 50, true),
+    ];
+    let build_pool = |policy: ExecPolicy| {
+        let mut pool = SmootherPool::new(policy);
+        let ids: Vec<StreamId> = models
+            .iter()
+            .map(|m| {
+                let p = m.prior.as_ref().unwrap();
+                pool.insert(
+                    StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts()).unwrap(),
+                )
+            })
+            .collect();
+        (pool, ids)
+    };
+
+    let (mut pool_a, ids_a) = build_pool(ExecPolicy::Seq);
+    let via_poll = drive_pool_collect(&mut pool_a, &ids_a, &models, false);
+    let (mut pool_b, ids_b) = build_pool(ExecPolicy::par_with_grain(1));
+    let via_poll_into = drive_pool_collect(&mut pool_b, &ids_b, &models, true);
+
+    for (k, (a, b)) in via_poll.iter().zip(&via_poll_into).enumerate() {
+        assert_eq!(a.len(), b.len(), "stream {k}");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.mean, y.mean, "stream {k} state {}", x.index);
+        }
+    }
+
+    // Steady serving of two window shapes (dim-2 and dim-3, same length):
+    // exactly two symbolic schedules, ever.
+    let (entries, hits, misses) = pool_b.plan_cache_stats();
+    assert_eq!(entries, 2, "one schedule per distinct window shape");
+    assert_eq!(misses, 2);
+    // The three dim-2 streams shared one schedule: at least two cache hits.
+    assert!(hits >= 2, "expected shared-schedule hits, saw {hits}");
+    // Same signature for the dim-2 streams, different for the dim-3 one.
+    let sig = |pool: &SmootherPool, id: StreamId| pool.stream(id).unwrap().plan_signature();
+    assert_eq!(sig(&pool_b, ids_b[0]), sig(&pool_b, ids_b[1]));
+    assert_eq!(sig(&pool_b, ids_b[0]), sig(&pool_b, ids_b[2]));
+    assert_ne!(sig(&pool_b, ids_b[0]), sig(&pool_b, ids_b[3]));
+}
