@@ -67,11 +67,11 @@ fn scale_c(beta: f64, c: &mut Matrix) {
 ///
 /// `op(x)` is `x` or `xᵀ` according to the [`Trans`] flags.  Large-enough
 /// products run through a cache-blocked path: `op(A)` panels are packed
-/// column-major in [`MR`]-row strips (with `alpha` folded in), `op(B)`
-/// panels in [`NR`]-column strips — the packing buffers double as the
+/// column-major in `MR`-row strips (with `alpha` folded in), `op(B)`
+/// panels in `NR`-column strips — the packing buffers double as the
 /// small-transpose staging area, so every transpose combination (including
 /// the formerly strided `Tᵀ·Bᵀ` case) feeds the same unrolled
-/// [`MR`]`×`[`NR`] register-tile microkernel with contiguous reads.  Small
+/// `MR``×``NR` register-tile microkernel with contiguous reads.  Small
 /// products use [`gemm_ref`].  Both paths are deterministic: results are
 /// bitwise identical run-to-run and across `ExecPolicy` choices.
 ///

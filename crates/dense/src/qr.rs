@@ -10,8 +10,8 @@ use crate::{workspace, DenseError, Matrix, Result};
 /// factor a stacked pair of blocks, then apply the same `Qᵀ` to neighbouring
 /// blocks and right-hand-side segments.
 ///
-/// Wide-enough factors (`n >=` [`QR_BLOCK_MIN_COLS`]) are computed *blocked*
-/// in panels of [`QR_NB`] columns with the compact-WY representation
+/// Wide-enough factors (`n >=` `QR_BLOCK_MIN_COLS`) are computed *blocked*
+/// in panels of `QR_NB` columns with the compact-WY representation
 /// (`Q_panel = I − V T Vᵀ`, LAPACK's `dgeqrt`/`dlarfb` scheme): the trailing
 /// matrix and every `Qᵀ`/`Q` application then move whole block right-hand
 /// sides per panel — `2·n/NB` passes over the data instead of `2·n` — with
@@ -29,7 +29,7 @@ pub struct QrFactor {
     packed: Matrix,
     /// Householder coefficients, one per reflected column.
     tau: Vec<f64>,
-    /// Compact-WY `T` factors: [`QR_NB`]` × n`, where the columns of panel
+    /// Compact-WY `T` factors: `QR_NB`` × n`, where the columns of panel
     /// `j0` hold that panel's upper-triangular `T`.  `None` for unblocked
     /// factors.
     t: Option<Matrix>,
@@ -442,7 +442,7 @@ impl QrFactor {
     }
 
     /// The compact-WY blocked factorization unconditionally, regardless of
-    /// the [`QR_BLOCK_MIN_COLS`] dispatch threshold — for callers that know
+    /// the `QR_BLOCK_MIN_COLS` dispatch threshold — for callers that know
     /// their blocks are large and for property tests pinning the WY path
     /// against [`QrFactor::new_unblocked`] on every shape.
     ///

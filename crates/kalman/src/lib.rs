@@ -12,6 +12,7 @@
 //! | [`associative`] | Särkkä & García-Fernández parallel-scan smoother |
 //! | [`tridiag`] | Normal-equations cyclic-reduction smoother (unstable; for the stability study) |
 //! | [`stream`] | Online serving: streaming fixed-lag smoother, R-factor forgetting, multi-stream pool |
+//! | [`serve`] | Serving front-end: sharded pools, bounded-queue ingestion with backpressure, metrics |
 //! | [`dense`] | Dense kernels (QR, LU, Cholesky, GEMM, triangular solves) |
 //! | [`par`] | TBB-like parallel primitives (`parallel_for` with grain, parallel scans) |
 //!
@@ -62,6 +63,14 @@
 //! finalized.extend(tail);
 //! assert_eq!(finalized.len(), 100);
 //! ```
+//!
+//! To serve *many* streams behind a bounded-memory front-end, put them in
+//! a [`serve::ShardedPool`]: producers submit through cloneable
+//! [`serve::Ingress`] handles (backpressured — a full shard queue makes
+//! `try_submit` fail fast and the async `submit` wait), and a periodic
+//! [`serve::ShardedPool::drain`] batch-flushes every full window with zero
+//! steady-state allocations.  See `docs/GUIDE.md` for the full
+//! walkthrough, and `examples/serving.rs` for a runnable tour.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -79,8 +88,16 @@ static GLOBAL: tikv_jemallocator::Jemalloc = tikv_jemallocator::Jemalloc;
 /// benchmark harness use it to prove the smoothing hot loops are
 /// allocation-free after the workspace pool warms up.
 pub mod alloc_stats {
-    pub use tikv_jemallocator::{thread_alloc_count, thread_recent_alloc_sizes};
+    pub use tikv_jemallocator::{
+        thread_alloc_count, thread_recent_alloc_sizes, trap_next_alloc_of_size,
+    };
 }
+
+// Compile and run the user guide's snippets with the crate's doctests, so
+// docs/GUIDE.md can promise that every snippet works.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/GUIDE.md")]
+mod guide_doctests {}
 
 pub use kalman_associative as associative;
 pub use kalman_dense as dense;
@@ -89,6 +106,7 @@ pub use kalman_nonlinear as nonlinear;
 pub use kalman_odd_even as odd_even;
 pub use kalman_par as par;
 pub use kalman_seq as seq;
+pub use kalman_serve as serve;
 pub use kalman_stream as stream;
 pub use kalman_tridiag as tridiag;
 
@@ -104,6 +122,7 @@ pub mod prelude {
     pub use kalman_odd_even::{odd_even_smooth, OddEvenOptions, PlanSchedule, SmoothPlan};
     pub use kalman_par::{run_with_threads, ExecPolicy};
     pub use kalman_seq::{paige_saunders_smooth, rts_smooth, SmootherOptions};
+    pub use kalman_serve::{Ingress, ServeConfig, ShardedPool, SubmitError, TrySubmitError};
     pub use kalman_stream::{
         Checkpoint, FinalizedStep, LagPolicy, PollBatch, SmootherPool, StreamId, StreamOptions,
         StreamingSmoother,

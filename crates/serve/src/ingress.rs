@@ -1,0 +1,216 @@
+//! The producer-side handle: bounded-queue submission with explicit
+//! backpressure.
+
+use crate::stable_shard;
+use crate::stats::SharedCounters;
+use futures::channel::mpsc;
+use kalman_model::{Evolution, Observation, StreamEvent};
+use std::fmt;
+use std::sync::Arc;
+
+/// One queued ingestion operation: the stream key plus its event.
+pub(crate) type Op = (u64, StreamEvent);
+
+/// Why a submission did not enter the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard's queue is full.  This is the backpressure signal:
+    /// the producer should retry later (or `await` the async
+    /// [`Ingress::submit`], which parks until the consumer makes room)
+    /// instead of buffering unboundedly.
+    WouldBlock,
+    /// The serving back-end (the [`crate::ShardedPool`]) was dropped; no
+    /// submission can ever succeed again.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::WouldBlock => write!(f, "shard queue is full (backpressure)"),
+            SubmitError::Closed => write!(f, "serving pool was shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A failed [`Ingress::try_submit`]: the reason plus the undelivered
+/// event, handed back so the producer can retry after the bounce.
+#[derive(Debug)]
+pub struct TrySubmitError {
+    kind: SubmitError,
+    /// Boxed so the `Result` stays register-sized on the submit hot path.
+    event: Box<StreamEvent>,
+}
+
+impl TrySubmitError {
+    /// The failure reason.
+    pub fn kind(&self) -> SubmitError {
+        self.kind
+    }
+
+    /// `true` when the shard queue was full — retry after the consumer
+    /// drains.
+    pub fn is_would_block(&self) -> bool {
+        self.kind == SubmitError::WouldBlock
+    }
+
+    /// `true` when the pool is gone — no retry can succeed.
+    pub fn is_closed(&self) -> bool {
+        self.kind == SubmitError::Closed
+    }
+
+    /// Recovers the event that was not submitted.
+    pub fn into_event(self) -> StreamEvent {
+        *self.event
+    }
+}
+
+impl fmt::Display for TrySubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.kind.fmt(f)
+    }
+}
+
+impl std::error::Error for TrySubmitError {}
+
+/// Cloneable producer handle to a [`crate::ShardedPool`]'s ingestion
+/// queues.  One handle serves any number of streams; clone one per
+/// producer task or thread.
+///
+/// Routing is by the **stable hash** of the stream key, so every producer
+/// resolves the same shard for the same key with no coordination; ops for
+/// one key therefore pass through one queue and stay FIFO.  (If the
+/// consumer has [`crate::ShardedPool::rebalance`]d a stream away from its
+/// home shard, its home queue still carries the ops and the drain forwards
+/// them — producers never need to learn about migrations.)
+pub struct Ingress {
+    pub(crate) senders: Vec<mpsc::Sender<Op>>,
+    pub(crate) counters: Vec<Arc<SharedCounters>>,
+}
+
+impl Clone for Ingress {
+    fn clone(&self) -> Self {
+        Ingress {
+            senders: self.senders.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+impl Ingress {
+    /// Number of shards this handle routes across.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The home shard of a key (stable FNV-1a hash; identical across
+    /// handles and processes).
+    pub fn shard_of(&self, key: u64) -> usize {
+        stable_shard(key, self.senders.len())
+    }
+
+    /// Submits without waiting.  On a full shard queue the event is
+    /// handed back in a [`SubmitError::WouldBlock`]-kinded error for a
+    /// later retry — bounded memory is preserved by slowing *producers*,
+    /// never by growing queues.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySubmitError`] of kind [`SubmitError::WouldBlock`] under
+    /// backpressure, of kind [`SubmitError::Closed`] when the pool is
+    /// gone; either carries the event back.
+    pub fn try_submit(&mut self, key: u64, event: StreamEvent) -> Result<(), TrySubmitError> {
+        let s = self.shard_of(key);
+        match self.senders[s].try_send((key, event)) {
+            Ok(()) => {
+                self.counters[s].add_submitted();
+                Ok(())
+            }
+            Err(e) => {
+                let kind = if e.is_full() {
+                    self.counters[s].add_throttled();
+                    SubmitError::WouldBlock
+                } else {
+                    SubmitError::Closed
+                };
+                Err(TrySubmitError {
+                    kind,
+                    event: Box::new(e.into_inner().1),
+                })
+            }
+        }
+    }
+
+    /// Submits, waiting (`Pending`) while the shard queue is full.  This
+    /// is the cooperative form of backpressure: the producer task parks
+    /// and resumes when the consumer drains.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] when the pool is gone.
+    pub async fn submit(&mut self, key: u64, event: StreamEvent) -> Result<(), SubmitError> {
+        let s = self.shard_of(key);
+        // Race the fast path first so the throttle counter records exactly
+        // the submissions that found the queue full.
+        let op = match self.senders[s].try_send((key, event)) {
+            Ok(()) => {
+                self.counters[s].add_submitted();
+                return Ok(());
+            }
+            Err(e) if e.is_full() => {
+                self.counters[s].add_throttled();
+                e.into_inner()
+            }
+            Err(_) => return Err(SubmitError::Closed),
+        };
+        match self.senders[s].send(op).await {
+            Ok(()) => {
+                self.counters[s].add_submitted();
+                Ok(())
+            }
+            Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// [`Ingress::try_submit`] of an evolution event.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingress::try_submit`].
+    pub fn try_evolve(&mut self, key: u64, evolution: Evolution) -> Result<(), TrySubmitError> {
+        self.try_submit(key, StreamEvent::Evolve(evolution))
+    }
+
+    /// [`Ingress::try_submit`] of an observation event.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingress::try_submit`].
+    pub fn try_observe(
+        &mut self,
+        key: u64,
+        observation: Observation,
+    ) -> Result<(), TrySubmitError> {
+        self.try_submit(key, StreamEvent::Observe(observation))
+    }
+
+    /// [`Ingress::submit`] of an evolution event.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingress::submit`].
+    pub async fn evolve(&mut self, key: u64, evolution: Evolution) -> Result<(), SubmitError> {
+        self.submit(key, StreamEvent::Evolve(evolution)).await
+    }
+
+    /// [`Ingress::submit`] of an observation event.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ingress::submit`].
+    pub async fn observe(&mut self, key: u64, observation: Observation) -> Result<(), SubmitError> {
+        self.submit(key, StreamEvent::Observe(observation)).await
+    }
+}

@@ -1,0 +1,134 @@
+//! Serving metrics: per-shard counters and the [`Stats`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters shared between the producer-side [`crate::Ingress`] handles and
+/// the consumer-side shard (lock-free; updated on the submit hot path).
+#[derive(Debug, Default)]
+pub(crate) struct SharedCounters {
+    /// Operations accepted into the shard's queue.
+    pub submitted: AtomicU64,
+    /// `try_submit` calls bounced with [`crate::SubmitError::WouldBlock`],
+    /// plus async submits that found the queue full and had to wait — every
+    /// time backpressure actually engaged.
+    pub throttled: AtomicU64,
+}
+
+impl SharedCounters {
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    pub fn add_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_throttled(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// One shard's view of the serving metrics, as captured by
+/// [`crate::ShardedPool::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Live streams resident on this shard.
+    pub streams: usize,
+    /// Streams whose windows are full right now (the next drain flushes
+    /// them).
+    pub ready: usize,
+    /// Operations currently waiting in the shard's bounded queue.
+    pub queue_depth: usize,
+    /// The queue's capacity bound.
+    pub queue_capacity: usize,
+    /// Operations ever accepted into the queue.
+    pub submitted: u64,
+    /// Times backpressure engaged on submit (rejected `try_submit`s plus
+    /// async submits that had to wait for room).
+    pub throttled: u64,
+    /// Operations popped from the queue by drains.
+    pub drained: u64,
+    /// Drained operations that failed to apply (unknown key, model
+    /// validation error); see [`crate::ShardedPool::last_errors`].
+    pub ingest_errors: u64,
+    /// Batched flushes (`poll_into` calls) this shard has run.
+    pub flushes: u64,
+    /// Stream-flushes that succeeded across all drains.
+    pub flushed_streams: u64,
+    /// Finalized steps emitted across all drains.
+    pub flushed_steps: u64,
+    /// Stream-flushes that failed (the stream is unchanged and retries on
+    /// a later drain).
+    pub flush_errors: u64,
+    /// Wall-clock time of the most recent batched flush.
+    pub last_flush: Duration,
+    /// Wall-clock time summed over all batched flushes.
+    pub total_flush: Duration,
+    /// Window shapes cached by the shard's plan cache.
+    pub plan_shapes: usize,
+    /// Plan-cache lookup hits (a stream re-used a shared schedule).
+    pub plan_hits: u64,
+    /// Plan-cache lookup misses (a schedule had to be built).
+    pub plan_misses: u64,
+}
+
+impl ShardStats {
+    /// Folds `other` into an aggregate: counters add, `last_flush` takes
+    /// the maximum (the slowest shard bounds the serving tick).
+    fn absorb(&mut self, other: &ShardStats) {
+        self.streams += other.streams;
+        self.ready += other.ready;
+        self.queue_depth += other.queue_depth;
+        self.queue_capacity += other.queue_capacity;
+        self.submitted += other.submitted;
+        self.throttled += other.throttled;
+        self.drained += other.drained;
+        self.ingest_errors += other.ingest_errors;
+        self.flushes += other.flushes;
+        self.flushed_streams += other.flushed_streams;
+        self.flushed_steps += other.flushed_steps;
+        self.flush_errors += other.flush_errors;
+        self.last_flush = self.last_flush.max(other.last_flush);
+        self.total_flush += other.total_flush;
+        self.plan_shapes += other.plan_shapes;
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+    }
+}
+
+/// A point-in-time snapshot of the whole serving layer, one
+/// [`ShardStats`] per shard.  Allocates (it clones counters into an owned
+/// snapshot); take it at reporting frequency, not per drain.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Per-shard metrics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl Stats {
+    /// Sums the per-shard metrics (with `last_flush` = the slowest shard's
+    /// most recent flush).
+    pub fn aggregate(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for s in &self.shards {
+            total.absorb(s);
+        }
+        total
+    }
+
+    /// The deepest queue as a fraction of its capacity — the backpressure
+    /// headroom indicator (1.0 = some shard's producers are being
+    /// throttled).
+    pub fn max_queue_fill(&self) -> f64 {
+        self.shards
+            .iter()
+            .filter(|s| s.queue_capacity > 0)
+            .map(|s| s.queue_depth as f64 / s.queue_capacity as f64)
+            .fold(0.0, f64::max)
+    }
+}

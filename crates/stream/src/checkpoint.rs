@@ -23,4 +23,54 @@ impl Checkpoint {
     pub fn state_dim(&self) -> usize {
         self.head.state_dim()
     }
+
+    /// Decomposes the checkpoint into plain matrices — the transportable
+    /// form: `(index, C, d)` where `C û_index ≈ d` are the head's whitened
+    /// information rows.  A serving layer can ship these across a process
+    /// boundary (the building block for cross-process shard migration) and
+    /// reassemble with [`Checkpoint::from_parts`].
+    pub fn into_parts(self) -> (u64, kalman_dense::Matrix, kalman_dense::Matrix) {
+        let (c, d) = self.head.into_rows();
+        (self.index, c, d)
+    }
+
+    /// Reassembles a checkpoint from [`Checkpoint::into_parts`] output:
+    /// `c` holds the whitened information rows on state `index` and `d`
+    /// the matching right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// [`kalman_model::KalmanError::InvalidModel`] unless `d` is a single
+    /// column with the same row count as `c` and the state dimension
+    /// (`c`'s column count) is positive — this is the reassembly point
+    /// for checkpoints shipped across a process boundary, so malformed
+    /// input must surface as an error, not a panic.
+    pub fn from_parts(
+        index: u64,
+        c: kalman_dense::Matrix,
+        d: kalman_dense::Matrix,
+    ) -> kalman_model::Result<Checkpoint> {
+        if d.cols() != 1 {
+            return Err(kalman_model::KalmanError::InvalidModel(format!(
+                "checkpoint right-hand side must be one column, got {}",
+                d.cols()
+            )));
+        }
+        if c.rows() != d.rows() {
+            return Err(kalman_model::KalmanError::InvalidModel(format!(
+                "checkpoint rows mismatch: C has {} rows but d has {}",
+                c.rows(),
+                d.rows()
+            )));
+        }
+        if c.cols() == 0 {
+            return Err(kalman_model::KalmanError::InvalidModel(
+                "checkpoint state dimension must be positive".into(),
+            ));
+        }
+        Ok(Checkpoint {
+            index,
+            head: InfoHead::from_rows(c, d),
+        })
+    }
 }

@@ -204,6 +204,22 @@ impl SmootherPool {
         }
     }
 
+    /// Number of streams whose windows are full — what the next
+    /// [`SmootherPool::poll`] would flush.  Allocation-free, so serving
+    /// layers can report readiness in their metrics snapshots at any
+    /// frequency.
+    pub fn ready_len(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(e, Some(s) if s.ready()))
+            .count()
+    }
+
+    /// The execution policy batched flushes run under.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
     /// Ids of streams whose windows are full (what [`SmootherPool::poll`]
     /// would flush).
     pub fn ready_streams(&self) -> Vec<StreamId> {
@@ -258,13 +274,22 @@ impl SmootherPool {
     /// moved back.  Per-stream errors land in the corresponding
     /// [`PollEntry`] exactly like [`SmootherPool::poll`].
     pub fn poll_into(&mut self, out: &mut PollBatch) {
+        self.poll_into_where(out, |_| true);
+    }
+
+    /// [`SmootherPool::poll_into`] restricted to ready streams the
+    /// predicate selects — the building block for serving layers that
+    /// gate flushing on their own cadence (e.g. the canonical
+    /// evolve-triggered quanta of `kalman-serve`, or priority tiers).
+    /// Ready streams the predicate rejects stay buffered and untouched.
+    pub fn poll_into_where(&mut self, out: &mut PollBatch, mut pred: impl FnMut(StreamId) -> bool) {
         let policy = self.policy;
         // Stage: move each ready stream into an output slot, installing the
         // pool-shared schedule for its current window shape on the way.
         let mut count = 0;
         for (i, slot) in self.entries.iter_mut().enumerate() {
             let ready = matches!(slot, Some(s) if s.ready());
-            if !ready {
+            if !ready || !pred(StreamId(i)) {
                 continue;
             }
             let mut stream = slot.take().expect("readiness checked above");

@@ -8,14 +8,24 @@ use kalman_model::{
 };
 use kalman_odd_even::{factor_odd_even_owned, selinv_diag, OddEvenOptions, PlanCache, SmoothPlan};
 
+/// Upper bound on the window plans one stream keeps warm (see
+/// [`FlushScratch::plans`]).  Sized for serving regimes whose window
+/// length oscillates within a small band (a backpressured pool applies a
+/// varying number of steps between flushes); past the bound, the
+/// least-recently-used plan is repurposed in place.
+const MAX_STREAM_PLANS: usize = 8;
+
 /// Per-stream reusable storage for the flush pipeline: the whitened window,
-/// the cached [`SmoothPlan`] (symbolic schedule + numeric scratch + the
+/// the cached [`SmoothPlan`]s (symbolic schedule + numeric scratch + the
 /// odd-even factor), and the solved estimates all live here between
-/// flushes.  The plan is rebuilt only when the window *shape* changes, so a
-/// steady-state flush re-executes a ready-made plan and performs **zero
-/// heap allocations** — containers keep their capacity and matrices cycle
-/// through the `kalman-dense` workspace pool.  Verified by the
-/// `alloc_steady_state` integration test.
+/// flushes.  A plan is built only for a window *shape* the stream does not
+/// have warm — up to [`MAX_STREAM_PLANS`] shapes stay cached, most
+/// recently used first — so a steady-state flush, including serving
+/// regimes where the window length oscillates among a few values,
+/// re-executes a ready-made plan and performs **zero heap allocations**:
+/// containers keep their capacity and matrices cycle through the
+/// `kalman-dense` workspace pool.  Verified by the `alloc_steady_state`
+/// integration test (standalone, pooled, and saturated-sharded cases).
 ///
 /// The scratch carries no results between flushes; `Clone` intentionally
 /// yields a fresh (cold) scratch, so cloned streams re-warm independently.
@@ -24,8 +34,9 @@ struct FlushScratch {
     steps: Vec<WhitenedStep>,
     /// Window shape of the pending flush (per-step state dimensions).
     dims: Vec<usize>,
-    /// The cached window plan; `None` until the first flush.
-    plan: Option<SmoothPlan>,
+    /// Warm window plans, most recently used first (`plans[0]` is the
+    /// plan of the latest flush); empty until the first flush.
+    plans: Vec<SmoothPlan>,
     means: Vec<Vec<f64>>,
     covs: Vec<Matrix>,
     /// Previous flush's estimates (`LagPolicy::Auto` only): the revisions
@@ -40,6 +51,43 @@ impl Clone for FlushScratch {
     fn clone(&self) -> Self {
         FlushScratch::default()
     }
+}
+
+/// Returns the warm plan for `dims`, moved to the front of the MRU list —
+/// building one on miss (through the shared `cache` when pooled, from
+/// scratch otherwise) and, at capacity, repurposing the least-recently-used
+/// plan *in place* so its containers keep their capacity (the pre-plan-set
+/// rebuild behavior, now reserved for genuinely novel shape churn).
+/// Increments `plan_builds` exactly when a plan had to be (re)built.
+fn select_plan<'a>(
+    plans: &'a mut Vec<SmoothPlan>,
+    dims: &[usize],
+    opts: OddEvenOptions,
+    plan_builds: &mut u64,
+    mut cache: Option<&mut PlanCache>,
+) -> &'a mut SmoothPlan {
+    if let Some(i) = plans.iter().position(|p| p.dims() == dims) {
+        plans[..=i].rotate_right(1);
+        return &mut plans[0];
+    }
+    *plan_builds += 1;
+    if plans.len() >= MAX_STREAM_PLANS {
+        let evictee = plans.last_mut().expect("at capacity, non-empty");
+        match cache.as_deref_mut() {
+            Some(c) => evictee.set_schedule(c.get_or_build(dims)),
+            None => {
+                evictee.ensure_shape(dims);
+            }
+        }
+        plans.rotate_right(1);
+    } else {
+        let plan = match cache {
+            Some(c) => SmoothPlan::new(c.get_or_build(dims), opts),
+            None => SmoothPlan::for_dims(dims, opts),
+        };
+        plans.insert(0, plan);
+    }
+    &mut plans[0]
 }
 
 /// An online smoother over one stream of steps.
@@ -77,7 +125,7 @@ pub struct StreamingSmoother {
     /// Times the window plan's schedule was (re)built or swapped — stays at
     /// 1 for a shape-stable stream, counting how well plan caching works.
     plan_builds: u64,
-    /// Reused flush-pipeline storage (see [`FlushScratch`]).
+    /// Reused flush-pipeline storage (see `FlushScratch`).
     scratch: FlushScratch,
 }
 
@@ -221,20 +269,22 @@ impl StreamingSmoother {
         self.cur_lag
     }
 
-    /// How many times the window plan's schedule has been (re)built or
+    /// How many times a window plan's schedule has been (re)built or
     /// swapped.  A shape-stable stream reports `1` after its first flush no
-    /// matter how many flushes ran — the cached-plan serving pattern; a
-    /// higher count means window shapes keep changing (plan-cache
-    /// invalidation).
+    /// matter how many flushes ran — the cached-plan serving pattern — and
+    /// a stream whose window length merely *oscillates* among a few values
+    /// (a backpressured serving pool) stops counting once every recurring
+    /// shape has a warm plan; a growing count means genuinely novel window
+    /// shapes keep appearing (plan-cache invalidation).
     pub fn plan_builds(&self) -> u64 {
         self.plan_builds
     }
 
-    /// Shape signature of the cached window plan (`None` before the first
-    /// flush); pooled streams with equal signatures share one symbolic
-    /// schedule.
+    /// Shape signature of the current (most recently used) window plan
+    /// (`None` before the first flush); pooled streams with equal
+    /// signatures share one symbolic schedule.
     pub fn plan_signature(&self) -> Option<u64> {
-        self.scratch.plan.as_ref().map(|p| p.signature())
+        self.scratch.plans.first().map(|p| p.signature())
     }
 
     /// Appends a new state evolving from the newest one.  Returns the steps
@@ -367,7 +417,7 @@ impl StreamingSmoother {
     /// every flush finalizes the same number of steps from a same-shaped
     /// window — a flush performs **zero heap allocations** after the first
     /// few warmup flushes: every container involved retains capacity (here
-    /// and in [`FlushScratch`]) and all matrix temporaries cycle through
+    /// and in `FlushScratch`) and all matrix temporaries cycle through
     /// the `kalman-dense` workspace pool.
     ///
     /// # Errors
@@ -518,18 +568,13 @@ impl StreamingSmoother {
         scratch
             .dims
             .extend(scratch.steps.iter().map(|s| s.state_dim));
-        let plan = match &mut scratch.plan {
-            Some(p) => {
-                if p.ensure_shape(&scratch.dims) {
-                    *plan_builds += 1;
-                }
-                p
-            }
-            slot => {
-                *plan_builds += 1;
-                slot.insert(SmoothPlan::for_dims(&scratch.dims, plan_opts))
-            }
-        };
+        let plan = select_plan(
+            &mut scratch.plans,
+            &scratch.dims,
+            plan_opts,
+            plan_builds,
+            None,
+        );
         plan.execute(&mut scratch.steps)?;
         plan.solve_into(&mut scratch.means)?;
         if opts.covariances {
@@ -541,7 +586,8 @@ impl StreamingSmoother {
     /// Installs a pool-shared symbolic schedule for the *current* window
     /// shape before a batched flush, so every same-shaped stream in a
     /// [`crate::SmootherPool`] executes one schedule instead of planning
-    /// its own.  No-op when the cached plan already covers the shape.
+    /// its own.  No-op (beyond an MRU bump) when a warm plan already
+    /// covers the shape.
     pub(crate) fn prepare_pooled_plan(&mut self, cache: &mut PlanCache) {
         let plan_opts = self.plan_options();
         let Self {
@@ -552,18 +598,13 @@ impl StreamingSmoother {
         } = self;
         scratch.dims.clear();
         scratch.dims.extend(buffer.iter().map(|s| s.state_dim));
-        let covered = matches!(&scratch.plan, Some(p) if p.dims() == &scratch.dims[..]);
-        if covered {
-            return;
-        }
-        let schedule = cache.get_or_build(&scratch.dims);
-        *plan_builds += 1;
-        match &mut scratch.plan {
-            Some(p) => p.set_schedule(schedule),
-            slot => {
-                *slot = Some(SmoothPlan::new(schedule, plan_opts));
-            }
-        }
+        select_plan(
+            &mut scratch.plans,
+            &scratch.dims,
+            plan_opts,
+            plan_builds,
+            Some(cache),
+        );
     }
 
     /// Measures the information-decay rate and re-sizes the lag

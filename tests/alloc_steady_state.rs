@@ -283,6 +283,238 @@ fn pool_poll_into_is_allocation_free_after_warmup() {
     }
 }
 
+/// Saturation: 64 async producers against an 8-shard serving pool under
+/// bounded queues.  Producers overrun the consumer and are paced purely by
+/// channel backpressure (`submit().await` parks them); the consumer
+/// alternates executor ticks with `drain`.  Three properties are pinned at
+/// once:
+///
+/// 1. the system reaches a steady state in which an entire drain — queue
+///    pops, event application, batched flushes across all 8 shards,
+///    producer wake-ups — performs **zero** heap allocations;
+/// 2. memory stays bounded: queue depths never exceed the configured
+///    capacity and producers really were throttled;
+/// 3. the saturated sharded output is **bitwise identical** to one
+///    unsharded `SmootherPool` fed the same per-stream event sequences —
+///    the serving layer's canonical flush cadence makes results
+///    independent of how drains and backpressure sliced the event flow.
+///
+/// Everything runs on one thread (the vendored single-threaded executor),
+/// which is what makes the per-thread allocation counter authoritative.
+#[test]
+fn saturated_sharded_serving_is_allocation_free_and_matches_unsharded() {
+    use futures::executor::LocalPool;
+    use kalman::model::StreamEvent;
+    use kalman::serve::{ServeConfig, ShardedPool};
+
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
+    const PRODUCERS: usize = 64;
+    const SHARDS: usize = 8;
+    const STEPS: usize = 150;
+    let n = 2;
+    let opts = StreamOptions {
+        lag: 6,
+        flush_every: 4,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        lag_policy: None,
+    };
+
+    // Pre-built per-stream event sequences (producers move events out of
+    // these, so event construction stays out of the serving loop).
+    let event_lists: Vec<Vec<StreamEvent>> = (0..PRODUCERS)
+        .map(|k| {
+            let mut events = Vec::with_capacity(2 * STEPS - 1);
+            for i in 0..STEPS {
+                if i > 0 {
+                    events.push(StreamEvent::Evolve(Evolution::random_walk(n)));
+                }
+                events.push(StreamEvent::Observe(Observation {
+                    g: Matrix::identity(n),
+                    o: (0..n)
+                        .map(|c| ((k * STEPS * n + i * n + c) as f64 * 0.05).sin())
+                        .collect(),
+                    noise: CovarianceSpec::Identity(n),
+                }));
+            }
+            events
+        })
+        .collect();
+
+    let cfg = ServeConfig {
+        shards: SHARDS,
+        queue_capacity: 8,
+        policy: ExecPolicy::Seq,
+    };
+    let (mut pool, ingress) = ShardedPool::new(cfg);
+    for key in 0..PRODUCERS as u64 {
+        pool.insert(
+            key,
+            StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap(),
+        )
+        .unwrap();
+    }
+
+    let mut tasks = LocalPool::new();
+    let spawner = tasks.spawner();
+    for (k, events) in event_lists.iter().enumerate() {
+        let mut tx = ingress.clone();
+        let events = events.clone();
+        spawner.spawn_local(async move {
+            for event in events {
+                tx.submit(k as u64, event).await.unwrap();
+                // Cooperative politeness: without the yield, the first
+                // producer to run would refill every slot its shard's
+                // drain frees before any parked peer gets the CPU.
+                futures::future::yield_now().await;
+            }
+        });
+    }
+    drop(ingress);
+
+    // The serving loop: executor tick (producers fill queues up to the
+    // bound), then one measured drain, then result collection.
+    let mut alloc_log: Vec<u64> = Vec::new();
+    let mut collected: Vec<Vec<FinalizedStep>> = vec![Vec::new(); PRODUCERS];
+    let mut max_depth = 0usize;
+    loop {
+        tasks.run_until_stalled();
+        // Queues are at their fullest right before the drain: the bound
+        // must hold even now (and saturation should actually reach it).
+        let stats = pool.stats();
+        for s in &stats.shards {
+            assert!(
+                s.queue_depth <= s.queue_capacity,
+                "queue depth {} exceeded capacity {}",
+                s.queue_depth,
+                s.queue_capacity
+            );
+            max_depth = max_depth.max(s.queue_depth);
+        }
+        // Debugging aid for regressions: set TRAP_SIZE=<bytes> to get a
+        // backtrace for the first allocation of that size inside a drain.
+        kalman::alloc_stats::trap_next_alloc_of_size(
+            std::env::var("TRAP_SIZE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+        );
+        let before = thread_alloc_count();
+        let summary = pool.drain();
+        let allocs = thread_alloc_count() - before;
+        kalman::alloc_stats::trap_next_alloc_of_size(0);
+        alloc_log.push(allocs);
+        for (key, entry) in pool.outputs() {
+            collected[key as usize].extend(entry.result().unwrap().iter().cloned());
+        }
+        if tasks.is_empty() && summary.ops == 0 {
+            break;
+        }
+    }
+
+    // Backpressure engaged: producers outran the queues and were parked.
+    let agg = pool.stats().aggregate();
+    assert!(
+        agg.throttled > 0,
+        "64 producers against 8-deep queues must have been throttled"
+    );
+    assert_eq!(max_depth, 8, "saturation fills queues to their bound");
+    assert_eq!(agg.ingest_errors, 0);
+    assert_eq!(agg.flush_errors, 0);
+    assert_eq!(
+        agg.submitted as usize,
+        PRODUCERS * (2 * STEPS - 1),
+        "every event was delivered despite throttling"
+    );
+
+    // Steady state is allocation-free.  The first drains warm everything
+    // (per-stream window plans, channel waker lists, the executor run
+    // queue, output batch slots); from then on — through saturation AND
+    // the wind-down, because the canonical cadence keeps window shapes
+    // fixed — every drain must allocate nothing.
+    // Warmup horizon: the fill phase (one event per stream per drain,
+    // ~2·(lag+flush_every) drains), the first flush wave, and one more
+    // flush round for stragglers (containers whose buffers go back to the
+    // workspace pool only on the next cycle).
+    let warmup = 3 * 2 * (opts.lag + opts.flush_every);
+    assert!(alloc_log.len() > warmup + 60, "run long enough to measure");
+    let measured = &alloc_log[warmup..];
+    assert!(
+        measured.len() >= 10,
+        "want a meaningful steady-state band, got {} drains total",
+        alloc_log.len()
+    );
+    for (i, &allocs) in measured.iter().enumerate() {
+        if allocs > 0 {
+            eprintln!("alloc log: {alloc_log:?}");
+            eprintln!(
+                "drain {}: recent allocation sizes {:?}",
+                warmup + i,
+                kalman::alloc_stats::thread_recent_alloc_sizes()
+            );
+        }
+        assert_eq!(
+            allocs,
+            0,
+            "drain {} (of {}): {} heap allocations in a steady-state saturated drain",
+            warmup + i,
+            alloc_log.len(),
+            allocs
+        );
+    }
+
+    // Bitwise reference: an unsharded SmootherPool fed the same
+    // per-stream event sequences on the canonical cadence (flush exactly
+    // when an evolve arrives on a full window, via the selective poll).
+    // The saturated sharded run must match it bitwise, steps and tails.
+    let mut reference = SmootherPool::new(ExecPolicy::Seq);
+    let ids: Vec<StreamId> = (0..PRODUCERS)
+        .map(|_| {
+            reference.insert(
+                StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts)
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let mut batch = kalman::stream::PollBatch::new();
+    for (k, id) in ids.iter().enumerate() {
+        let mut ref_steps: Vec<FinalizedStep> = Vec::new();
+        for event in &event_lists[k] {
+            if matches!(event, StreamEvent::Evolve(_))
+                && reference.stream(*id).is_some_and(|s| s.ready())
+            {
+                reference.poll_into_where(&mut batch, |x| x == *id);
+                for entry in batch.entries() {
+                    ref_steps.extend(entry.result().unwrap().iter().cloned());
+                }
+            }
+            reference.ingest(*id, event.clone()).unwrap();
+        }
+        assert_eq!(
+            ref_steps.len(),
+            collected[k].len(),
+            "stream {k}: flushed step count"
+        );
+        for (a, b) in ref_steps.iter().zip(&collected[k]) {
+            assert_eq!(a.index, b.index, "stream {k}");
+            assert_eq!(
+                a.mean, b.mean,
+                "stream {k}, state {}: saturated sharded serving and the \
+                 unsharded pool must be bitwise equal",
+                a.index
+            );
+        }
+        let (ref_tail, _) = reference.finish(*id).unwrap();
+        let (tail, _) = pool.finish(k as u64).unwrap();
+        assert_eq!(ref_tail.len(), tail.len(), "stream {k}: tail length");
+        for (a, b) in ref_tail.iter().zip(&tail) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.mean, b.mean, "stream {k} finish tail");
+        }
+    }
+}
+
 /// The pooled allocator really is what makes the loop allocation-free:
 /// with pooling disabled the same cycle allocates (guards against the
 /// counter silently measuring nothing).

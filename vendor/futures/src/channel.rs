@@ -1,0 +1,402 @@
+//! Channels.  Only the bounded [`mpsc`] queue is provided — it is the
+//! backpressure primitive the serving layer is built on.
+
+pub mod mpsc {
+    //! A bounded multi-producer, single-consumer queue with waker-based
+    //! backpressure.
+    //!
+    //! Capacity is a hard bound: [`Sender::try_send`] on a full queue fails
+    //! with [`TrySendError::is_full`] instead of growing, and the async
+    //! [`Sender::send`] parks the sending task until the consumer pops.
+    //! (The real `futures` channel grants each sender one slack slot beyond
+    //! the buffer; this stand-in enforces the exact capacity, which is the
+    //! stricter — and for backpressure accounting, more useful — contract.)
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        /// Waker of the consumer task parked in `next`.
+        recv_waker: Option<Waker>,
+        /// Wakers of producer tasks parked in `send` on a full queue, in
+        /// arrival order.  Each pop wakes exactly the *oldest* parked
+        /// sender — first-come-first-served, so a fast producer cannot
+        /// starve parked peers by re-grabbing every freed slot (which is
+        /// exactly what happens under a wake-everyone policy on a
+        /// cooperative FIFO executor).  A woken sender that lost interest
+        /// (dropped future) simply forfeits its turn; the next pop wakes
+        /// the next in line.
+        send_wakers: VecDeque<Waker>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    impl<T> Inner<T> {
+        fn wake_one_sender(&mut self) {
+            if let Some(w) = self.send_wakers.pop_front() {
+                w.wake();
+            }
+        }
+
+        fn wake_all_senders(&mut self) {
+            while let Some(w) = self.send_wakers.pop_front() {
+                w.wake();
+            }
+        }
+
+        fn wake_receiver(&mut self) {
+            if let Some(w) = self.recv_waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    /// Creates a bounded channel holding at most `capacity` messages
+    /// (`capacity ≥ 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (rendezvous channels are not
+    /// supported).
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity >= 1, "mpsc channel capacity must be at least 1");
+        let inner = Arc::new(Mutex::new(Inner {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            recv_waker: None,
+            send_wakers: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        }));
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// Why a [`Sender::try_send`] failed; carries the unsent message.
+    pub struct TrySendError<T> {
+        kind: ErrorKind,
+        value: T,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum ErrorKind {
+        Full,
+        Disconnected,
+    }
+
+    impl<T> TrySendError<T> {
+        /// The queue was at capacity — the backpressure signal.
+        pub fn is_full(&self) -> bool {
+            self.kind == ErrorKind::Full
+        }
+
+        /// The receiver is gone; no send can ever succeed again.
+        pub fn is_disconnected(&self) -> bool {
+            self.kind == ErrorKind::Disconnected
+        }
+
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("TrySendError")
+                .field("kind", &self.kind)
+                .finish()
+        }
+    }
+
+    /// The receiver was dropped while an async [`Sender::send`] was in
+    /// flight.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError;
+
+    impl fmt::Display for SendError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "send failed: receiver was dropped")
+        }
+    }
+
+    impl std::error::Error for SendError {}
+
+    /// The queue was empty at [`Receiver::try_next`] but senders remain.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TryRecvError;
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel is empty (senders still connected)")
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// The producer half; clone one per producer.
+    pub struct Sender<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().unwrap_or_else(|p| p.into_inner()).senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Let a parked consumer observe end-of-stream.
+                inner.wake_receiver();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without waiting.  On a full queue the message comes
+        /// back in a [`TrySendError`] whose `is_full()` is `true` — the
+        /// producer's cue to slow down, buffer, or shed load.
+        ///
+        /// # Errors
+        ///
+        /// Full queue, or the receiver was dropped.
+        pub fn try_send(&mut self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if !inner.receiver_alive {
+                return Err(TrySendError {
+                    kind: ErrorKind::Disconnected,
+                    value,
+                });
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError {
+                    kind: ErrorKind::Full,
+                    value,
+                });
+            }
+            inner.queue.push_back(value);
+            inner.wake_receiver();
+            Ok(())
+        }
+
+        /// Enqueues, waiting (`Pending`) while the queue is full — awaiting
+        /// this future is what makes producers match the consumer's pace.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] when the receiver was dropped.
+        pub fn send(&mut self, value: T) -> SendFuture<'_, T> {
+            SendFuture {
+                sender: self,
+                value: Some(value),
+                parked: false,
+            }
+        }
+
+        /// `true` once the receiver has been dropped.
+        pub fn is_closed(&self) -> bool {
+            !self
+                .inner
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .receiver_alive
+        }
+    }
+
+    /// In-flight async [`Sender::send`]; resolves once the message is
+    /// enqueued.  Dropping it before completion simply keeps the message
+    /// unsent.
+    pub struct SendFuture<'a, T> {
+        sender: &'a mut Sender<T>,
+        value: Option<T>,
+        /// Whether a previous poll parked this future.  A re-poll that
+        /// finds the queue full again (its wake was consumed but a racing
+        /// `try_send` stole the slot) re-registers at the *front* of the
+        /// waiter queue, preserving its first-come-first-served position.
+        parked: bool,
+    }
+
+    impl<T> Unpin for SendFuture<'_, T> {}
+
+    impl<T> Future for SendFuture<'_, T> {
+        type Output = Result<(), SendError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let this = self.get_mut();
+            let value = this.value.take().expect("polled after completion");
+            let mut inner = this.sender.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if !inner.receiver_alive {
+                return Poll::Ready(Err(SendError));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                inner.wake_receiver();
+                return Poll::Ready(Ok(()));
+            }
+            this.value = Some(value);
+            if !inner.send_wakers.iter().any(|w| w.will_wake(cx.waker())) {
+                if this.parked {
+                    // Woken but beaten to the slot: keep seniority.
+                    inner.send_wakers.push_front(cx.waker().clone());
+                } else {
+                    inner.send_wakers.push_back(cx.waker().clone());
+                }
+            }
+            this.parked = true;
+            Poll::Pending
+        }
+    }
+
+    /// The consumer half.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<Inner<T>>>,
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            inner.receiver_alive = false;
+            // Parked producers must observe the disconnect.
+            inner.wake_all_senders();
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn pop(inner: &mut Inner<T>) -> Option<T> {
+            let value = inner.queue.pop_front()?;
+            // Hand the freed slot to the longest-parked producer.
+            inner.wake_one_sender();
+            Some(value)
+        }
+
+        /// Pops without waiting.
+        ///
+        /// `Ok(Some(v))` — a message; `Ok(None)` — every sender is gone and
+        /// the queue is drained (end of stream).
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError`] when the queue is empty but senders remain.
+        pub fn try_next(&mut self) -> Result<Option<T>, TryRecvError> {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            match Self::pop(&mut inner) {
+                Some(v) => Ok(Some(v)),
+                None if inner.senders == 0 => Ok(None),
+                None => Err(TryRecvError),
+            }
+        }
+
+        /// Polls for the next message; `Ready(None)` is end of stream
+        /// (mirrors `Stream::poll_next` on the real receiver).
+        pub fn poll_next(&mut self, cx: &mut Context<'_>) -> Poll<Option<T>> {
+            let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(v) = Self::pop(&mut inner) {
+                return Poll::Ready(Some(v));
+            }
+            if inner.senders == 0 {
+                return Poll::Ready(None);
+            }
+            inner.recv_waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+
+        /// Awaits the next message; `None` is end of stream.  (Inherent
+        /// stand-in for upstream's `StreamExt::next`; the name mirrors it
+        /// on purpose.)
+        #[allow(clippy::should_implement_trait)]
+        pub fn next(&mut self) -> NextFuture<'_, T> {
+            NextFuture { receiver: self }
+        }
+    }
+
+    /// In-flight async [`Receiver::next`].
+    pub struct NextFuture<'a, T> {
+        receiver: &'a mut Receiver<T>,
+    }
+
+    impl<T> Unpin for NextFuture<'_, T> {}
+
+    impl<T> Future for NextFuture<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            self.get_mut().receiver.poll_next(cx)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::executor::block_on;
+
+        #[test]
+        fn bounded_try_send_reports_full() {
+            let (mut tx, mut rx) = channel::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            let err = tx.try_send(3).unwrap_err();
+            assert!(err.is_full() && !err.is_disconnected());
+            assert_eq!(err.into_inner(), 3);
+            assert_eq!(rx.try_next().unwrap(), Some(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.try_next().unwrap(), Some(2));
+            assert_eq!(rx.try_next().unwrap(), Some(3));
+            assert!(rx.try_next().is_err()); // empty, sender alive
+            drop(tx);
+            assert_eq!(rx.try_next().unwrap(), None); // end of stream
+        }
+
+        #[test]
+        fn disconnects_propagate_both_ways() {
+            let (mut tx, rx) = channel::<u32>(1);
+            assert!(!tx.is_closed());
+            drop(rx);
+            assert!(tx.is_closed());
+            assert!(tx.try_send(1).unwrap_err().is_disconnected());
+            assert_eq!(block_on(tx.send(2)), Err(SendError));
+        }
+
+        #[test]
+        fn async_send_parks_until_consumer_pops() {
+            // Producer on a worker thread, consumer on this one: the
+            // blocked `send` must wake when the consumer pops.
+            let (mut tx, mut rx) = channel::<u32>(1);
+            tx.try_send(0).unwrap();
+            let producer = std::thread::spawn(move || block_on(tx.send(1)));
+            // Give the producer time to park on the full queue.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(block_on(rx.next()), Some(0));
+            producer.join().unwrap().unwrap();
+            assert_eq!(block_on(rx.next()), Some(1));
+            assert_eq!(block_on(rx.next()), None);
+        }
+
+        #[test]
+        fn receiver_parks_until_producer_sends() {
+            let (mut tx, mut rx) = channel::<u32>(4);
+            let producer = std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                tx.try_send(7).unwrap();
+            });
+            assert_eq!(block_on(rx.next()), Some(7));
+            producer.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Task executors: [`block_on`] and the single-threaded [`LocalPool`].
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Wakes the thread blocked in [`block_on`] / [`LocalPool::run_until`].
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl ThreadWaker {
+    fn new() -> Arc<ThreadWaker> {
+        Arc::new(ThreadWaker {
+            thread: std::thread::current(),
+            notified: AtomicBool::new(false),
+        })
+    }
+
+    /// Consumes a pending notification, returning whether there was one.
+    fn take_notified(&self) -> bool {
+        self.notified.swap(false, Ordering::Acquire)
+    }
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Runs a future to completion on the calling thread, parking between
+/// wakes.  The future may await channels fed by other threads or by tasks
+/// on a [`LocalPool`] driven elsewhere; there is no reactor, so a future
+/// that parks with no one holding its waker deadlocks (as it would under
+/// the real single-threaded executor).
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let thread_waker = ThreadWaker::new();
+    let waker = Waker::from(Arc::clone(&thread_waker));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(out) = fut.as_mut().poll(&mut cx) {
+            return out;
+        }
+        // Park until woken; a wake that raced ahead of the park shows up as
+        // a pending notification and skips the park entirely.
+        while !thread_waker.take_notified() {
+            std::thread::park();
+        }
+    }
+}
+
+/// The wake-up side of one pool task: pushes the task's slot back onto the
+/// run queue.  Generation counters make wakes from a previous occupant of a
+/// reused slot harmless.
+struct TaskHandle {
+    slot: usize,
+    generation: u64,
+    ready: Arc<ReadyQueue>,
+}
+
+struct ReadyQueue {
+    queue: Mutex<VecDeque<(usize, u64)>>,
+    /// The thread parked inside [`LocalPool::run_until`], if any: a task
+    /// woken from another thread (e.g. a channel send) must unpark it or
+    /// the runnable task would sit in the queue forever.
+    parked: Mutex<Option<Thread>>,
+}
+
+impl Wake for TaskHandle {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push_back((self.slot, self.generation));
+        let parked = self
+            .ready
+            .parked
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take();
+        if let Some(thread) = parked {
+            thread.unpark();
+        }
+    }
+}
+
+/// One slot of the pool's task table.
+struct Slot {
+    generation: u64,
+    future: Option<LocalFuture>,
+    /// The waker identity handed to the future; cloned per poll (an `Arc`
+    /// clone, no allocation).  Rebuilt when the slot is reused.
+    handle: Option<Arc<TaskHandle>>,
+}
+
+/// A single-threaded pool of cooperatively scheduled tasks.
+///
+/// Tasks are spawned through the [`LocalSpawner`] (futures need not be
+/// `Send`) and run when the owner calls [`LocalPool::run_until_stalled`] or
+/// [`LocalPool::run_until`] — there are no worker threads, which is exactly
+/// right for workloads that must stay on one thread (such as the
+/// allocation-counting serving tests, whose per-thread counters would be
+/// blind to work on other threads).
+pub struct LocalPool {
+    ready: Arc<ReadyQueue>,
+    /// Futures handed over by spawners, not yet assigned a slot.
+    incoming: Rc<RefCell<Vec<LocalFuture>>>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Default for LocalPool {
+    fn default() -> Self {
+        LocalPool::new()
+    }
+}
+
+impl LocalPool {
+    /// An empty pool.
+    pub fn new() -> LocalPool {
+        LocalPool {
+            ready: Arc::new(ReadyQueue {
+                queue: Mutex::new(VecDeque::new()),
+                parked: Mutex::new(None),
+            }),
+            incoming: Rc::new(RefCell::new(Vec::new())),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// A handle for spawning tasks onto this pool (cloneable, usable from
+    /// inside running tasks).
+    pub fn spawner(&self) -> LocalSpawner {
+        LocalSpawner {
+            incoming: Rc::clone(&self.incoming),
+        }
+    }
+
+    /// Number of spawned tasks that have not completed yet.
+    pub fn len(&self) -> usize {
+        self.live + self.incoming.borrow().len()
+    }
+
+    /// `true` when no spawned task is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Moves freshly spawned futures into slots and schedules them.
+    fn absorb_incoming(&mut self) {
+        // `drain` inside the borrow would hold the RefCell across task
+        // setup; swap the batch out instead so spawns from task setup (none
+        // today, but harmless) cannot alias the borrow.
+        let mut batch = std::mem::take(&mut *self.incoming.borrow_mut());
+        for future in batch.drain(..) {
+            let slot = match self.free.pop() {
+                Some(s) => s,
+                None => {
+                    self.slots.push(Slot {
+                        generation: 0,
+                        future: None,
+                        handle: None,
+                    });
+                    self.slots.len() - 1
+                }
+            };
+            let entry = &mut self.slots[slot];
+            entry.generation += 1;
+            entry.future = Some(future);
+            entry.handle = Some(Arc::new(TaskHandle {
+                slot,
+                generation: entry.generation,
+                ready: Arc::clone(&self.ready),
+            }));
+            self.live += 1;
+            self.ready
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back((slot, entry.generation));
+        }
+        // Hand the (empty, capacity-retaining) batch buffer back.
+        let mut incoming = self.incoming.borrow_mut();
+        if incoming.is_empty() {
+            *incoming = batch;
+        }
+    }
+
+    /// Pops one runnable task, skipping stale wakes.  Returns the slot.
+    fn next_runnable(&mut self) -> Option<usize> {
+        loop {
+            let (slot, generation) = self
+                .ready
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .pop_front()?;
+            let entry = &self.slots[slot];
+            if entry.generation == generation && entry.future.is_some() {
+                return Some(slot);
+            }
+        }
+    }
+
+    /// Polls one runnable task if there is one.  Returns `false` when
+    /// nothing was runnable.
+    pub fn try_run_one(&mut self) -> bool {
+        self.absorb_incoming();
+        let Some(slot) = self.next_runnable() else {
+            return false;
+        };
+        let mut future = self.slots[slot].future.take().expect("checked runnable");
+        let handle = Arc::clone(self.slots[slot].handle.as_ref().expect("occupied slot"));
+        let waker = Waker::from(handle);
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.slots[slot].handle = None;
+                self.free.push(slot);
+                self.live -= 1;
+            }
+            Poll::Pending => {
+                self.slots[slot].future = Some(future);
+            }
+        }
+        true
+    }
+
+    /// Runs every runnable task (including tasks made runnable or spawned
+    /// along the way) until all remaining tasks are parked on their wakers.
+    pub fn run_until_stalled(&mut self) {
+        while self.try_run_one() {}
+    }
+
+    /// Drives `main` to completion, running spawned tasks whenever `main`
+    /// is parked, and parking the thread when nothing at all is runnable.
+    /// Spawned tasks that are still pending when `main` finishes stay in
+    /// the pool for a later run.
+    pub fn run_until<F: Future>(&mut self, main: F) -> F::Output {
+        let mut main = Box::pin(main);
+        let thread_waker = ThreadWaker::new();
+        let waker = Waker::from(Arc::clone(&thread_waker));
+        loop {
+            let mut cx = Context::from_waker(&waker);
+            if let Poll::Ready(out) = main.as_mut().poll(&mut cx) {
+                return out;
+            }
+            self.run_until_stalled();
+            // Nothing runnable and `main` not yet woken: park.  Wakes
+            // from other threads reach us either through `main`'s waker
+            // (`ThreadWaker` unparks directly) or through a pool task's
+            // waker (`TaskHandle` unparks the registered thread below).
+            while !thread_waker.take_notified() {
+                self.absorb_incoming();
+                if self.try_run_one() {
+                    self.run_until_stalled();
+                    continue;
+                }
+                // Publish the parked thread, then re-check for wakes that
+                // raced ahead of the registration before actually parking.
+                *self.ready.parked.lock().unwrap_or_else(|p| p.into_inner()) =
+                    Some(std::thread::current());
+                let raced = !self
+                    .ready
+                    .queue
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .is_empty();
+                if raced || thread_waker.take_notified() {
+                    self.ready
+                        .parked
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take();
+                    if raced {
+                        continue;
+                    }
+                    break; // main was woken
+                }
+                std::thread::park();
+                self.ready
+                    .parked
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take();
+            }
+        }
+    }
+}
+
+/// Spawns tasks onto a [`LocalPool`] (clone freely; keep on the same
+/// thread as the pool).
+#[derive(Clone)]
+pub struct LocalSpawner {
+    incoming: Rc<RefCell<Vec<LocalFuture>>>,
+}
+
+impl LocalSpawner {
+    /// Queues a future; it starts running on the pool's next
+    /// `run_until_stalled`/`run_until`.
+    pub fn spawn_local(&self, future: impl Future<Output = ()> + 'static) {
+        self.incoming.borrow_mut().push(Box::pin(future));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawned_tasks_run_to_completion() {
+        let mut pool = LocalPool::new();
+        let spawner = pool.spawner();
+        let counter = Rc::new(RefCell::new(0));
+        for _ in 0..10 {
+            let counter = Rc::clone(&counter);
+            spawner.spawn_local(async move {
+                *counter.borrow_mut() += 1;
+            });
+        }
+        assert_eq!(pool.len(), 10);
+        pool.run_until_stalled();
+        assert_eq!(*counter.borrow(), 10);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let mut pool = LocalPool::new();
+        let spawner = pool.spawner();
+        let counter = Rc::new(RefCell::new(0));
+        let inner_counter = Rc::clone(&counter);
+        let inner_spawner = spawner.clone();
+        spawner.spawn_local(async move {
+            *inner_counter.borrow_mut() += 1;
+            let c = Rc::clone(&inner_counter);
+            inner_spawner.spawn_local(async move {
+                *c.borrow_mut() += 10;
+            });
+        });
+        pool.run_until_stalled();
+        assert_eq!(*counter.borrow(), 11);
+    }
+
+    /// A spawned task woken from *another thread* must unpark a
+    /// `run_until` that went to sleep with nothing runnable.
+    #[test]
+    fn cross_thread_wake_of_pool_task_unparks_run_until() {
+        let mut pool = LocalPool::new();
+        let (mut tx, mut rx) = crate::channel::mpsc::channel::<u32>(1);
+        let (mut done_tx, mut done_rx) = crate::channel::mpsc::channel::<u32>(1);
+        pool.spawner().spawn_local(async move {
+            let v = rx.next().await.unwrap();
+            done_tx.send(v + 1).await.unwrap();
+        });
+        let feeder = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            tx.try_send(41).unwrap();
+        });
+        // The main future parks on `done_rx`; the only wake path runs
+        // through the spawned task, which is woken by the feeder thread
+        // while this thread is parked.
+        let got = pool.run_until(async move { done_rx.next().await });
+        assert_eq!(got, Some(42));
+        feeder.join().unwrap();
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn run_until_interleaves_main_and_tasks() {
+        let mut pool = LocalPool::new();
+        let (mut tx, mut rx) = crate::channel::mpsc::channel::<u32>(1);
+        pool.spawner().spawn_local(async move {
+            for i in 0..5 {
+                tx.send(i).await.unwrap();
+            }
+        });
+        let sum = pool.run_until(async move {
+            let mut sum = 0;
+            while let Some(v) = rx.next().await {
+                sum += v;
+            }
+            sum
+        });
+        assert_eq!(sum, 10); // 0 + 1 + 2 + 3 + 4
+    }
+}

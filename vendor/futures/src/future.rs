@@ -1,0 +1,63 @@
+//! Small future combinators.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Yields the current task once: resolves `Pending` with an immediate
+/// self-wake, so the executor runs every other runnable task before
+/// resuming the caller.  Cooperative fairness for greedy loops — a
+/// producer that submits in a tight loop should yield between submissions
+/// or it will monopolize a single-threaded executor and starve its peers
+/// of freed queue slots.  (Mirrors `futures_lite::future::yield_now`; the
+/// upstream `futures` crate spells it `pending!`-plus-wake.)
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future of [`yield_now`].
+#[derive(Debug)]
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::LocalPool;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Two greedy counters that yield between increments interleave.
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        let mut pool = LocalPool::new();
+        let spawner = pool.spawner();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for id in 0..2u32 {
+            let log = Rc::clone(&log);
+            spawner.spawn_local(async move {
+                for _ in 0..3 {
+                    log.borrow_mut().push(id);
+                    yield_now().await;
+                }
+            });
+        }
+        pool.run_until_stalled();
+        assert_eq!(*log.borrow(), vec![0, 1, 0, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline stand-in for [futures](https://crates.io/crates/futures).
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the `futures` API the workspace's serving layer uses — a
+//! cooperative executor and a bounded multi-producer channel — implemented
+//! on the standard library's task machinery (`std::task::Wake`, so the
+//! whole crate is `unsafe`-free):
+//!
+//! * [`executor::block_on`] — drive one future to completion on the calling
+//!   thread, parking between wakes;
+//! * [`executor::LocalPool`] — a single-threaded task pool: spawn `!Send`
+//!   futures through its [`executor::LocalSpawner`], run all runnable tasks
+//!   with [`executor::LocalPool::run_until_stalled`], or drive a main
+//!   future plus the spawned tasks with [`executor::LocalPool::run_until`];
+//! * [`channel::mpsc::channel`] — a **bounded** multi-producer
+//!   single-consumer queue whose [`channel::mpsc::Sender::try_send`] fails
+//!   with a *full* error instead of growing, and whose async
+//!   [`channel::mpsc::Sender::send`] parks the producer task until the
+//!   consumer makes room — the backpressure primitive of the serving
+//!   front-end.
+//!
+//! There is deliberately no I/O reactor and no timer: every wake in this
+//! workspace originates from another task (channel hand-offs), so a
+//! waker-correct executor is all that is needed.  Not mirrored from
+//! upstream: `Stream` as a trait (the receiver has inherent
+//! `next`/`try_next` methods instead), `select!`/combinator macros,
+//! multi-threaded executors, and unbounded channels.
+//!
+//! Swapping the real `futures` back in is a one-line change in the
+//! workspace manifest.
+//!
+//! # Example
+//!
+//! ```
+//! use futures::channel::mpsc;
+//! use futures::executor::LocalPool;
+//!
+//! let mut pool = LocalPool::new();
+//! let (tx, mut rx) = mpsc::channel::<u32>(2);
+//! let spawner = pool.spawner();
+//! for p in 0..4u32 {
+//!     let mut tx = tx.clone();
+//!     spawner.spawn_local(async move {
+//!         // Only two messages fit: later producers park until the
+//!         // consumer drains.
+//!         tx.send(p).await.unwrap();
+//!     });
+//! }
+//! drop(tx);
+//! let got = pool.run_until(async move {
+//!     let mut got = Vec::new();
+//!     while let Some(v) = rx.next().await {
+//!         got.push(v);
+//!     }
+//!     got
+//! });
+//! assert_eq!(got.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod channel;
+pub mod executor;
+pub mod future;

@@ -38,6 +38,18 @@ pub fn thread_recent_alloc_sizes() -> [usize; 8] {
     LAST_SIZES.with(Cell::get)
 }
 
+thread_local! {
+    static TRAP_SIZE: Cell<usize> = const { Cell::new(0) };
+    static IN_TRAP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Debug helper for hunting stray allocations: while armed with a nonzero
+/// `size`, the next allocation of exactly that size on this thread prints
+/// a backtrace to stderr and disarms.  Pass 0 to disarm manually.
+pub fn trap_next_alloc_of_size(size: usize) {
+    TRAP_SIZE.with(|c| c.set(size));
+}
+
 #[inline]
 fn bump_sized(size: usize) {
     // `try_with` so allocations during thread-local teardown never abort.
@@ -47,6 +59,19 @@ fn bump_sized(size: usize) {
         a.rotate_right(1);
         a[0] = size;
         c.set(a);
+    });
+    let _ = TRAP_SIZE.try_with(|trap| {
+        // The re-entrancy guard keeps the backtrace capture's own
+        // allocations from re-triggering the trap.
+        if trap.get() == size && size != 0 && !IN_TRAP.with(Cell::get) {
+            IN_TRAP.with(|f| f.set(true));
+            trap.set(0);
+            eprintln!(
+                "[alloc trap] {size}-byte allocation:\n{}",
+                std::backtrace::Backtrace::force_capture()
+            );
+            IN_TRAP.with(|f| f.set(false));
+        }
     });
 }
 
