@@ -150,10 +150,36 @@ fn smoke(args: &mut Args) {
     entries.push(BenchEntry::new("stream/steady_flush", steady));
     entries.push(BenchEntry::new("speedup/plan_reuse", amortization));
 
+    // Instrumentation overhead: the same steady-state flush measured with
+    // the obs runtime switch off vs on, in interleaved rounds with
+    // min-of-rounds per side (the A/B methodology of docs/BENCHMARKS.md).
+    // The gated ratio is min_off/min_on — ~1.0 while the spans stay
+    // cheap; instrumentation overhead growth drags it below the
+    // bench_check floor.
+    let rounds = 5;
+    let mut min_on = f64::INFINITY;
+    let mut min_off = f64::INFINITY;
+    for _ in 0..rounds {
+        kalman::obs::set_enabled(false);
+        min_off = min_off.min(flush_amortization(3).1);
+        kalman::obs::set_enabled(true);
+        min_on = min_on.min(flush_amortization(3).1);
+    }
+    let obs_speedup = min_off / min_on;
+    println!(
+        "obs overhead (steady flush, {rounds} interleaved rounds): metrics off \
+         {min_off:.2e} s, on {min_on:.2e} s, speedup/obs_on {obs_speedup:.2}x"
+    );
+    entries.push(BenchEntry::new("obs/steady_flush_on", min_on));
+    entries.push(BenchEntry::new("obs/steady_flush_off", min_off));
+    entries.push(BenchEntry::new("speedup/obs_on", obs_speedup));
+
     if !json.is_empty() {
         let config = format!(
             "fig2 --smoke: odd-even, 1 thread, k={k}, runs={runs}, n in [4,8,16]; \
-             stream/* + speedup/plan_reuse: first vs steady-state flush of a n=4 lag=32 stream"
+             stream/* + speedup/plan_reuse: first vs steady-state flush of a n=4 lag=32 stream; \
+             obs/* + speedup/obs_on: steady flush with instrumentation off vs on, \
+             interleaved mins of {rounds} rounds"
         );
         kalman_bench::write_bench_json(&json, &config, &entries).expect("write json");
         println!("wrote {json}");

@@ -3,29 +3,52 @@
 //! how long building the symbolic `PlanSchedule` takes versus executing
 //! the numeric pipeline through a reused `SmoothPlan`, and what the
 //! one-shot path pays for re-planning every call.
-use kalman::model::{whiten_model, LinearModel};
-use kalman::odd_even::{factor_odd_even_owned, selinv_diag, PlanSchedule, SmoothPlan};
+//!
+//! The per-phase numbers are read from the **production phase spans**
+//! (`oe.whiten` / `oe.factor` / `oe.solve` / `oe.selinv` histograms in the
+//! `kalman-obs` registry) rather than re-timing wrapper calls, so what
+//! this tool reports and what live instrumentation exports can never
+//! disagree.
+use kalman::model::{whiten_model, LinearModel, Smoothed};
+use kalman::odd_even::{PlanSchedule, SmoothPlan};
 use kalman::prelude::*;
 use kalman_bench::{median_time, Args};
 use rand::SeedableRng;
 
-fn profile(model: &LinearModel, runs: usize) -> [f64; 4] {
-    let policy = ExecPolicy::Seq;
-    let t_whiten = median_time(runs, || {
-        std::hint::black_box(whiten_model(model).unwrap());
-    });
-    let steps = whiten_model(model).unwrap();
-    let t_factor = median_time(runs, || {
-        std::hint::black_box(factor_odd_even_owned(steps.clone(), policy, true).unwrap());
-    });
-    let r = factor_odd_even_owned(steps, policy, true).unwrap();
-    let t_solve = median_time(runs, || {
-        std::hint::black_box(r.solve(policy).unwrap());
-    });
-    let t_selinv = median_time(runs, || {
-        std::hint::black_box(selinv_diag(&r, policy).unwrap());
-    });
-    [t_whiten, t_factor, t_solve, t_selinv]
+/// Names of the production phase spans, in pipeline order.
+const PHASES: [&str; 4] = ["oe.whiten", "oe.factor", "oe.solve", "oe.selinv"];
+
+/// Mean seconds per phase over `runs` warm plan executions, read back
+/// from the production span histograms.  `None` when instrumentation is
+/// compiled out (`obs-off`) or disabled at runtime — there is nothing to
+/// read then.
+fn profile(model: &LinearModel, runs: usize) -> Option<[f64; 4]> {
+    let hists = PHASES.map(kalman::obs::histogram);
+    let opts = OddEvenOptions {
+        covariances: true,
+        policy: ExecPolicy::Seq,
+        compress_odd: true,
+    };
+    let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+    let mut plan = SmoothPlan::for_dims(&dims, opts);
+    let mut out = Smoothed {
+        means: Vec::new(),
+        covariances: None,
+    };
+    plan.smooth_model_into(model, &mut out).unwrap(); // warm plan + arena
+    let before = hists.map(|h| h.snapshot());
+    for _ in 0..runs {
+        plan.smooth_model_into(model, &mut out).unwrap();
+    }
+    let mut phase_secs = [0.0f64; 4];
+    for (i, h) in hists.iter().enumerate() {
+        let delta = h.snapshot().since(&before[i]);
+        if delta.count == 0 {
+            return None;
+        }
+        phase_secs[i] = delta.mean() / 1e9;
+    }
+    Some(phase_secs)
 }
 
 /// `(plan build, steady-state planned execute)` for the model's shape: the
@@ -64,11 +87,16 @@ fn main() {
     for (n, seed) in [(4usize, 10u64), (8, 11), (16, 12)] {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let model = kalman::model::generators::paper_benchmark(&mut rng, n, k, true);
-        let [w, f, s, c] = profile(&model, runs);
-        println!(
-            "n={n}: whiten {w:.4} factor {f:.4} solve {s:.4} selinv {c:.4}  total {:.4}",
-            w + f + s + c
-        );
+        match profile(&model, runs) {
+            Some([w, f, s, c]) => println!(
+                "n={n}: whiten {w:.4} factor {f:.4} solve {s:.4} selinv {c:.4}  total {:.4}",
+                w + f + s + c
+            ),
+            None => println!(
+                "n={n}: phase spans recorded nothing (instrumentation disabled \
+                 or built with obs-off) — per-phase split unavailable"
+            ),
+        }
         let (plan_build, planned_exec) = profile_plan(&model, runs);
         println!(
             "       plan-build {plan_build:.6} planned-execute {planned_exec:.4}  \

@@ -41,7 +41,12 @@ struct RunStats {
     drains: u64,
     throttled: u64,
     flushed_steps: u64,
-    max_flush_secs: f64,
+    /// p50/p95/p99 whole-drain latency in seconds, from the serving
+    /// layer's drain-latency histogram.
+    drain_quantiles: [f64; 3],
+    /// The final serving-metrics snapshot (printed for the largest sweep
+    /// point via its `Display` table).
+    stats: kalman::serve::Stats,
 }
 
 fn run(producers: usize, shards: usize, steps: usize, cap: usize, n: usize) -> RunStats {
@@ -91,9 +96,11 @@ fn run(producers: usize, shards: usize, steps: usize, cap: usize, n: usize) -> R
         }
     }
     let secs = start.elapsed().as_secs_f64();
-    let agg = pool.stats().aggregate();
+    let stats = pool.stats();
+    let agg = stats.aggregate();
     let mut flushed_steps = agg.flushed_steps;
-    let max_flush_secs = agg.last_flush.as_secs_f64();
+    let d = &stats.drain_latency;
+    let drain_quantiles = [d.p50() / 1e9, d.p95() / 1e9, d.p99() / 1e9];
     for key in 0..producers as u64 {
         flushed_steps += pool.finish(key).expect("solvable").0.len() as u64;
     }
@@ -103,7 +110,8 @@ fn run(producers: usize, shards: usize, steps: usize, cap: usize, n: usize) -> R
         drains,
         throttled: agg.throttled,
         flushed_steps: agg.flushed_steps,
-        max_flush_secs,
+        drain_quantiles,
+        stats,
     }
 }
 
@@ -128,8 +136,11 @@ fn main() {
         "steps/s".into(),
         "drains".into(),
         "throttled".into(),
-        "max flush".into(),
+        "drain p50".into(),
+        "p95".into(),
+        "p99".into(),
     ]);
+    let mut last = None;
     for shards in [1usize, 2, 4, 8] {
         if shards > producers {
             continue;
@@ -142,12 +153,19 @@ fn main() {
             format!("{:.0}", r.flushed_steps as f64 / r.secs),
             format!("{}", r.drains),
             format!("{}", r.throttled),
-            format!("{:.1}us", r.max_flush_secs * 1e6),
+            format!("{:.1}us", r.drain_quantiles[0] * 1e6),
+            format!("{:.1}us", r.drain_quantiles[1] * 1e6),
+            format!("{:.1}us", r.drain_quantiles[2] * 1e6),
         ]);
+        last = Some(r.stats);
     }
     println!(
         "\nthrottled = producer submissions that found their shard queue full \
-         (each waited for a drain);\nmax flush = slowest single batched \
-         flush pass in the final drain sweep."
+         (each waited for a drain);\ndrain p50/p95/p99 = whole-drain latency \
+         quantiles from the serving layer's histogram."
     );
+    if let Some(stats) = last {
+        println!("\nper-shard metrics of the last sweep point:");
+        println!("{stats}");
+    }
 }

@@ -661,6 +661,7 @@ pub(crate) fn execute_factor(
 
     let trace = trace_enabled();
     for (level, plan) in schedule.plan_levels().iter().enumerate() {
+        let _span = kalman_obs::span!("oe.factor.level");
         // The plan's per-level execution decision: levels that fit in one
         // grain run sequentially (no scheduler overhead; bitwise equal).
         let level_policy = policy.for_len(plan.evens.len());

@@ -378,6 +378,11 @@ impl SmoothPlan {
             Some(s) => s.rebuild(dims),
             None => self.schedule = Arc::new(PlanSchedule::build(dims)),
         }
+        kalman_obs::event(
+            "oe.plan_rebuild",
+            signature_of_dims(dims.iter().copied()),
+            dims.len() as u64,
+        );
         self.factored = false;
         self.arena = arena_pays_off(&self.schedule);
         true
@@ -422,6 +427,7 @@ impl SmoothPlan {
             )));
         }
         let _arena = self.arena_guard();
+        let _span = kalman_obs::span!("oe.factor");
         self.factored = false;
         execute_factor(
             &self.schedule,
@@ -459,6 +465,7 @@ impl SmoothPlan {
     pub fn solve_into(&mut self, means: &mut Vec<Vec<f64>>) -> Result<()> {
         self.require_factor()?;
         let _arena = self.arena_guard();
+        let _span = kalman_obs::span!("oe.solve");
         self.r
             .solve_into(self.options.policy, means, &mut self.solve)
     }
@@ -472,6 +479,7 @@ impl SmoothPlan {
     pub fn selinv_into(&mut self, covs: &mut Vec<Matrix>) -> Result<()> {
         self.require_factor()?;
         let _arena = self.arena_guard();
+        let _span = kalman_obs::span!("oe.selinv");
         selinv_diag_into(&self.r, self.options.policy, covs, &mut self.selinv)
     }
 
@@ -513,15 +521,18 @@ impl SmoothPlan {
         model.validate()?;
         let _arena = self.arena_guard();
         let k1 = model.num_states();
-        map_collect_into(
-            self.options.policy.for_len(k1),
-            k1,
-            &mut self.whiten_tmp,
-            |i| WhitenedStep::from_model_step(model, i),
-        );
-        self.steps.clear();
-        for slot in self.whiten_tmp.iter_mut() {
-            self.steps.push(slot.take().expect("filled above")?);
+        {
+            let _span = kalman_obs::span!("oe.whiten");
+            map_collect_into(
+                self.options.policy.for_len(k1),
+                k1,
+                &mut self.whiten_tmp,
+                |i| WhitenedStep::from_model_step(model, i),
+            );
+            self.steps.clear();
+            for slot in self.whiten_tmp.iter_mut() {
+                self.steps.push(slot.take().expect("filled above")?);
+            }
         }
         let mut steps = std::mem::take(&mut self.steps);
         let result = self.smooth_steps_into(&mut steps, out);
@@ -572,6 +583,7 @@ impl PlanCache {
         }
         self.misses += 1;
         let sched = Arc::new(PlanSchedule::build(dims));
+        kalman_obs::event("oe.plan_build", sig, dims.len() as u64);
         self.entries.push((sig, Arc::clone(&sched)));
         sched
     }

@@ -60,8 +60,8 @@ pub use qr::{
     compress_rows, compress_rows_owned, qr_stacked, qr_tri_stack_applying, ColPivQr, QrFactor,
 };
 pub use workspace::{
-    arena_active, arena_scope, budget_for_len, pooling_enabled, reference_kernels, set_pooling,
-    set_reference_kernels, ArenaScope, Workspace,
+    arena_active, arena_scope, budget_for_len, pooling_enabled, reference_kernels,
+    register_workspace_gauges, set_pooling, set_reference_kernels, ArenaScope, Workspace,
 };
 
 /// Result type for fallible dense operations (singular / not-SPD inputs).

@@ -180,6 +180,35 @@ pub struct WorkspaceStats {
     pub rejected_full: u64,
 }
 
+/// Registers the workspace-pool counters as `dense.workspace.*` sampled
+/// gauges in the `kalman-obs` registry (hits, misses, pooled_elems,
+/// rejected_shape, rejected_full).  Idempotent — callers at every layer
+/// (the serving front-end, benchmarks) may invoke it freely.
+///
+/// The workspace is **per-thread**: each sampler reads the pool of the
+/// thread that takes the snapshot (normally the thread calling
+/// `metrics_snapshot()` / the exporters), not a cross-thread aggregate.
+pub fn register_workspace_gauges() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        kalman_obs::register_sampler("dense.workspace.hits", || {
+            Workspace::with(|w| w.stats().hits as f64)
+        });
+        kalman_obs::register_sampler("dense.workspace.misses", || {
+            Workspace::with(|w| w.stats().misses as f64)
+        });
+        kalman_obs::register_sampler("dense.workspace.pooled_elems", || {
+            Workspace::with(|w| w.stats().pooled_elems as f64)
+        });
+        kalman_obs::register_sampler("dense.workspace.rejected_shape", || {
+            Workspace::with(|w| w.stats().rejected_shape as f64)
+        });
+        kalman_obs::register_sampler("dense.workspace.rejected_full", || {
+            Workspace::with(|w| w.stats().rejected_full as f64)
+        });
+    });
+}
+
 /// A snapshot of pool occupancy, returned by [`Workspace::checkpoint`].
 #[derive(Debug, Clone, Copy)]
 pub struct WorkspaceMark {

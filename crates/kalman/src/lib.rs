@@ -13,8 +13,13 @@
 //! | [`tridiag`] | Normal-equations cyclic-reduction smoother (unstable; for the stability study) |
 //! | [`stream`] | Online serving: streaming fixed-lag smoother, R-factor forgetting, multi-stream pool |
 //! | [`serve`] | Serving front-end: sharded pools, bounded-queue ingestion with backpressure, metrics |
+//! | [`obs`] | Observability: lock-free metric registry, phase spans, event journal, exporters |
 //! | [`dense`] | Dense kernels (QR, LU, Cholesky, GEMM, triangular solves) |
 //! | [`par`] | TBB-like parallel primitives (`parallel_for` with grain, parallel scans) |
+//!
+//! The production paths are instrumented with [`obs`] phase spans and
+//! counters (see `docs/OBSERVABILITY.md` for the metric catalog); the
+//! `obs-off` cargo feature compiles all instrumentation to no-ops.
 //!
 //! # Quickstart
 //!
@@ -91,6 +96,14 @@ pub mod alloc_stats {
     pub use tikv_jemallocator::{
         thread_alloc_count, thread_recent_alloc_sizes, trap_next_alloc_of_size,
     };
+
+    /// Registers the allocator's per-thread allocation counter as the
+    /// sampled gauge `alloc.thread_total` in the [`crate::obs`] registry
+    /// (the reading is taken on the thread running the exporter).
+    /// Idempotent.
+    pub fn register_alloc_gauges() {
+        kalman_obs::register_sampler("alloc.thread_total", || thread_alloc_count() as f64);
+    }
 }
 
 // Compile and run the user guide's snippets with the crate's doctests, so
@@ -99,10 +112,16 @@ pub mod alloc_stats {
 #[doc = include_str!("../../../docs/GUIDE.md")]
 mod guide_doctests {}
 
+// Same deal for the observability guide.
+#[cfg(doctest)]
+#[doc = include_str!("../../../docs/OBSERVABILITY.md")]
+mod observability_doctests {}
+
 pub use kalman_associative as associative;
 pub use kalman_dense as dense;
 pub use kalman_model as model;
 pub use kalman_nonlinear as nonlinear;
+pub use kalman_obs as obs;
 pub use kalman_odd_even as odd_even;
 pub use kalman_par as par;
 pub use kalman_seq as seq;

@@ -1,0 +1,187 @@
+//! Exporters over the whole registry: Prometheus text exposition and a
+//! JSON snapshot sharing the repository's `BENCH_*.json` line
+//! conventions.
+//!
+//! Both exporters allocate freely — they run on scrape/report paths, not
+//! hot paths — and read the registry through
+//! [`crate::metrics_snapshot`], so they see counters, gauges,
+//! histograms, and samplers alike.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::registry::{metrics_snapshot, MetricReading};
+
+/// Registered names are dot-separated (`serve.pool0.shard1.flushes`);
+/// Prometheus metric names only allow `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+const NS_PER_SEC: f64 = 1e9;
+
+/// Prometheus-style text exposition of every registered metric.
+///
+/// Counters become `# TYPE … counter` samples, gauges and samplers
+/// become gauges, and histograms become classic cumulative
+/// `…_bucket{le="…"}` series (bucket upper bounds and `_sum` converted
+/// from recorded nanoseconds to seconds, per Prometheus convention for
+/// timing histograms) plus `_sum` and `_count`.  Dots in registered
+/// names become underscores.
+pub fn prometheus_text() -> String {
+    let mut out = String::new();
+    for metric in metrics_snapshot() {
+        let name = sanitize(&metric.name);
+        match metric.reading {
+            MetricReading::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricReading::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            MetricReading::Histogram(snap) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cum = 0u64;
+                for (idx, &c) in snap.buckets.iter().enumerate() {
+                    cum += c;
+                    // Skip interior empty buckets to keep the exposition
+                    // readable; always emit a bucket once counts exist
+                    // below it so the cumulative series stays monotone.
+                    if c == 0 && cum == 0 {
+                        continue;
+                    }
+                    let (_, hi) = bucket_bounds(idx);
+                    let le = hi as f64 / NS_PER_SEC;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le:e}\"}} {cum}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                let _ = writeln!(out, "{name}_sum {}", snap.sum as f64 / NS_PER_SEC);
+                let _ = writeln!(out, "{name}_count {}", snap.count);
+            }
+        }
+    }
+    out
+}
+
+fn json_entry(out: &mut String, first: &mut bool, name: &str, value: f64) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let _ = write!(out, "    {{\"name\": \"{name}\", \"value\": {value:.6e}}}");
+}
+
+fn histogram_entries(out: &mut String, first: &mut bool, name: &str, snap: &HistogramSnapshot) {
+    json_entry(out, first, &format!("{name}/count"), snap.count as f64);
+    for (label, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        json_entry(
+            out,
+            first,
+            &format!("{name}/{label}"),
+            snap.quantile(q) / NS_PER_SEC,
+        );
+    }
+    json_entry(
+        out,
+        first,
+        &format!("{name}/mean"),
+        snap.mean() / NS_PER_SEC,
+    );
+    json_entry(
+        out,
+        first,
+        &format!("{name}/sum"),
+        snap.sum as f64 / NS_PER_SEC,
+    );
+}
+
+/// JSON snapshot of every registered metric in the repository's
+/// `BENCH_*.json` line conventions: schema header, then one
+/// `{"name": …, "value": …}` object per line, parseable by
+/// `kalman_bench::read_bench_json`.
+///
+/// Counters and gauges export their value directly.  A histogram
+/// `h` expands to `h/count`, `h/p50`, `h/p95`, `h/p99`, `h/mean`,
+/// `h/sum`, with the timing entries converted from nanoseconds to
+/// seconds (matching the bench files' seconds convention).
+pub fn json_snapshot() -> String {
+    let mut out = String::from("{\n  \"schema\": \"kalman-obs/1\",\n  \"entries\": [\n");
+    let mut first = true;
+    for metric in metrics_snapshot() {
+        match metric.reading {
+            MetricReading::Counter(v) => json_entry(&mut out, &mut first, &metric.name, v as f64),
+            MetricReading::Gauge(v) => json_entry(&mut out, &mut first, &metric.name, v),
+            MetricReading::Histogram(snap) => {
+                histogram_entries(&mut out, &mut first, &metric.name, &snap)
+            }
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, histogram, register_sampler};
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        counter("test.export.hits").add(3);
+        let h = histogram("test.export.lat");
+        for v in [500u64, 1_500, 1_500_000] {
+            h.record(v);
+        }
+        register_sampler("test.export.sampled", || 0.25);
+
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE test_export_hits counter"));
+        assert!(text.contains("# TYPE test_export_lat histogram"));
+        assert!(text.contains("# TYPE test_export_sampled gauge"));
+        assert!(text.contains("test_export_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("test_export_lat_count 3"));
+
+        // The cumulative bucket series must be monotone non-decreasing.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("test_export_lat_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket series: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_snapshot_has_bench_line_format() {
+        counter("test.export.json").add(11);
+        histogram("test.export.json.lat").record(2_000);
+        let json = json_snapshot();
+        assert!(json.starts_with("{\n  \"schema\": \"kalman-obs/1\""));
+        assert!(json.contains("{\"name\": \"test.export.json\", \"value\": 1.100000e1}"));
+        assert!(json.contains("\"name\": \"test.export.json.lat/count\""));
+        assert!(json.contains("\"name\": \"test.export.json.lat/p99\""));
+        // Every entry line parses as the bench readers expect.
+        for line in json
+            .lines()
+            .filter(|l| l.trim_start().starts_with("{\"name\""))
+        {
+            let line = line.trim().trim_end_matches(',');
+            assert!(
+                line.starts_with("{\"name\": \"") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! The lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are updated with relaxed atomic operations and never allocate
+//! after construction; snapshots fold the concurrent cells into owned,
+//! plain values.  Relaxed ordering is deliberate: metrics tolerate
+//! momentary cross-cell skew (a snapshot racing an update may be one tick
+//! stale), and in exchange the hot path is a single uncontended RMW.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Stripes per [`Counter`].  A power of two so the thread-to-stripe map is
+/// a mask; eight covers the container's core count without making
+/// snapshots fold much.
+const STRIPES: usize = 8;
+
+/// One counter cell on its own cache line, so two threads bumping
+/// different stripes never false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(AtomicU64);
+
+thread_local! {
+    /// This thread's stripe assignment (round-robin at first use), so
+    /// every thread keeps hitting one cell instead of bouncing a shared
+    /// line.  `usize::MAX` = unassigned.
+    static STRIPE_ID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+fn stripe_index() -> usize {
+    STRIPE_ID.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+        c.set(v);
+        v
+    })
+}
+
+/// A monotone counter striped across cache-padded per-thread cells: each
+/// writing thread bumps its own cell with one relaxed `fetch_add`, and
+/// [`Counter::get`] folds the stripes.  No locks, no allocation after
+/// registration.
+#[derive(Debug)]
+pub struct Counter {
+    stripes: [Stripe; STRIPES],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Counter {
+    /// A zeroed counter (registries construct these; use
+    /// [`crate::counter`] to get a named one).
+    pub fn new() -> Counter {
+        Counter {
+            stripes: std::array::from_fn(|_| Stripe::default()),
+        }
+    }
+
+    /// Adds `n` to the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Shorthand for `add(1)`.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The folded total across all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time signed value (queue depth, engaged flag, last-flush
+/// nanoseconds).  One atomic; snapshots read it directly.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge (use [`crate::gauge`] to get a named one).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Stores `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Stores `v`, returning the previous value (how the backpressure
+    /// engage/release edge is detected without a lock).
+    #[inline]
+    pub fn swap(&self, v: i64) -> i64 {
+        self.0.swap(v, Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds exact zeros and bucket
+/// `b ≥ 1` holds values whose bit length is `b`, i.e. the range
+/// `[2^(b-1), 2^b − 1]` — the classic HDR-style log bucketing, covering
+/// the whole `u64` range with ≤ 2× relative error per bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The bucket a value lands in (`0` for zero, else the value's bit
+/// length).
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `idx`.
+pub(crate) fn bucket_bounds(idx: usize) -> (u64, u64) {
+    debug_assert!(idx < HIST_BUCKETS);
+    if idx == 0 {
+        (0, 0)
+    } else {
+        (
+            1u64 << (idx - 1),
+            (1u64 << (idx - 1)).wrapping_mul(2).wrapping_sub(1),
+        )
+    }
+}
+
+/// A log-bucketed latency histogram over `u64` observations (the stack
+/// records nanoseconds).  Recording is two relaxed `fetch_add`s on
+/// pre-allocated atomic cells — lock-free, allocation-free — and
+/// [`Histogram::snapshot`] folds the cells into an owned
+/// [`HistogramSnapshot`] for quantile readout.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (use [`crate::histogram`] to get a named one).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Folds the atomic cells into an owned snapshot.  A snapshot racing
+    /// concurrent writers may lag by in-flight observations, but every
+    /// completed `record` is eventually visible to a later snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut count = 0u64;
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+            count += *dst;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, foldable histogram snapshot: per-bucket counts plus the
+/// observation count and sum.  Obtained from [`Histogram::snapshot`];
+/// merged bucket-wise by [`HistogramSnapshot::merge`] (how per-shard
+/// latency histograms aggregate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`] for the
+    /// bucketing scheme).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded values, linearly
+    /// interpolated inside the containing bucket.  `0.0` for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= target {
+                let (lo, hi) = bucket_bounds(idx);
+                let within = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lo as f64 + within * (hi - lo) as f64;
+            }
+            cum = next;
+        }
+        let (_, hi) = bucket_bounds(HIST_BUCKETS - 1);
+        hi as f64
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile shorthand.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds `other` in bucket-wise (counts and sums add).  Sums wrap on
+    /// overflow, matching the atomic `fetch_add` wrap inside
+    /// [`Histogram::record`].
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// The observations recorded since `earlier` was taken (both snapshots
+    /// of the *same* histogram) — how the phase-profile benchmark turns
+    /// cumulative span histograms into per-run timings.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (dst, (now, then)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(&earlier.buckets))
+        {
+            *dst = now.saturating_sub(*then);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 1..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(bucket_of(lo), b, "lower bound of bucket {b}");
+            assert_eq!(bucket_of(hi), b, "upper bound of bucket {b}");
+            if b > 1 {
+                assert_eq!(bucket_of(lo - 1), b - 1, "below bucket {b}");
+            }
+        }
+    }
+
+    proptest! {
+        /// Every value lands in a bucket whose bounds contain it, and the
+        /// quantile estimate of a single-valued histogram stays within
+        /// that bucket (≤ 2x relative error by construction).
+        #[test]
+        fn bucketing_contains_and_bounds_error(v in any::<u64>()) {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            prop_assert!(lo <= v && v <= hi);
+            let h = Histogram::new();
+            h.record(v);
+            let q = h.snapshot().quantile(0.5);
+            prop_assert!(q >= lo as f64 && q <= hi as f64);
+        }
+
+        /// Merging two snapshots equals snapshotting the union.
+        #[test]
+        fn merge_matches_union(a in proptest::collection::vec(any::<u64>(), 0..40),
+                               b in proptest::collection::vec(any::<u64>(), 0..40)) {
+            let ha = Histogram::new();
+            let hb = Histogram::new();
+            let hu = Histogram::new();
+            for &v in &a { ha.record(v); hu.record(v); }
+            for &v in &b { hb.record(v); hu.record(v); }
+            let mut merged = ha.snapshot();
+            merged.merge(&hb.snapshot());
+            prop_assert_eq!(merged, hu.snapshot());
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_plausible() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000); // 1µs .. 1ms in ns
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Log bucketing bounds each estimate within 2x of the true value.
+        assert!((2.5e5..=1.0e6).contains(&p50), "p50 {p50}");
+        assert!(p99 <= 2.0e6, "p99 {p99}");
+        assert!((s.mean() - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn since_isolates_a_measurement_window() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let before = h.snapshot();
+        h.record(1000);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 1000);
+    }
+
+    #[test]
+    fn concurrent_writers_fold_exactly() {
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let c = Counter::new();
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let (c, h) = (&c, &h);
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        c.inc();
+                        h.record(t as u64 * PER_THREAD + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+        let s = h.snapshot();
+        assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+        let expect: u64 = (0..THREADS as u64 * PER_THREAD).sum();
+        assert_eq!(s.sum, expect);
+    }
+
+    #[test]
+    fn gauge_set_add_swap() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.swap(7), 3);
+        assert_eq!(g.get(), 7);
+    }
+}

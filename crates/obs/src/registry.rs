@@ -1,0 +1,240 @@
+//! The static metric registry: name → metric, registered once, handles
+//! `&'static` forever after.
+//!
+//! Registration (the first `counter("x")` for a given name) takes a lock
+//! and allocates; every later lookup for the same name still takes the
+//! lock but returns the existing handle without allocating.  Hot paths
+//! therefore resolve their handle **once** — the `span!` macro caches it
+//! in a per-call-site `OnceLock`, and the serving layer stores handles in
+//! its shard structs at construction — and never touch the registry again.
+
+use std::sync::{Mutex, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A registered sampler: evaluated at snapshot/export time to read a
+/// value owned elsewhere (workspace pool stats, allocator counters).
+type Sampler = Box<dyn Fn() -> f64 + Send + Sync>;
+
+enum Entry {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+    Sampled(Sampler),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+            Entry::Sampled(_) => "sampler",
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<(String, Entry)>> {
+    static REGISTRY: OnceLock<Mutex<Vec<(String, Entry)>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn lookup<T>(
+    name: &str,
+    matching: impl Fn(&Entry) -> Option<&'static T>,
+    create: impl FnOnce() -> Entry,
+) -> &'static T {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some((_, entry)) = reg.iter().find(|(n, _)| n == name) {
+        return matching(entry).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}, requested with a different kind",
+                entry.kind()
+            )
+        });
+    }
+    let entry = create();
+    let handle = matching(&entry).expect("freshly created entry matches its own kind");
+    reg.push((name.to_owned(), entry));
+    handle
+}
+
+/// The counter registered under `name`, creating it on first use.  The
+/// returned handle is `&'static`; store it, don't re-resolve per
+/// operation.
+///
+/// # Panics
+///
+/// If `name` is already registered as a different metric kind.
+pub fn counter(name: &str) -> &'static Counter {
+    lookup(
+        name,
+        |e| match e {
+            Entry::Counter(c) => Some(*c),
+            _ => None,
+        },
+        || Entry::Counter(Box::leak(Box::new(Counter::new()))),
+    )
+}
+
+/// The gauge registered under `name`, creating it on first use.
+///
+/// # Panics
+///
+/// If `name` is already registered as a different metric kind.
+pub fn gauge(name: &str) -> &'static Gauge {
+    lookup(
+        name,
+        |e| match e {
+            Entry::Gauge(g) => Some(*g),
+            _ => None,
+        },
+        || Entry::Gauge(Box::leak(Box::new(Gauge::new()))),
+    )
+}
+
+/// The histogram registered under `name`, creating it on first use.
+///
+/// # Panics
+///
+/// If `name` is already registered as a different metric kind.
+pub fn histogram(name: &str) -> &'static Histogram {
+    lookup(
+        name,
+        |e| match e {
+            Entry::Histogram(h) => Some(*h),
+            _ => None,
+        },
+        || Entry::Histogram(Box::leak(Box::new(Histogram::new()))),
+    )
+}
+
+/// Registers `sample` to be evaluated under `name` at snapshot/export
+/// time — the bridge for values owned outside the registry (workspace
+/// pool hit rates, allocator counters).  Replaces any previous sampler of
+/// the same name, so re-registration is idempotent.
+///
+/// The closure runs while the registry lock is held: it must not call
+/// back into this module (`counter`/`gauge`/… or the exporters), or it
+/// will deadlock.
+///
+/// # Panics
+///
+/// If `name` is already registered as a non-sampler metric.
+pub fn register_sampler(name: &str, sample: impl Fn() -> f64 + Send + Sync + 'static) {
+    let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    if let Some((_, entry)) = reg.iter_mut().find(|(n, _)| n == name) {
+        match entry {
+            Entry::Sampled(s) => *s = Box::new(sample),
+            other => panic!(
+                "metric {name:?} already registered as a {}, cannot become a sampler",
+                other.kind()
+            ),
+        }
+        return;
+    }
+    reg.push((name.to_owned(), Entry::Sampled(Box::new(sample))));
+}
+
+/// One metric's current value, as read by [`metrics_snapshot`].
+// A histogram snapshot is ~0.5 KiB by value; readings exist only on
+// scrape/report paths, where flat values beat a Box indirection in API
+// simplicity and cost nothing that matters.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricReading {
+    /// A counter's folded total.
+    Counter(u64),
+    /// A gauge's (or sampler's) point-in-time value.
+    Gauge(f64),
+    /// A histogram's folded snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named metric reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricValue {
+    /// The registered name (dot-separated, e.g. `serve.pool0.shard1.flushes`).
+    pub name: String,
+    /// The value at snapshot time.
+    pub reading: MetricReading,
+}
+
+/// Reads every registered metric — counters and histograms folded,
+/// gauges loaded, samplers evaluated — in registration order.  This is
+/// the one place the registry lock is held while values are read, so
+/// samplers must not re-enter the registry.
+pub fn metrics_snapshot() -> Vec<MetricValue> {
+    let reg = registry().lock().unwrap_or_else(|p| p.into_inner());
+    reg.iter()
+        .map(|(name, entry)| MetricValue {
+            name: name.clone(),
+            reading: match entry {
+                Entry::Counter(c) => MetricReading::Counter(c.get()),
+                Entry::Gauge(g) => MetricReading::Gauge(g.get() as f64),
+                Entry::Histogram(h) => MetricReading::Histogram(h.snapshot()),
+                Entry::Sampled(s) => MetricReading::Gauge(s()),
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_handle() {
+        let a = counter("test.registry.same") as *const Counter;
+        let b = counter("test.registry.same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("test.registry.mismatch");
+        gauge("test.registry.mismatch");
+    }
+
+    #[test]
+    fn snapshot_sees_counter_updates() {
+        let c = counter("test.registry.snapconsist");
+        let before = read("test.registry.snapconsist");
+        c.add(7);
+        let after = read("test.registry.snapconsist");
+        assert_eq!(after - before, 7);
+    }
+
+    #[test]
+    fn sampler_is_replaceable_and_evaluated() {
+        register_sampler("test.registry.sampler", || 1.5);
+        assert_eq!(read_gauge("test.registry.sampler"), 1.5);
+        register_sampler("test.registry.sampler", || 2.5);
+        assert_eq!(read_gauge("test.registry.sampler"), 2.5);
+    }
+
+    fn read(name: &str) -> u64 {
+        match metrics_snapshot()
+            .into_iter()
+            .find(|m| m.name == name)
+            .expect("registered")
+            .reading
+        {
+            MetricReading::Counter(v) => v,
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    fn read_gauge(name: &str) -> f64 {
+        match metrics_snapshot()
+            .into_iter()
+            .find(|m| m.name == name)
+            .expect("registered")
+            .reading
+        {
+            MetricReading::Gauge(v) => v,
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+}

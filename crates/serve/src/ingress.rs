@@ -2,14 +2,19 @@
 //! backpressure.
 
 use crate::stable_shard;
-use crate::stats::SharedCounters;
+use crate::stats::ShardMetrics;
 use futures::channel::mpsc;
 use kalman_model::{Evolution, Observation, StreamEvent};
 use std::fmt;
-use std::sync::Arc;
 
-/// One queued ingestion operation: the stream key plus its event.
-pub(crate) type Op = (u64, StreamEvent);
+/// One queued ingestion operation: the stream key, its event, and the
+/// submission timestamp the drain turns into queue-wait latency (a
+/// zero-sized no-op under the `obs-off` feature).
+pub(crate) struct Op {
+    pub key: u64,
+    pub event: StreamEvent,
+    pub stamp: kalman_obs::Stamp,
+}
 
 /// Why a submission did not enter the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,14 +92,16 @@ impl std::error::Error for TrySubmitError {}
 /// them — producers never need to learn about migrations.)
 pub struct Ingress {
     pub(crate) senders: Vec<mpsc::Sender<Op>>,
-    pub(crate) counters: Vec<Arc<SharedCounters>>,
+    /// Registry handles shared with the consumer-side shards (`Copy` —
+    /// they are `&'static` references into the metric registry).
+    pub(crate) metrics: Vec<ShardMetrics>,
 }
 
 impl Clone for Ingress {
     fn clone(&self) -> Self {
         Ingress {
             senders: self.senders.clone(),
-            counters: self.counters.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -123,21 +130,26 @@ impl Ingress {
     /// gone; either carries the event back.
     pub fn try_submit(&mut self, key: u64, event: StreamEvent) -> Result<(), TrySubmitError> {
         let s = self.shard_of(key);
-        match self.senders[s].try_send((key, event)) {
+        let op = Op {
+            key,
+            event,
+            stamp: kalman_obs::Stamp::now(),
+        };
+        match self.senders[s].try_send(op) {
             Ok(()) => {
-                self.counters[s].add_submitted();
+                self.submitted(s);
                 Ok(())
             }
             Err(e) => {
                 let kind = if e.is_full() {
-                    self.counters[s].add_throttled();
+                    self.throttled(s);
                     SubmitError::WouldBlock
                 } else {
                     SubmitError::Closed
                 };
                 Err(TrySubmitError {
                     kind,
-                    event: Box::new(e.into_inner().1),
+                    event: Box::new(e.into_inner().event),
                 })
             }
         }
@@ -154,23 +166,49 @@ impl Ingress {
         let s = self.shard_of(key);
         // Race the fast path first so the throttle counter records exactly
         // the submissions that found the queue full.
-        let op = match self.senders[s].try_send((key, event)) {
+        let op = Op {
+            key,
+            event,
+            stamp: kalman_obs::Stamp::now(),
+        };
+        let op = match self.senders[s].try_send(op) {
             Ok(()) => {
-                self.counters[s].add_submitted();
+                self.submitted(s);
                 return Ok(());
             }
             Err(e) if e.is_full() => {
-                self.counters[s].add_throttled();
+                self.throttled(s);
                 e.into_inner()
             }
             Err(_) => return Err(SubmitError::Closed),
         };
         match self.senders[s].send(op).await {
             Ok(()) => {
-                self.counters[s].add_submitted();
+                self.submitted(s);
                 Ok(())
             }
             Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// A submission entered shard `s`'s queue: count it, and close any
+    /// open backpressure episode (get-before-swap keeps the common
+    /// uncontended path to one atomic read).
+    fn submitted(&self, s: usize) {
+        let m = &self.metrics[s];
+        m.submitted.inc();
+        if m.engaged.get() != 0 && m.engaged.swap(0) != 0 {
+            kalman_obs::event("serve.backpressure_off", s as u64, m.throttled.get());
+        }
+    }
+
+    /// A submission found shard `s`'s queue full: count the throttle and
+    /// open a backpressure episode on the 0→1 edge.
+    fn throttled(&self, s: usize) {
+        let m = &self.metrics[s];
+        m.throttled.inc();
+        if m.engaged.swap(1) == 0 {
+            kalman_obs::event("serve.backpressure_on", s as u64, m.throttled.get());
         }
     }
 

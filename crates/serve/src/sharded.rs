@@ -2,16 +2,21 @@
 //! batches.
 
 use crate::ingress::{Ingress, Op};
-use crate::stats::{ShardStats, SharedCounters, Stats};
+use crate::stats::{ShardMetrics, ShardStats, Stats};
 use futures::channel::mpsc;
 use kalman_model::{KalmanError, Result, StreamEvent};
+use kalman_obs::Histogram;
 use kalman_par::ExecPolicy;
 use kalman_stream::{
     Checkpoint, FinalizedStep, PollBatch, PollEntry, SmootherPool, StreamId, StreamingSmoother,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Distinguishes the metric namespaces (`serve.pool{N}.*`) of pools
+/// created in the same process.
+static POOL_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Stable FNV-1a shard assignment: identical for the same key on every
 /// handle, process, and run — the property that lets producers route
@@ -59,7 +64,7 @@ struct Location {
     id: StreamId,
 }
 
-/// One shard: an independent pool plus its queue and counters.
+/// One shard: an independent pool plus its queue and metric handles.
 struct Shard {
     pool: SmootherPool,
     rx: mpsc::Receiver<Op>,
@@ -70,16 +75,11 @@ struct Shard {
     passes_used: usize,
     /// Reverse map from pool-local ids to serving keys.
     keys: HashMap<StreamId, u64>,
-    counters: Arc<SharedCounters>,
+    /// Registry handles (shared by copy with the [`Ingress`] side); every
+    /// counter below lives in the `kalman-obs` registry, so exporters see
+    /// it with no extra wiring.
+    metrics: ShardMetrics,
     queue_capacity: usize,
-    drained: u64,
-    ingest_errors: u64,
-    flushes: u64,
-    flushed_streams: u64,
-    flushed_steps: u64,
-    flush_errors: u64,
-    last_flush_ns: u64,
-    total_flush_ns: u64,
     /// Ingestion failures of the most recent drain (cleared per drain).
     errors: Vec<(u64, KalmanError)>,
 }
@@ -171,6 +171,10 @@ pub struct ShardedPool {
     /// failure is counted exactly once.  Cleared at the end of each
     /// drain, so recovered streams rejoin the canonical cadence.
     failed: HashSet<(usize, StreamId)>,
+    /// This pool's metric-name prefix (`serve.pool{N}`).
+    metrics_prefix: String,
+    /// Whole-drain latency histogram (`{prefix}.drain_latency`).
+    drain_hist: &'static Histogram,
 }
 
 impl ShardedPool {
@@ -183,33 +187,34 @@ impl ShardedPool {
     pub fn new(cfg: ServeConfig) -> (ShardedPool, Ingress) {
         assert!(cfg.shards >= 1, "need at least one shard");
         assert!(cfg.queue_capacity >= 1, "need a positive queue capacity");
+        // Wire the dense workspace-pool counters into the registry so the
+        // exporters report them alongside the serving metrics.
+        kalman_dense::register_workspace_gauges();
+        let pool_seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let metrics_prefix = format!("serve.pool{pool_seq}");
+        let drain_hist = kalman_obs::histogram(&format!("{metrics_prefix}.drain_latency"));
         let mut shards = Vec::with_capacity(cfg.shards);
         let mut senders = Vec::with_capacity(cfg.shards);
-        let mut counters = Vec::with_capacity(cfg.shards);
-        for _ in 0..cfg.shards {
+        let mut metrics = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
             let (tx, rx) = mpsc::channel(cfg.queue_capacity);
-            let shared = Arc::new(SharedCounters::default());
+            let handles = ShardMetrics::register(&metrics_prefix, s);
             shards.push(Shard {
                 pool: SmootherPool::new(cfg.policy),
                 rx,
                 batches: Vec::new(),
                 passes_used: 0,
                 keys: HashMap::new(),
-                counters: Arc::clone(&shared),
+                metrics: handles,
                 queue_capacity: cfg.queue_capacity,
-                drained: 0,
-                ingest_errors: 0,
-                flushes: 0,
-                flushed_streams: 0,
-                flushed_steps: 0,
-                flush_errors: 0,
-                last_flush_ns: 0,
-                total_flush_ns: 0,
                 errors: Vec::new(),
             });
             senders.push(tx);
-            counters.push(shared);
+            metrics.push(handles);
         }
+        // Also forces the journal's one-time ring allocation to happen
+        // here, before any steady-state drain.
+        kalman_obs::event("serve.pool_created", pool_seq as u64, cfg.shards as u64);
         (
             ShardedPool {
                 shards,
@@ -218,9 +223,18 @@ impl ShardedPool {
                 redeferred: VecDeque::new(),
                 blocked: HashSet::new(),
                 failed: HashSet::new(),
+                metrics_prefix,
+                drain_hist,
             },
-            Ingress { senders, counters },
+            Ingress { senders, metrics },
         )
+    }
+
+    /// The pool's metric-name prefix in the `kalman-obs` registry
+    /// (`serve.pool{N}`; shard metrics live at
+    /// `{prefix}.shard{S}.{leaf}`).
+    pub fn metrics_prefix(&self) -> &str {
+        &self.metrics_prefix
     }
 
     /// Number of shards.
@@ -298,7 +312,7 @@ impl ShardedPool {
     ) {
         tap(key, &event);
         if let Err(e) = shard.pool.ingest(id, event) {
-            shard.ingest_errors += 1;
+            shard.metrics.ingest_errors.inc();
             shard.errors.push((key, e));
         }
     }
@@ -323,6 +337,7 @@ impl ShardedPool {
                 || (matches!(event, StreamEvent::Evolve(_))
                     && matches!(self.shards[loc.shard].pool.stream(loc.id), Some(s) if s.ready())));
         if gated {
+            self.shards[loc.shard].metrics.gated.inc();
             self.blocked.insert((loc.shard, loc.id));
             self.deferred.push_back((loc, key, event));
         } else {
@@ -349,14 +364,14 @@ impl ShardedPool {
             .poll_into_where(&mut shard.batches[pass], |id| blocked.contains(&(s, id)));
         let ns = start.elapsed().as_nanos() as u64;
         shard.passes_used += 1;
-        shard.flushes += 1;
-        shard.last_flush_ns = ns;
-        shard.total_flush_ns += ns;
+        // `flush_latency.count` doubles as the flush counter.
+        shard.metrics.flush_latency.record(ns);
+        shard.metrics.last_flush_ns.set(ns as i64);
         for entry in shard.batches[pass].entries() {
             match entry.result() {
                 Ok(steps) => {
-                    shard.flushed_streams += 1;
-                    shard.flushed_steps += steps.len() as u64;
+                    shard.metrics.flushed_streams.inc();
+                    shard.metrics.flushed_steps.add(steps.len() as u64);
                     summary.flushed_streams += 1;
                     summary.flushed_steps += steps.len();
                 }
@@ -364,7 +379,9 @@ impl ShardedPool {
                     // Counted once per drain: the stream joins `failed`,
                     // which stops gating it, so no later pass re-runs the
                     // failing flush.
-                    shard.flush_errors += 1;
+                    shard.metrics.flush_errors.inc();
+                    let key = shard.keys.get(&entry.id()).copied().unwrap_or(u64::MAX);
+                    kalman_obs::event("serve.flush_error", key, s as u64);
                     summary.errors += 1;
                     failed.insert((s, entry.id()));
                 }
@@ -412,6 +429,7 @@ impl ShardedPool {
     /// The tap must not allocate if the drain's zero-allocation property
     /// matters to the caller.
     pub fn drain_tapped(&mut self, mut tap: impl FnMut(u64, &StreamEvent)) -> DrainSummary {
+        let drain_start = Instant::now();
         let mut summary = DrainSummary::default();
         for s in 0..self.shards.len() {
             // Clear the previous drain's output and error state (all
@@ -427,21 +445,24 @@ impl ShardedPool {
         // applying it unless the canonical cadence gates it.
         for s in 0..self.shards.len() {
             loop {
-                let (key, event) = match self.shards[s].rx.try_next() {
+                let Op { key, event, stamp } = match self.shards[s].rx.try_next() {
                     Ok(Some(op)) => op,
                     // Empty (senders parked on it stay parked) or all
                     // handles dropped — either way this queue is done.
                     _ => break,
                 };
                 summary.ops += 1;
-                self.shards[s].drained += 1;
+                self.shards[s].metrics.drained.inc();
+                if let Some(ns) = stamp.elapsed_ns() {
+                    self.shards[s].metrics.queue_wait.record(ns);
+                }
                 match self.route.get(&key).copied() {
                     Some(loc) => {
                         self.gate_or_apply(loc, key, event, &mut tap);
                     }
                     None => {
                         let shard = &mut self.shards[s];
-                        shard.ingest_errors += 1;
+                        shard.metrics.ingest_errors.inc();
                         shard.errors.push((
                             key,
                             KalmanError::Stream(format!("no stream registered for key {key}")),
@@ -471,6 +492,8 @@ impl ShardedPool {
         for shard in &self.shards {
             summary.errors += shard.errors.len();
         }
+        self.drain_hist
+            .record(drain_start.elapsed().as_nanos() as u64);
         summary
     }
 
@@ -546,6 +569,7 @@ impl ShardedPool {
         self.invalidate_outputs(to);
         self.shards[loc.shard].keys.remove(&loc.id);
         self.route.remove(&key);
+        kalman_obs::event("serve.rebalance", key, to as u64);
         let (tail, checkpoint) = self.shards[loc.shard].pool.finish(loc.id)?;
         let resumed = StreamingSmoother::resume(checkpoint, opts)?;
         let id = self.shards[to].pool.insert(resumed);
@@ -580,6 +604,15 @@ impl ShardedPool {
                 .iter()
                 .map(|shard| {
                     let (plan_shapes, plan_hits, plan_misses) = shard.pool.plan_cache_stats();
+                    let m = &shard.metrics;
+                    // Publish the plan-cache state (owned by the pool, not
+                    // a registry metric) as gauges so exporters see it.
+                    m.plan_shapes.set(plan_shapes as i64);
+                    m.plan_hits.set(plan_hits as i64);
+                    m.plan_misses.set(plan_misses as i64);
+                    let flush_latency = m.flush_latency.snapshot();
+                    let submitted = m.submitted.get();
+                    let drained = m.drained.get();
                     ShardStats {
                         streams: shard.pool.len(),
                         ready: shard.pool.ready_len(),
@@ -587,25 +620,28 @@ impl ShardedPool {
                         // increments its submit counter only after the
                         // enqueue, so a racing snapshot may briefly see
                         // drained ahead of submitted.
-                        queue_depth: shard.counters.submitted().saturating_sub(shard.drained)
-                            as usize,
+                        queue_depth: submitted.saturating_sub(drained) as usize,
                         queue_capacity: shard.queue_capacity,
-                        submitted: shard.counters.submitted(),
-                        throttled: shard.counters.throttled(),
-                        drained: shard.drained,
-                        ingest_errors: shard.ingest_errors,
-                        flushes: shard.flushes,
-                        flushed_streams: shard.flushed_streams,
-                        flushed_steps: shard.flushed_steps,
-                        flush_errors: shard.flush_errors,
-                        last_flush: std::time::Duration::from_nanos(shard.last_flush_ns),
-                        total_flush: std::time::Duration::from_nanos(shard.total_flush_ns),
+                        submitted,
+                        throttled: m.throttled.get(),
+                        drained,
+                        ingest_errors: m.ingest_errors.get(),
+                        flushes: flush_latency.count,
+                        flushed_streams: m.flushed_streams.get(),
+                        flushed_steps: m.flushed_steps.get(),
+                        flush_errors: m.flush_errors.get(),
+                        gated: m.gated.get(),
+                        last_flush: std::time::Duration::from_nanos(m.last_flush_ns.get() as u64),
+                        total_flush: std::time::Duration::from_nanos(flush_latency.sum),
+                        flush_latency,
+                        queue_wait: m.queue_wait.snapshot(),
                         plan_shapes,
                         plan_hits,
                         plan_misses,
                     }
                 })
                 .collect(),
+            drain_latency: self.drain_hist.snapshot(),
         }
     }
 }

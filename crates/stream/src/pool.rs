@@ -283,6 +283,7 @@ impl SmootherPool {
     /// evolve-triggered quanta of `kalman-serve`, or priority tiers).
     /// Ready streams the predicate rejects stay buffered and untouched.
     pub fn poll_into_where(&mut self, out: &mut PollBatch, mut pred: impl FnMut(StreamId) -> bool) {
+        let _span = kalman_obs::span!("stream.pool.poll");
         let policy = self.policy;
         // Stage: move each ready stream into an output slot, installing the
         // pool-shared schedule for its current window shape on the way.

@@ -71,6 +71,7 @@ fn select_plan<'a>(
         return &mut plans[0];
     }
     *plan_builds += 1;
+    kalman_obs::event("stream.plan_build", dims.len() as u64, *plan_builds);
     if plans.len() >= MAX_STREAM_PLANS {
         let evictee = plans.last_mut().expect("at capacity, non-empty");
         match cache.as_deref_mut() {
@@ -430,6 +431,7 @@ impl StreamingSmoother {
             out.truncate(0);
             return Ok(0);
         }
+        let _span = kalman_obs::span!("stream.flush");
         self.smooth_window_scratch()?;
         self.adapt_lag();
         let emitted = self.emit_into(count, out);

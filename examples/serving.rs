@@ -97,25 +97,23 @@ fn main() {
     // --- Metrics ----------------------------------------------------------
     let stats = pool.stats();
     println!("\nper-shard serving metrics after {drains} drains:");
-    println!(" shard  streams  submitted  throttled  flushes  steps  plan shapes (hits)");
-    for (s, m) in stats.shards.iter().enumerate() {
-        println!(
-            "{s:>6}  {:>7}  {:>9}  {:>9}  {:>7}  {:>5}  {:>11} ({})",
-            m.streams,
-            m.submitted,
-            m.throttled,
-            m.flushes,
-            m.flushed_steps,
-            m.plan_shapes,
-            m.plan_hits
-        );
-    }
+    println!("{stats}");
     let agg = stats.aggregate();
     println!(
         "\naggregate: {} events served, {} producer throttles (backpressure), \
          slowest batched flush {:?}",
         agg.submitted, agg.throttled, agg.last_flush
     );
+
+    // The registry-backed exporters see the same serving metrics with no
+    // extra wiring — one Prometheus line as proof.
+    let prom = kalman::obs::prometheus_text();
+    let prefix = pool.metrics_prefix().replace('.', "_");
+    let line = prom
+        .lines()
+        .find(|l| l.starts_with(&format!("{prefix}_shard0_flushed_steps")))
+        .expect("serving metrics are exported");
+    println!("exporter sees: {line}");
 
     // --- Wind-down --------------------------------------------------------
     for key in 0..users as u64 {

@@ -413,6 +413,23 @@ fn saturated_sharded_serving_is_allocation_free_and_matches_unsharded() {
         }
     }
 
+    // The zero-allocation claim below is made *with the observability
+    // subsystem live* (unless this binary was built with `obs-off`):
+    // every drain recorded spans, queue-wait stamps, and histogram
+    // samples, and still allocated nothing.
+    let stats = pool.stats();
+    if kalman::obs::enabled() {
+        let agg = stats.aggregate();
+        assert_eq!(
+            agg.queue_wait.count, agg.drained,
+            "instrumentation was live: every drained op carried a stamp"
+        );
+        assert!(
+            stats.drain_latency.count as usize >= alloc_log.len(),
+            "every measured drain recorded into the drain-latency histogram"
+        );
+    }
+
     // Backpressure engaged: producers outran the queues and were parked.
     let agg = pool.stats().aggregate();
     assert!(
