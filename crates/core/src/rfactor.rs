@@ -100,7 +100,7 @@ impl OddEvenR {
     ) -> Result<()> {
         y.truncate(self.num_states());
         while y.len() < self.num_states() {
-            y.push(Vec::new());
+            y.push(Vec::new()); // lint: allow(alloc, "grows the reused output to window length once; repeat windows reuse the slots")
         }
         for v in y.iter_mut() {
             v.clear();
@@ -117,6 +117,7 @@ impl OddEvenR {
                 map_collect_into(level_policy, level.len(), &mut scratch.solved, |idx| {
                     let j = level[idx];
                     let row = &self.rows[j];
+                    // lint: allow(alloc, "the parallel map must produce an owned per-column solution; bounded by one state's rhs (n_j x 1)")
                     let mut b = row.rhs.clone();
                     for (target, block) in &row.off {
                         let yt = &y_ref[*target];

@@ -122,6 +122,7 @@ pub fn selinv_diag_into(
                 );
                 let mut xs: [Option<(usize, Matrix)>; 2] = [None, None];
                 for (slot, (a, block)) in xs.iter_mut().zip(&row.off) {
+                    // lint: allow(alloc, "owned input to the in-place triangular solve; bounded by one off-diagonal block (n_j x n_a)")
                     let mut x = block.clone();
                     tri::solve_upper_in_place(&row.diag, &mut x)
                         .map_err(|_| KalmanError::RankDeficient { state: j })?;
@@ -165,7 +166,7 @@ pub fn selinv_diag_into(
 
     out.clear();
     for row in s.iter_mut() {
-        out.push(row.take().expect("all states processed").diag);
+        out.push(row.take().expect("all states processed").diag); // lint: allow(alloc, "push into cleared output that retains capacity across windows; amortized, steady-state alloc-free")
     }
     Ok(())
 }

@@ -319,6 +319,7 @@ impl Matrix {
     }
 
     /// Returns `self * s` as a new matrix.
+    // lint: allow(alloc, "by-value API allocates by contract; flush-path callers invoke it once per forget step, not per state")
     pub fn scaled(&self, s: f64) -> Matrix {
         let mut m = self.clone();
         m.scale(s);

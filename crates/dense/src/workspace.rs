@@ -77,17 +77,21 @@ static REFERENCE_KERNELS_INIT: AtomicBool = AtomicBool::new(false);
 /// to isolate the allocator's contribution; flipping it mid-computation is
 /// safe (buffers taken under either setting are correctly dropped).
 pub fn set_pooling(enabled: bool) {
+    // Relaxed: an independent on/off flag — no other memory is published
+    // under it, and either value leaves takers correct.
     POOLING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// `true` when buffer pooling is active.
 pub fn pooling_enabled() -> bool {
+    // Relaxed: the lazy init is idempotent (every racer derives the same
+    // value from the environment), so no ordering is needed.
     match POOLING.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
         _ => {
             let enabled = std::env::var_os("KALMAN_WS_DISABLE").is_none();
-            POOLING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed);
+            POOLING.store(if enabled { 1 } else { 2 }, Ordering::Relaxed); // Relaxed: same idempotent-init argument as the load above.
             enabled
         }
     }
@@ -149,20 +153,24 @@ pub fn budget_for_len(len: usize) -> usize {
 /// kernels.  The benchmark harness flips this to measure the blocked
 /// kernels' speedup within one process.
 pub fn set_reference_kernels(on: bool) {
-    // Value first, then the init flag: a concurrent `reference_kernels()`
-    // that observes the flag must not read a stale value.
+    // Relaxed on both: callers flip this during single-threaded setup (the
+    // bench harness, or the lazy env-derived init below, which is
+    // idempotent) — thread spawn/join provides the happens-before edge for
+    // any worker that later reads the flags.
     REFERENCE_KERNELS.store(on, Ordering::Relaxed);
-    REFERENCE_KERNELS_INIT.store(true, Ordering::Relaxed);
+    REFERENCE_KERNELS_INIT.store(true, Ordering::Relaxed); // Relaxed: see the setup/happens-before argument above.
 }
 
 /// `true` when the reference (unblocked) kernels are forced.
 pub fn reference_kernels() -> bool {
+    // Relaxed: the lazy init is idempotent (every racer derives the same
+    // value from the environment), so no ordering is needed.
     if !REFERENCE_KERNELS_INIT.load(Ordering::Relaxed) {
         let on = std::env::var_os("KALMAN_REF_KERNELS").is_some();
         set_reference_kernels(on);
         return on;
     }
-    REFERENCE_KERNELS.load(Ordering::Relaxed)
+    REFERENCE_KERNELS.load(Ordering::Relaxed) // Relaxed: same idempotent-init argument as above.
 }
 
 /// Pool usage counters (per thread), for benchmark reporting and tests.

@@ -1,0 +1,30 @@
+//! The four analyses: alloc-freedom, panic-freedom, unsafe audit, and
+//! atomic-ordering discipline.
+
+pub mod alloc;
+pub mod atomics;
+pub mod panics;
+pub mod unsafety;
+
+use std::path::Path;
+
+/// True when `path` (workspace-relative, slash-separated) is `prefix`
+/// itself or lies underneath it.
+pub fn under(path: &Path, prefix: &str) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    let prefix = prefix.trim_end_matches('/');
+    p == prefix || p.starts_with(&format!("{prefix}/"))
+}
+
+/// True when `path` is under any of `prefixes`.
+pub fn in_scope(path: &Path, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| under(path, p))
+}
+
+/// Rust keywords that can be directly followed by `(` without being calls.
+pub const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "match", "while", "return", "for", "loop", "in", "as", "move", "unsafe", "let", "else",
+    "fn", "impl", "dyn", "box", "ref", "mut", "where", "use", "pub", "crate", "super", "self",
+    "Self", "break", "continue", "yield", "await", "async", "const", "static", "type", "trait",
+    "enum", "struct", "mod", "extern",
+];

@@ -1,0 +1,154 @@
+//! The `lint.baseline` ratchet: grandfathered finding keys.
+//!
+//! New findings (keys absent from the baseline) are errors; findings whose
+//! key is listed are downgraded to warnings so pre-existing debt does not
+//! block CI while still being visible.  `--update-baseline` rewrites the
+//! file from the current findings.  The committed baseline of this
+//! workspace is **empty** — every suppression is an inline reasoned
+//! pragma, and the ratchet only exists so future debt can be introduced
+//! deliberately rather than silently.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::diag::{Finding, Level};
+
+/// A loaded baseline: the set of grandfathered keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let mut keys = BTreeSet::new();
+        match std::fs::read_to_string(path) {
+            Ok(src) => {
+                for line in src.lines() {
+                    let line = line.split('#').next().unwrap_or("").trim();
+                    if !line.is_empty() {
+                        keys.insert(line.to_string());
+                    }
+                }
+                Ok(Baseline { keys })
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Number of grandfathered keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Downgrades grandfathered findings to warnings and returns the
+    /// stale keys (present in the baseline, no longer found) so the
+    /// ratchet can tighten.
+    pub fn apply(&self, findings: &mut [Finding]) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        for f in findings.iter_mut() {
+            let key = f.key();
+            if self.keys.contains(&key) {
+                f.level = Level::Warn;
+                seen.insert(key);
+            }
+        }
+        self.keys.difference(&seen).cloned().collect()
+    }
+
+    /// Serializes `findings` as baseline content (keys with location
+    /// comments, sorted for stable diffs).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut out = String::from(
+            "# kalman-lint baseline — grandfathered finding keys (one per line).\n\
+             # New findings not listed here fail `--ci`; regenerate with\n\
+             # `cargo run -p kalman-lint -- --update-baseline` only when debt\n\
+             # is introduced deliberately.  Keep this file empty when you can.\n",
+        );
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "{}  # {}:{} {}",
+                    f.key(),
+                    f.file,
+                    f.line,
+                    first_words(&f.message)
+                )
+            })
+            .collect();
+        lines.sort();
+        lines.dedup();
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn first_words(msg: &str) -> &str {
+    if msg.len() <= 60 {
+        return msg;
+    }
+    let mut end = 60;
+    while !msg.is_char_boundary(end) {
+        end -= 1;
+    }
+    &msg[..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Analysis;
+    use std::path::PathBuf;
+
+    #[test]
+    fn grandfathers_and_reports_stale() {
+        let mut findings = vec![
+            Finding::new(
+                Analysis::Panic,
+                &PathBuf::from("a.rs"),
+                3,
+                "old `.unwrap()`",
+            ),
+            Finding::new(
+                Analysis::Panic,
+                &PathBuf::from("a.rs"),
+                9,
+                "new `.unwrap()` two",
+            ),
+        ];
+        let content = Baseline::render(&findings[..1]);
+        let dir = std::env::temp_dir().join("kalman-lint-test-baseline");
+        std::fs::write(&dir, content).unwrap();
+        let bl = Baseline::load(&dir).unwrap();
+        assert_eq!(bl.len(), 1);
+        // Add a stale key that no longer corresponds to a finding.
+        std::fs::write(
+            &dir,
+            format!("{}\ndeadbeef-stale-key\n", Baseline::render(&findings[..1])),
+        )
+        .unwrap();
+        let bl = Baseline::load(&dir).unwrap();
+        let stale = bl.apply(&mut findings);
+        assert_eq!(findings[0].level, Level::Warn, "grandfathered");
+        assert_eq!(findings[1].level, Level::Error, "new finding stays fatal");
+        assert_eq!(stale, vec!["deadbeef-stale-key".to_string()]);
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let bl = Baseline::load(Path::new("/nonexistent/lint.baseline")).unwrap();
+        assert!(bl.is_empty());
+    }
+}

@@ -1,0 +1,448 @@
+//! A lightweight structural pass over the token stream: function and impl
+//! boundaries, attributes, and `#[cfg(test)]` regions.
+//!
+//! This is *not* a Rust parser — it is a bracket-matching outline walker
+//! that recovers just enough structure for the analyses:
+//!
+//! * every `fn` item with its name, declaration line, body token range,
+//!   and enclosing `impl`/`trait` type name (for `Type::method` call
+//!   resolution);
+//! * which token ranges are test code (`#[cfg(test)]` modules, `#[test]`
+//!   functions) so production-only rules can skip them;
+//! * which source lines are attribute lines (transparent for the
+//!   "adjacent comment" rules);
+//! * the set of inner attributes (`#![…]`) at the crate root, for the
+//!   `#![forbid(unsafe_code)]` cross-check.
+
+use crate::lexer::SourceFile;
+
+/// One `fn` item (or trait/impl method) found in a file.
+#[derive(Debug)]
+pub struct Function {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when inside one.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: u32,
+    /// Code-token index range of the body, `start..end` over
+    /// [`SourceFile::code`], excluding the outer braces.  Empty for
+    /// body-less trait method declarations.
+    pub body: std::ops::Range<usize>,
+    /// True inside `#[cfg(test)]` regions or under `#[test]`.
+    pub is_test: bool,
+}
+
+/// The structural outline of one file.
+#[derive(Debug)]
+pub struct Outline {
+    /// Every function in the file, in source order (nested fns included).
+    pub functions: Vec<Function>,
+    /// Code-token index ranges covered by `#[cfg(test)]` modules/items.
+    pub test_ranges: Vec<std::ops::Range<usize>>,
+    /// 1-based lines occupied (started) by attribute tokens.
+    pub attr_lines: Vec<u32>,
+    /// Texts of crate-level inner attributes (`#![…]`), whitespace-free,
+    /// e.g. `forbid(unsafe_code)`.
+    pub inner_attrs: Vec<String>,
+}
+
+impl Outline {
+    /// True when code-token index `i` lies in any test range.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&i))
+    }
+
+    /// True when `line` is an attribute-only continuation for adjacency
+    /// walks (an attribute token starts on it).
+    pub fn is_attr_line(&self, line: u32) -> bool {
+        self.attr_lines.binary_search(&line).is_ok()
+    }
+}
+
+/// Keywords that can precede `fn` in an item declaration.
+const FN_QUALIFIERS: &[&str] = &[
+    "pub", "crate", "const", "async", "unsafe", "extern", "default",
+];
+
+/// Builds the [`Outline`] of a lexed file.
+pub fn outline(file: &SourceFile) -> Outline {
+    let n = file.code_len();
+    let mut functions = Vec::new();
+    let mut test_ranges = Vec::new();
+    let mut attr_lines = Vec::new();
+    let mut inner_attrs = Vec::new();
+
+    // Enclosing-context stack: (code index of the opening `{`, impl/trait
+    // type name if this scope is an impl/trait, scope-is-test flag).
+    struct Scope {
+        qual: Option<String>,
+        is_test: bool,
+    }
+    let mut scopes: Vec<Scope> = Vec::new();
+    // Attributes seen since the last item-ish token, pending application.
+    let mut pending_test_attr = false;
+    let mut pending_cfg_test = false;
+
+    let mut i = 0usize;
+    while i < n {
+        let t = file.ct(i);
+        // --- attributes -------------------------------------------------
+        if t.is_punct('#') {
+            let inner = i + 1 < n && file.ct(i + 1).is_punct('!');
+            let open = i + if inner { 2 } else { 1 };
+            if open < n && file.ct(open).is_punct('[') {
+                let close = match_bracket(file, open, '[', ']');
+                let mut text = String::new();
+                for k in open + 1..close {
+                    match file.ct(k).ident() {
+                        Some(s) => text.push_str(s),
+                        None => {
+                            if let crate::lexer::Tok::Punct(c) = file.ct(k).kind {
+                                text.push(c)
+                            }
+                        }
+                    }
+                }
+                for k in i..=close.min(n - 1) {
+                    attr_lines.push(file.ct(k).line);
+                }
+                if inner && scopes.is_empty() {
+                    inner_attrs.push(text.clone());
+                }
+                if !inner {
+                    if text == "test" || text.starts_with("test(") || text.ends_with("::test") {
+                        pending_test_attr = true;
+                    }
+                    if text.contains("cfg") && text.contains("test") {
+                        pending_cfg_test = true;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+
+        let in_test_scope = scopes.iter().any(|s| s.is_test);
+        match t.ident() {
+            // --- functions ----------------------------------------------
+            Some("fn") => {
+                let decl_line = t.line;
+                // `unsafe fn(…)` / `fn(…)` in type position has no name.
+                let name = file.ct_opt(i + 1).and_then(|t| t.ident()).map(String::from);
+                let is_test = pending_test_attr || pending_cfg_test || in_test_scope;
+                // Find the body `{` (or `;` for a declaration) from the
+                // signature, skipping nothing fancier than tokens.
+                let mut j = i + 1;
+                let mut body = 0..0;
+                while j < n {
+                    let tj = file.ct(j);
+                    if tj.is_punct('{') {
+                        let close = match_bracket(file, j, '{', '}');
+                        body = j + 1..close;
+                        break;
+                    }
+                    if tj.is_punct(';') || tj.is_punct('}') {
+                        break; // declaration only, or fn-pointer type
+                    }
+                    j += 1;
+                }
+                if let Some(name) = name {
+                    let qual = scopes.iter().rev().find_map(|s| s.qual.clone());
+                    functions.push(Function {
+                        name,
+                        qual,
+                        decl_line,
+                        body: body.clone(),
+                        is_test,
+                    });
+                }
+                if is_test && !body.is_empty() {
+                    test_ranges.push(body.start - 1..body.end + 1);
+                }
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                // Descend into the body so nested items are seen; the
+                // scope stack tracks braces via the generic `{` arm.
+                i += 1;
+                continue;
+            }
+            // --- impl / trait blocks ------------------------------------
+            Some("impl") | Some("trait") => {
+                let type_name = impl_type_name(file, i, n);
+                // Walk to the opening brace of the block.
+                let mut j = i + 1;
+                let mut depth_angle = 0i32;
+                while j < n {
+                    let tj = file.ct(j);
+                    if tj.is_punct('<') && !prev_is(file, j, '-') {
+                        depth_angle += 1;
+                    } else if tj.is_punct('>') && !prev_is(file, j, '-') && depth_angle > 0 {
+                        depth_angle -= 1;
+                    } else if tj.is_punct('{') && depth_angle <= 0 {
+                        break;
+                    } else if tj.is_punct(';') {
+                        // `impl Trait for Type;`-like or parse confusion.
+                        break;
+                    }
+                    j += 1;
+                }
+                if j < n && file.ct(j).is_punct('{') {
+                    let is_test = pending_cfg_test || in_test_scope;
+                    if is_test {
+                        let close = match_bracket(file, j, '{', '}');
+                        test_ranges.push(j..close + 1);
+                    }
+                    scopes.push(Scope {
+                        qual: type_name,
+                        is_test,
+                    });
+                    pending_test_attr = false;
+                    pending_cfg_test = false;
+                    i = j + 1;
+                    continue;
+                }
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                i += 1;
+                continue;
+            }
+            // --- modules ------------------------------------------------
+            Some("mod") => {
+                // `mod name {` opens a scope; `mod name;` does not.
+                let mut j = i + 1;
+                while j < n && !file.ct(j).is_punct('{') && !file.ct(j).is_punct(';') {
+                    j += 1;
+                }
+                if j < n && file.ct(j).is_punct('{') {
+                    let is_test = pending_cfg_test || in_test_scope;
+                    if is_test {
+                        let close = match_bracket(file, j, '{', '}');
+                        test_ranges.push(j..close + 1);
+                    }
+                    scopes.push(Scope {
+                        qual: None,
+                        is_test,
+                    });
+                    i = j + 1;
+                    pending_test_attr = false;
+                    pending_cfg_test = false;
+                    continue;
+                }
+                pending_test_attr = false;
+                pending_cfg_test = false;
+                i = j + 1;
+                continue;
+            }
+            _ => {}
+        }
+        if t.is_punct('{') {
+            scopes.push(Scope {
+                qual: None,
+                is_test: in_test_scope,
+            });
+        } else if t.is_punct('}') {
+            scopes.pop();
+        } else if t.ident().is_some()
+            && !FN_QUALIFIERS.contains(&t.ident().unwrap_or(""))
+            && !t.is_punct(']')
+        {
+            // Any substantive token between an attribute and the next
+            // item consumes pending attribute state (e.g. `#[test]` on a
+            // `struct` should not leak onto a later `fn`).  Qualifiers
+            // (`pub`, `const`, …) keep it pending.
+            if !matches!(t.ident(), Some("where")) {
+                pending_test_attr = false;
+                pending_cfg_test = false;
+            }
+        }
+        i += 1;
+    }
+
+    attr_lines.sort_unstable();
+    attr_lines.dedup();
+    Outline {
+        functions,
+        test_ranges,
+        attr_lines,
+        inner_attrs,
+    }
+}
+
+impl SourceFile {
+    /// The code token at index `i`, if in range.
+    pub fn ct_opt(&self, i: usize) -> Option<&crate::lexer::Token> {
+        self.code.get(i).map(|&k| &self.tokens[k])
+    }
+}
+
+fn prev_is(file: &SourceFile, i: usize, c: char) -> bool {
+    i > 0 && file.ct(i - 1).is_punct(c)
+}
+
+/// Index of the matching close bracket for the open bracket at code index
+/// `open` (returns the last token index when unbalanced at EOF).
+fn match_bracket(file: &SourceFile, open: usize, oc: char, cc: char) -> usize {
+    let n = file.code_len();
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < n {
+        let t = file.ct(i);
+        if t.is_punct(oc) {
+            depth += 1;
+        } else if t.is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    n.saturating_sub(1)
+}
+
+/// Extracts the implemented type's name from an `impl`/`trait` header at
+/// code index `i`: the last path identifier at angle-depth 0 before the
+/// opening brace — after `for` when present (`impl Trait for Type`).
+fn impl_type_name(file: &SourceFile, i: usize, n: usize) -> Option<String> {
+    let mut j = i + 1;
+    let mut depth_angle = 0i32;
+    let mut last: Option<String> = None;
+    while j < n {
+        let t = file.ct(j);
+        if t.is_punct('<') && !prev_is(file, j, '-') {
+            depth_angle += 1;
+        } else if t.is_punct('>') && !prev_is(file, j, '-') {
+            depth_angle -= 1;
+        } else if (t.is_punct('{') || t.ident() == Some("where")) && depth_angle <= 0 {
+            break;
+        } else if t.ident() == Some("for") && depth_angle <= 0 {
+            last = None; // the type follows; what came before was the trait
+        } else if depth_angle <= 0 {
+            if let Some(id) = t.ident() {
+                if !FN_QUALIFIERS.contains(&id) && id != "impl" && id != "trait" && id != "dyn" {
+                    last = Some(id.to_string());
+                }
+            }
+        }
+        j += 1;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_file;
+
+    fn parse(src: &str) -> (crate::lexer::SourceFile, Outline) {
+        let f = lex_file("t.rs", src);
+        let o = outline(&f);
+        (f, o)
+    }
+
+    #[test]
+    fn finds_functions_with_impl_context() {
+        let src = r#"
+            pub fn free(x: u32) -> u32 { x }
+            struct S;
+            impl S {
+                pub(crate) fn method(&self) { helper(); }
+            }
+            impl std::fmt::Display for S {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }
+            }
+            trait T { fn decl(&self); fn with_body(&self) {} }
+        "#;
+        let (_, o) = parse(src);
+        let names: Vec<_> = o
+            .functions
+            .iter()
+            .map(|f| (f.qual.clone(), f.name.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                (None, "free".into()),
+                (Some("S".into()), "method".into()),
+                (Some("S".into()), "fmt".into()),
+                (Some("T".into()), "decl".into()),
+                (Some("T".into()), "with_body".into()),
+            ]
+        );
+        assert!(o.functions[3].body.is_empty(), "decl has no body");
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_test_ranges() {
+        let src = r#"
+            fn prod() { work(); }
+            #[test]
+            fn unit() { prod().unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn t2() {}
+            }
+            fn prod2() {}
+        "#;
+        let (_, o) = parse(src);
+        let by_name = |n: &str| o.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("unit").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t2").is_test);
+        assert!(
+            !by_name("prod2").is_test,
+            "test state must not leak out of the module"
+        );
+    }
+
+    #[test]
+    fn attributes_do_not_leak_across_items() {
+        let src = r#"
+            #[test]
+            struct NotAFn;
+            fn later() {}
+        "#;
+        let (_, o) = parse(src);
+        assert!(!o.functions[0].is_test);
+    }
+
+    #[test]
+    fn inner_attrs_at_crate_root() {
+        let src = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\nfn f() {}";
+        let (_, o) = parse(src);
+        assert!(o.inner_attrs.iter().any(|a| a == "forbid(unsafe_code)"));
+        assert!(o.inner_attrs.iter().any(|a| a == "warn(missing_docs)"));
+    }
+
+    #[test]
+    fn impl_headers_with_generics_and_arrows() {
+        let src = r#"
+            impl<F: Fn() -> u32, T> Holder<F, T> where T: Clone {
+                fn get(&self) {}
+            }
+        "#;
+        let (_, o) = parse(src);
+        assert_eq!(o.functions[0].qual.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_functions() {
+        let src = "struct J { exec: unsafe fn(*const ()), }\nfn real() {}";
+        let (_, o) = parse(src);
+        let names: Vec<_> = o.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn attr_lines_are_recorded() {
+        let src = "/// doc\n#[inline]\n#[cfg(feature = \"x\")]\nfn f() {}";
+        let (_, o) = parse(src);
+        assert!(o.is_attr_line(2));
+        assert!(o.is_attr_line(3));
+        assert!(!o.is_attr_line(4));
+    }
+}

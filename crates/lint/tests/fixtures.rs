@@ -1,0 +1,181 @@
+//! End-to-end driver tests: each fixture under `tests/fixtures/` is a
+//! miniature workspace with one seeded violation per analysis, proving the
+//! linter exits nonzero on real findings, and the workspace self-check
+//! proves the committed tree stays clean against an **empty** baseline.
+
+use std::path::PathBuf;
+
+use kalman_lint::diag::{Analysis, Level};
+use kalman_lint::driver::{execute, Options, Outcome};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_fixture(name: &str) -> Outcome {
+    execute(&Options::for_root(fixture(name))).expect("fixture lints cleanly through the driver")
+}
+
+fn errors_of(outcome: &Outcome, analysis: Analysis) -> Vec<(String, u32, String)> {
+    outcome
+        .report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Error && f.analysis == analysis)
+        .map(|f| (f.file.clone(), f.line, f.message.clone()))
+        .collect()
+}
+
+#[test]
+fn alloc_fixture_fails_with_a_call_chain() {
+    let out = run_fixture("alloc");
+    assert_eq!(
+        out.exit_code, 1,
+        "seeded violation must fail:\n{}",
+        out.human
+    );
+    let errs = errors_of(&out, Analysis::Alloc);
+    assert_eq!(errs.len(), 1, "exactly the seeded push:\n{}", out.human);
+    let (file, _, msg) = &errs[0];
+    assert_eq!(file, "src/hot.rs");
+    assert!(msg.contains("`.push(…)`"), "names the construct: {msg}");
+    assert!(
+        msg.contains("hot_loop → helper"),
+        "reports the example call chain: {msg}"
+    );
+    // The pragma'd cold constructor is silenced, and the pragma is used
+    // (no hygiene warning about it).
+    assert!(!out.human.contains("unused `lint: allow"), "{}", out.human);
+}
+
+#[test]
+fn panic_fixture_flags_unwrap_but_not_the_pragma() {
+    let out = run_fixture("panics");
+    assert_eq!(out.exit_code, 1, "{}", out.human);
+    let errs = errors_of(&out, Analysis::Panic);
+    assert_eq!(errs.len(), 1, "only the bare unwrap:\n{}", out.human);
+    assert!(errs[0].2.contains("`.unwrap()`"), "{}", errs[0].2);
+    // The test-module unwrap and the pragma'd expect stay silent.
+    assert!(!out.human.contains("expect"), "{}", out.human);
+}
+
+#[test]
+fn unsafety_fixture_flags_block_and_missing_forbid() {
+    let out = run_fixture("unsafety");
+    assert_eq!(out.exit_code, 1, "{}", out.human);
+    let errs = errors_of(&out, Analysis::Unsafe);
+    assert_eq!(
+        errs.len(),
+        2,
+        "undocumented block + missing forbid:\n{}",
+        out.human
+    );
+    assert!(
+        errs.iter().any(|(_, _, m)| m.contains("SAFETY")),
+        "{}",
+        out.human
+    );
+    assert!(
+        errs.iter()
+            .any(|(_, _, m)| m.contains("forbid(unsafe_code)")),
+        "{}",
+        out.human
+    );
+    // The SAFETY-documented block two functions down is not flagged.
+    assert!(
+        errs.iter()
+            .filter(|(_, _, m)| m.contains("`unsafe` block"))
+            .count()
+            == 1,
+        "{}",
+        out.human
+    );
+}
+
+#[test]
+fn atomics_fixture_flags_both_zones() {
+    let out = run_fixture("atomics");
+    assert_eq!(out.exit_code, 1, "{}", out.human);
+    let errs = errors_of(&out, Analysis::Atomic);
+    assert_eq!(errs.len(), 2, "one per zone:\n{}", out.human);
+    assert!(
+        errs.iter()
+            .any(|(f, _, m)| f == "src/relaxed/counters.rs" && m.contains("all-Relaxed")),
+        "{}",
+        out.human
+    );
+    assert!(
+        errs.iter()
+            .any(|(f, _, m)| f == "src/other.rs" && m.contains("justification")),
+        "{}",
+        out.human
+    );
+}
+
+#[test]
+fn baseline_grandfathers_then_reports_stale_keys() {
+    let dir = std::env::temp_dir().join(format!(
+        "kalman-lint-fixture-baseline-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("lint.baseline");
+
+    // 1. Ratchet the seeded violation into the baseline.
+    let mut opts = Options::for_root(fixture("panics"));
+    opts.baseline = Some(baseline.clone());
+    opts.update_baseline = true;
+    let out = execute(&opts).unwrap();
+    assert_eq!(out.exit_code, 0, "{}", out.human);
+
+    // 2. With the baseline applied the same tree passes, finding downgraded.
+    opts.update_baseline = false;
+    let out = execute(&opts).unwrap();
+    assert_eq!(out.exit_code, 0, "grandfathered:\n{}", out.human);
+    assert!(out.human.contains("1 grandfathered"), "{}", out.human);
+    assert!(
+        out.report
+            .findings
+            .iter()
+            .any(|f| f.analysis == Analysis::Panic && f.level == Level::Warn),
+        "{}",
+        out.human
+    );
+
+    // 3. A stale key (debt that was since fixed) is reported for tightening.
+    let mut content = std::fs::read_to_string(&baseline).unwrap();
+    content.push_str("panic:src/gone.rs:00000000deadbeef\n");
+    std::fs::write(&baseline, content).unwrap();
+    let out = execute(&opts).unwrap();
+    assert_eq!(out.stale_keys.len(), 1, "{}", out.human);
+    assert!(out.human.contains("stale baseline entry"), "{}", out.human);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn workspace_self_check_is_clean_with_empty_baseline() {
+    // `crates/lint` → the workspace root two levels up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap();
+    let out = execute(&Options::for_root(root)).expect("workspace lints");
+    assert_eq!(
+        out.exit_code, 0,
+        "the committed tree must lint clean:\n{}",
+        out.human
+    );
+    assert!(
+        out.human.contains("baseline empty"),
+        "every suppression must be an inline reasoned pragma, not baseline debt:\n{}",
+        out.human
+    );
+    assert!(
+        out.human.contains("0 error(s), 0 warning(s)"),
+        "no warnings either (unused pragmas are stale documentation):\n{}",
+        out.human
+    );
+}

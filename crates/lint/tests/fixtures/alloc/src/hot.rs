@@ -1,0 +1,14 @@
+//! Seeded violation: an allocation two call-graph hops from a hot path.
+
+pub fn hot_loop(out: &mut Vec<u64>) {
+    helper(out);
+}
+
+fn helper(out: &mut Vec<u64>) {
+    out.push(1);
+}
+
+pub fn cold_setup() -> Vec<u64> {
+    // lint: allow(alloc, "fixture: construction runs once, off the hot path")
+    Vec::with_capacity(8)
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: `Relaxed` outside the zone with no justification.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn set_wrong(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed);
+}
+
+pub fn set_justified(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed); // Relaxed: idempotent flag, nothing published under it.
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: a non-Relaxed ordering inside the Relaxed-only zone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump_wrong(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn bump_fine(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,19 @@
+//! Seeded violation: a bare `.unwrap()` in covered non-test code, next to
+//! a pragma-justified `.expect()` and a test-module unwrap that are fine.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(v: Option<u32>) -> u32 {
+    // lint: allow(panic, "fixture: reasoned escape hatch")
+    v.expect("covered by the pragma above")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//! Seeded violations: this crate root lacks `#![forbid(unsafe_code)]`,
+//! and `peek` has an unsafe block with no adjacent SAFETY comment.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub fn documented(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element.
+    unsafe { *v.as_ptr() }
+}

@@ -229,6 +229,7 @@ pub fn whiten_window_into(
         ));
     }
     if steps[0].state_dim != head.state_dim() {
+        // lint: allow(alloc, "error path: allocates only on a malformed window")
         return Err(KalmanError::InvalidModel(format!(
             "window head has dimension {} but step 0 has dimension {}",
             head.state_dim(),
@@ -238,18 +239,19 @@ pub fn whiten_window_into(
     out.clear();
     for (i, step) in steps.iter().enumerate() {
         if i > 0 && step.evolution.is_none() {
+            // lint: allow(alloc, "error path: allocates only on a malformed window")
             return Err(KalmanError::InvalidModel(format!(
                 "window step {i} is missing its evolution equation"
             )));
         }
-        out.push(WhitenedStep::from_step(step, i)?);
+        out.push(WhitenedStep::from_step(step, i)?); // lint: allow(alloc, "push into cleared output that retains capacity across windows; amortized, steady-state alloc-free")
     }
     if !head.is_empty() {
         let (hc, hd) = head.rows_ref();
         let first = &mut out[0];
         first.obs = Some(WhitenedObs::with_rows_above(
-            hc.clone(),
-            hd.clone(),
+            hc.clone(), // lint: allow(alloc, "one head-row copy per window, bounded by the head dimension")
+            hd.clone(), // lint: allow(alloc, "one head-row copy per window, bounded by the head dimension")
             first.obs.take(),
         ));
     }

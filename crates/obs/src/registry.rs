@@ -47,6 +47,7 @@ fn lookup<T>(
     let mut reg = registry().lock().unwrap_or_else(|p| p.into_inner());
     if let Some((_, entry)) = reg.iter().find(|(n, _)| n == name) {
         return matching(entry).unwrap_or_else(|| {
+            // lint: allow(panic, "programming error: a metric name reused with a different kind; the documented # Panics contract of every accessor")
             panic!(
                 "metric {name:?} already registered as a {}, requested with a different kind",
                 entry.kind()
@@ -54,6 +55,7 @@ fn lookup<T>(
         });
     }
     let entry = create();
+    // lint: allow(panic, "infallible: `create` builds the kind `matching` selects, in the same call")
     let handle = matching(&entry).expect("freshly created entry matches its own kind");
     reg.push((name.to_owned(), entry));
     handle
@@ -126,6 +128,7 @@ pub fn register_sampler(name: &str, sample: impl Fn() -> f64 + Send + Sync + 'st
     if let Some((_, entry)) = reg.iter_mut().find(|(n, _)| n == name) {
         match entry {
             Entry::Sampled(s) => *s = Box::new(sample),
+            // lint: allow(panic, "programming error: a metric name reused with a different kind; documented # Panics contract")
             other => panic!(
                 "metric {name:?} already registered as a {}, cannot become a sampler",
                 other.kind()

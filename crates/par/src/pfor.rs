@@ -124,9 +124,9 @@ mod tests {
         ] {
             let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
             for_each_index(policy, 97, |i| {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+                hits[i].fetch_add(1, Ordering::Relaxed); // Relaxed: pure count; the parallel region's join orders it before the assert.
             });
-            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)); // Relaxed: read after the join's happens-before edge.
         }
     }
 

@@ -190,6 +190,8 @@ impl ShardedPool {
         // Wire the dense workspace-pool counters into the registry so the
         // exporters report them alongside the serving metrics.
         kalman_dense::register_workspace_gauges();
+        // Relaxed: unique-ID counter — only atomicity matters, nothing is
+        // published under it.
         let pool_seq = POOL_SEQ.fetch_add(1, Ordering::Relaxed);
         let metrics_prefix = format!("serve.pool{pool_seq}");
         let drain_hist = kalman_obs::histogram(&format!("{metrics_prefix}.drain_latency"));

@@ -137,6 +137,7 @@ impl SmootherPool {
     }
 
     /// Adds a stream (its auto-flush is disabled: the pool owns flushing).
+    // lint: allow(alloc, "cold region: stream registration is a control-plane operation, not part of the poll/flush hot path")
     pub fn insert(&mut self, mut stream: StreamingSmoother) -> StreamId {
         stream.set_auto_flush(false);
         self.live += 1;
@@ -293,10 +294,11 @@ impl SmootherPool {
             if !ready || !pred(StreamId(i)) {
                 continue;
             }
+            // lint: allow(panic, "infallible: `ready` above matched Some, and nothing takes the slot in between")
             let mut stream = slot.take().expect("readiness checked above");
             stream.prepare_pooled_plan(&mut self.plan_cache);
             if out.entries.len() == count {
-                out.entries.push(PollEntry::empty());
+                out.entries.push(PollEntry::empty()); // lint: allow(alloc, "grows the reused poll batch to high-water mark once; later polls reuse parked slots")
             }
             let entry = &mut out.entries[count];
             entry.id = StreamId(i);
@@ -309,6 +311,7 @@ impl SmootherPool {
         out.used = count;
         // One parallel batch: each task owns its stream and output slot.
         for_each_mut(policy, &mut out.entries[..count], |_, entry| {
+            // lint: allow(panic, "infallible: the staging loop above set `stream` to Some for every entry in ..count")
             let stream = entry.stream.as_mut().expect("staged above");
             entry.outcome = stream.flush_into(&mut entry.steps).map(|_| ());
             if entry.outcome.is_err() {

@@ -73,6 +73,7 @@ fn select_plan<'a>(
     *plan_builds += 1;
     kalman_obs::event("stream.plan_build", dims.len() as u64, *plan_builds);
     if plans.len() >= MAX_STREAM_PLANS {
+        // lint: allow(panic, "infallible: len >= MAX_STREAM_PLANS >= 1, so last_mut() is Some")
         let evictee = plans.last_mut().expect("at capacity, non-empty");
         match cache.as_deref_mut() {
             Some(c) => evictee.set_schedule(c.get_or_build(dims)),
@@ -255,6 +256,7 @@ impl StreamingSmoother {
 
     /// Dimension of the newest state.
     pub fn state_dim(&self) -> usize {
+        // lint: allow(panic, "infallible: the constructor seeds one step and flush never drains below one")
         self.buffer.last().expect("buffer is never empty").state_dim
     }
 
@@ -318,6 +320,7 @@ impl StreamingSmoother {
     /// [`KalmanError::InvalidModel`] on dimension mismatches.
     pub fn observe(&mut self, observation: Observation) -> Result<()> {
         let index = self.base_index + (self.buffer.len() - 1) as u64;
+        // lint: allow(panic, "infallible: the constructor seeds one step and flush never drains below one")
         let step = self.buffer.last_mut().expect("buffer is never empty");
         if observation.g.cols() != step.state_dim {
             return Err(KalmanError::InvalidModel(format!(
@@ -377,6 +380,7 @@ impl StreamingSmoother {
                 "cannot drop the window's base step: older data is already condensed".into(),
             ));
         }
+        // lint: allow(panic, "infallible: the len > 1 guard above means pop() is Some")
         Ok(self.buffer.pop().expect("length checked"))
     }
 
@@ -490,13 +494,14 @@ impl StreamingSmoother {
                 slot.mean.extend_from_slice(mean);
                 match (&mut slot.covariance, cov) {
                     (Some(dst), Some(src)) => dst.clone_from(src),
-                    (dst, Some(src)) => *dst = Some(src.clone()),
+                    (dst, Some(src)) => *dst = Some(src.clone()), // lint: allow(alloc, "first covariance for a reused slot; later emits clone_from into it in place")
                     (dst, None) => *dst = None,
                 }
             } else {
+                // lint: allow(alloc, "grows the reused output to the emit high-water mark once; later emits hit the slot-reuse branch above")
                 out.push(FinalizedStep {
                     index,
-                    mean: mean.clone(),
+                    mean: mean.clone(), // lint: allow(alloc, "first fill of a new output slot; reused thereafter")
                     covariance: cov.cloned(),
                 });
             }
@@ -569,7 +574,7 @@ impl StreamingSmoother {
         scratch.dims.clear();
         scratch
             .dims
-            .extend(scratch.steps.iter().map(|s| s.state_dim));
+            .extend(scratch.steps.iter().map(|s| s.state_dim)); // lint: allow(alloc, "extend into cleared scratch that retains capacity across flushes; amortized, steady-state alloc-free")
         let plan = select_plan(
             &mut scratch.plans,
             &scratch.dims,
@@ -599,7 +604,7 @@ impl StreamingSmoother {
             ..
         } = self;
         scratch.dims.clear();
-        scratch.dims.extend(buffer.iter().map(|s| s.state_dim));
+        scratch.dims.extend(buffer.iter().map(|s| s.state_dim)); // lint: allow(alloc, "extend into cleared scratch that retains capacity across flushes; amortized, steady-state alloc-free")
         select_plan(
             &mut scratch.plans,
             &scratch.dims,
@@ -679,7 +684,7 @@ impl StreamingSmoother {
         scratch.prev_base = cur_base;
         scratch.prev_means.truncate(cur_len);
         while scratch.prev_means.len() < cur_len {
-            scratch.prev_means.push(Vec::new());
+            scratch.prev_means.push(Vec::new()); // lint: allow(alloc, "grows the reused lag buffer to window length once; repeat windows reuse the slots")
         }
         for (dst, src) in scratch.prev_means.iter_mut().zip(&scratch.means) {
             dst.clear();
@@ -693,6 +698,7 @@ impl StreamingSmoother {
 fn whiten_evolution(step: &LinearStep, index: usize) -> Result<WhitenedEvo> {
     let whitened = WhitenedStep::from_step(step, index)?;
     whitened.evo.ok_or_else(|| {
+        // lint: allow(alloc, "error path: allocates only on a malformed step")
         KalmanError::InvalidModel(format!("step {index} is missing its evolution equation"))
     })
 }

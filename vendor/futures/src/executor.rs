@@ -28,12 +28,16 @@ impl ThreadWaker {
 
     /// Consumes a pending notification, returning whether there was one.
     fn take_notified(&self) -> bool {
+        // Acquire: pairs with the Release store in `wake` — everything the
+        // waking thread did before waking is visible once we see the flag.
         self.notified.swap(false, Ordering::Acquire)
     }
 }
 
 impl Wake for ThreadWaker {
     fn wake(self: Arc<Self>) {
+        // Release: publishes the work done before the wake to the
+        // Acquire swap in `take_notified`.
         self.notified.store(true, Ordering::Release);
         self.thread.unpark();
     }

@@ -142,6 +142,8 @@ impl<T> Copy for SlotWriter<T> {}
 // SAFETY: tasks write disjoint slots (one per index, each index visited
 // exactly once), and the buffer outlives the parallel region.
 unsafe impl<T: Send> Send for SlotWriter<T> {}
+// SAFETY: same argument as `Send` above — sharing the writer is sound
+// because concurrent `write`s target disjoint slots.
 unsafe impl<T: Send> Sync for SlotWriter<T> {}
 
 impl<T> SlotWriter<T> {
@@ -152,6 +154,8 @@ impl<T> SlotWriter<T> {
     /// `offset` must be in bounds and written at most once, and the buffer
     /// must outlive the write.
     unsafe fn write(self, offset: usize, value: T) {
+        // SAFETY: forwards our own contract — in-bounds offset, single
+        // write, buffer alive.
         unsafe { self.0.add(offset).write(MaybeUninit::new(value)) }
     }
 }

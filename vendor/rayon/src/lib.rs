@@ -193,9 +193,9 @@ mod tests {
     fn for_each_visits_every_index_exactly_once() {
         let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
         (0..1000).into_par_iter().with_max_len(3).for_each(|i| {
-            hits[i].fetch_add(1, Ordering::Relaxed);
+            hits[i].fetch_add(1, Ordering::Relaxed); // Relaxed: pure count; the join orders it before the assert.
         });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1)); // Relaxed: read after the join's happens-before edge.
     }
 
     #[test]
@@ -266,13 +266,16 @@ mod tests {
         let high_water = AtomicUsize::new(0);
         pool.install(|| {
             (0..8).into_par_iter().with_max_len(1).for_each(|_| {
+                // SeqCst on all three: the high-water mark only means
+                // "simultaneously in flight" if every increment, max and
+                // decrement sits in one total order.
                 let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-                high_water.fetch_max(now, Ordering::SeqCst);
+                high_water.fetch_max(now, Ordering::SeqCst); // SeqCst: see the total-order note above.
                 std::thread::sleep(std::time::Duration::from_millis(40));
-                in_flight.fetch_sub(1, Ordering::SeqCst);
+                in_flight.fetch_sub(1, Ordering::SeqCst); // SeqCst: see the total-order note above.
             });
         });
-        let peak = high_water.load(Ordering::SeqCst);
+        let peak = high_water.load(Ordering::SeqCst); // SeqCst: read after `install` returns; matches the writers.
         assert!(peak > 1, "tasks never overlapped (peak concurrency {peak})");
     }
 

@@ -41,6 +41,8 @@ const SLEEP_TIMEOUT: Duration = Duration::from_millis(500);
 #[derive(Clone, Copy)]
 pub(crate) struct JobRef {
     data: *const (),
+    // SAFETY: callers of the pointee must uphold `execute`'s contract —
+    // invoked at most once, while `data` is still alive.
     exec: unsafe fn(*const ()),
 }
 
@@ -56,6 +58,7 @@ impl JobRef {
     ///
     /// Must be called at most once per job, while the pointee is alive.
     pub(crate) unsafe fn execute(self) {
+        // SAFETY: forwards our own contract — single execution, live pointee.
         unsafe { (self.exec)(self.data) }
     }
 }
@@ -83,13 +86,15 @@ impl Latch {
 
     /// Non-blocking check.
     pub(crate) fn probe(&self) -> bool {
-        self.set.load(Ordering::SeqCst)
+        self.set.load(Ordering::SeqCst) // SeqCst: pairs with `set`'s store in the sleep handshake.
     }
 
     /// Publishes completion.  After this store the waiting frame may be
     /// freed at any moment; the caller must not touch the latch (or
     /// anything else in its job) again.
     fn set(&self) {
+        // SeqCst: the publish side of the handshake — ordered before the
+        // notifier's read of `sleeping` in `notify_sleepers`.
         self.set.store(true, Ordering::SeqCst);
     }
 }
@@ -138,6 +143,9 @@ where
     /// The caller must keep `self` alive until the latch is set, and ensure
     /// the returned ref is executed at most once.
     pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        // SAFETY: contract — `data` must point to a live `StackJob<F, R>`
+        // and this must be its only execution; the only caller is the
+        // `JobRef` built below, which `as_job_ref`'s contract covers.
         unsafe fn execute_erased<F, R>(data: *const ())
         where
             F: FnOnce() -> R + Send,
@@ -146,11 +154,13 @@ where
             // SAFETY: `data` points to a live StackJob (the owning frame is
             // blocked on the latch) and this is the only execution.
             let this = unsafe { &*(data as *const StackJob<F, R>) };
-            let func = unsafe { (*this.func.get()).take().expect("job executed twice") };
+            let func = unsafe { (*this.func.get()).take().expect("job executed twice") }; // SAFETY: sole execution (above), so the cell is ours alone.
             let result = match panic::catch_unwind(AssertUnwindSafe(func)) {
                 Ok(value) => JobResult::Done(value),
                 Err(payload) => JobResult::Panicked(payload),
             };
+            // SAFETY: same unique access; the owning frame reads `result`
+            // only after observing the latch set below.
             unsafe { *this.result.get() = result };
             // Take a registry handle BEFORE publishing: setting the latch
             // frees the waiting frame (and `this` with it) for reuse, so
@@ -254,6 +264,8 @@ impl Registry {
     /// `sleeping`; sleepers increment `sleeping` (SeqCst) before
     /// re-checking the event under the lock.
     fn notify_sleepers(&self) {
+        // SeqCst: notifier side of the handshake — this read is ordered
+        // after the event store (pending increment / latch set).
         if self.sleeping.load(Ordering::SeqCst) > 0 {
             let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
             self.sleep_cvar.notify_all();
@@ -266,6 +278,9 @@ impl Registry {
     /// its own loop.  Parking on the registry rather than the latch keeps
     /// the sleeping machinery in an object that outlives the job.
     pub(crate) fn wait_for_latch(&self, latch: &Latch) {
+        // SeqCst: sleeper side of the handshake — publish "asleep" before
+        // re-checking the latch, so a concurrent notifier either sees us or
+        // we see its event.
         self.sleeping.fetch_add(1, Ordering::SeqCst);
         let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
         if !latch.probe() {
@@ -274,7 +289,7 @@ impl Registry {
                 .wait_timeout(guard, SLEEP_TIMEOUT)
                 .expect("sleep lock poisoned");
         }
-        self.sleeping.fetch_sub(1, Ordering::SeqCst);
+        self.sleeping.fetch_sub(1, Ordering::SeqCst); // SeqCst: keep the count in the handshake's total order.
     }
 
     /// Queues a job on worker `index`'s own deque.
@@ -285,6 +300,7 @@ impl Registry {
     /// executed, and the ref must be executed exactly once.
     pub(crate) unsafe fn push_local(&self, index: usize, job: JobRef) {
         self.deques[index].push(job);
+        // SeqCst: publish the event before notify_sleepers reads `sleeping`.
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.notify_sleepers();
     }
@@ -296,6 +312,7 @@ impl Registry {
     /// As [`Registry::push_local`].
     pub(crate) unsafe fn inject(&self, job: JobRef) {
         self.injector.push(job);
+        // SeqCst: publish the event before notify_sleepers reads `sleeping`.
         self.pending.fetch_add(1, Ordering::SeqCst);
         self.notify_sleepers();
     }
@@ -309,7 +326,7 @@ impl Registry {
             .or_else(|| self.injector.steal())
             .or_else(|| (1..n).find_map(|k| self.deques[(index + k) % n].steal()));
         if job.is_some() {
-            self.pending.fetch_sub(1, Ordering::SeqCst);
+            self.pending.fetch_sub(1, Ordering::SeqCst); // SeqCst: stays in the handshake's total order.
         }
         job
     }
@@ -342,6 +359,8 @@ impl Registry {
     }
 
     pub(crate) fn terminate(&self) {
+        // SeqCst: publish termination before the wakeup; sleeping workers
+        // re-check this flag under the lock.
         self.terminating.store(true, Ordering::SeqCst);
         let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
         self.sleep_cvar.notify_all();
@@ -356,6 +375,7 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
         });
     });
     let mut idle_spins = 0u32;
+    // SeqCst: part of the sleep handshake's single total order.
     while !registry.terminating.load(Ordering::SeqCst) {
         if let Some(job) = registry.find_work(index) {
             idle_spins = 0;
@@ -366,17 +386,19 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             std::thread::yield_now();
         } else {
             idle_spins = 0;
+            // SeqCst: sleeper side of the handshake — publish "asleep"
+            // before re-checking `pending`/`terminating` below.
             registry.sleeping.fetch_add(1, Ordering::SeqCst);
             let guard = registry.sleep_lock.lock().expect("sleep lock poisoned");
-            if registry.pending.load(Ordering::SeqCst) == 0
-                && !registry.terminating.load(Ordering::SeqCst)
-            {
+            let no_work = registry.pending.load(Ordering::SeqCst) == 0; // SeqCst: re-check ordered after the `sleeping` publish.
+            let stop = registry.terminating.load(Ordering::SeqCst); // SeqCst: same handshake order as `pending`.
+            if no_work && !stop {
                 let _ = registry
                     .sleep_cvar
                     .wait_timeout(guard, SLEEP_TIMEOUT)
                     .expect("sleep lock poisoned");
             }
-            registry.sleeping.fetch_sub(1, Ordering::SeqCst);
+            registry.sleeping.fetch_sub(1, Ordering::SeqCst); // SeqCst: keep the count in the handshake's total order.
         }
     }
 }

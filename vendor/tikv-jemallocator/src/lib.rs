@@ -81,20 +81,27 @@ pub struct Jemalloc;
 // SAFETY: pure delegation to `std::alloc::System`, which upholds the
 // `GlobalAlloc` contract (the counter bump performs no allocation).
 unsafe impl GlobalAlloc for Jemalloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+    // layout); we pass it through to `System` unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         bump_sized(layout.size());
         System.alloc(layout)
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with this
+    // `layout`; `System` frees under the same contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: as for `alloc` — contract forwarded verbatim to `System`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         bump_sized(layout.size());
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller guarantees `ptr`/`layout` match a live allocation and
+    // `new_size` is non-zero; `System` reallocates under the same contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         bump_sized(new_size);
         System.realloc(ptr, layout, new_size)
@@ -107,6 +114,8 @@ mod tests {
 
     #[test]
     fn allocates_and_frees() {
+        // SAFETY: valid non-zero layouts; every pointer is checked non-null
+        // before use and freed exactly once with its final layout.
         unsafe {
             let layout = Layout::from_size_align(64, 8).unwrap();
             let p = Jemalloc.alloc(layout);
@@ -125,6 +134,8 @@ mod tests {
     #[test]
     fn counter_counts_this_thread_only() {
         let before = thread_alloc_count();
+        // SAFETY: valid layout; the pointer is freed once with the same
+        // layout it was allocated with.
         unsafe {
             let layout = Layout::from_size_align(32, 8).unwrap();
             let p = Jemalloc.alloc(layout);
@@ -133,6 +144,7 @@ mod tests {
         let after = thread_alloc_count();
         assert_eq!(after - before, 1, "one alloc, dealloc not counted");
         let other = std::thread::spawn(|| {
+            // SAFETY: same alloc/dealloc pairing as above, on this thread.
             unsafe {
                 let layout = Layout::from_size_align(32, 8).unwrap();
                 let p = Jemalloc.alloc(layout);
