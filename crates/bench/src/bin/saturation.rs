@@ -12,12 +12,23 @@
 //!
 //! `cargo run --release -p kalman-bench --bin saturation -- \
 //!     [--producers 64] [--steps 200] [--cap 32] [--smoke]`
+//!
+//! With `--cluster`, the same round-paced workload instead runs through
+//! the cross-process serving layer (`kalman::cluster`): a supervisor
+//! re-execs this binary as shard worker processes, sweeps the worker
+//! count, kills a worker mid-load and times the restart+replay recovery,
+//! and records everything (plus a `speedup/cluster_w2` ratio gated by
+//! `bench_check`) into a `BENCH_serve.json` artifact:
+//!
+//! `cargo run --release -p kalman-bench --bin saturation -- \
+//!     --cluster [--smoke] [--json BENCH_serve.json]`
 
 use futures::executor::LocalPool;
+use kalman::cluster::{ClusterConfig, StreamInit, StreamSpec, Supervisor};
 use kalman::model::StreamEvent;
 use kalman::prelude::*;
 use kalman::serve::{ServeConfig, ShardedPool};
-use kalman_bench::{print_row, Args};
+use kalman_bench::{print_row, write_bench_json, Args, BenchEntry};
 
 fn event_stream(n: usize, steps: usize, salt: usize) -> Vec<StreamEvent> {
     let mut events = Vec::with_capacity(2 * steps - 1);
@@ -115,9 +126,176 @@ fn run(producers: usize, shards: usize, steps: usize, cap: usize, n: usize) -> R
     }
 }
 
+/// One cluster measurement: wall time for the whole load, and — when a
+/// worker was killed mid-load — the kill-to-recovered wall time.
+struct ClusterRun {
+    secs: f64,
+    recovery_secs: Option<f64>,
+}
+
+/// Round-paces `producers` event streams through a supervised worker
+/// cluster.  With `kill_mid_load`, SIGKILLs worker 0 halfway through and
+/// times the supervisor's detect → restart → restore → replay cycle.
+fn run_cluster(producers: usize, workers: usize, steps: usize, n: usize, kill: bool) -> ClusterRun {
+    let mut sup = Supervisor::new(ClusterConfig {
+        workers,
+        queue_capacity: 4 * producers.max(1),
+        // Re-exec this binary with no arguments: the socket environment
+        // variable alone turns the child into a worker (see `main`).
+        worker_args: Vec::new(),
+        ..ClusterConfig::default()
+    })
+    .expect("valid cluster config");
+    let opts = StreamOptions {
+        lag: 12,
+        flush_every: 6,
+        covariances: false,
+        policy: ExecPolicy::Seq,
+        auto_flush: false,
+        ..StreamOptions::default()
+    };
+    for key in 0..producers as u64 {
+        sup.insert(
+            key,
+            StreamSpec {
+                init: StreamInit::WithPrior {
+                    mean: vec![0.0; n],
+                    cov: CovarianceSpec::Identity(n),
+                },
+                opts,
+            },
+        )
+        .expect("fresh key");
+    }
+    let streams: Vec<Vec<StreamEvent>> = (0..producers)
+        .map(|salt| event_stream(n, steps, salt))
+        .collect();
+    let rounds = 2 * steps - 1;
+    let kill_round = if kill { Some(rounds / 2) } else { None };
+
+    let start = std::time::Instant::now();
+    let mut recovery_secs = None;
+    let mut finalized = 0usize;
+    for si in 0..rounds {
+        for (key, events) in streams.iter().enumerate() {
+            sup.send(key as u64, events[si].clone()).expect("delivery");
+        }
+        if Some(si) == kill_round {
+            sup.kill_worker(0);
+            let t = std::time::Instant::now();
+            // The heartbeat discovers the silent death and runs the full
+            // recovery (backoff, respawn, snapshot restore, log replay).
+            sup.heartbeat().expect("recovery");
+            recovery_secs = Some(t.elapsed().as_secs_f64());
+        }
+        if si % 4 == 3 {
+            sup.poll().expect("poll");
+            for (_, out) in sup.take_outputs() {
+                finalized += out.len();
+            }
+        }
+    }
+    for key in 0..producers as u64 {
+        finalized += sup.finish(key).expect("solvable").0.len();
+    }
+    for (_, out) in sup.take_outputs() {
+        finalized += out.len();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(finalized, producers * steps, "every step exactly once");
+    assert!(
+        sup.take_stream_errors().is_empty(),
+        "healthy load must not produce stream errors"
+    );
+    sup.shutdown();
+    ClusterRun {
+        secs,
+        recovery_secs,
+    }
+}
+
+/// The `--cluster` mode: worker-count sweep + recovery timing, recorded
+/// as a `BENCH_serve.json` artifact.
+fn cluster_main(producers: usize, steps: usize, n: usize, json: &str) {
+    let events = producers * (2 * steps - 1);
+    println!(
+        "saturation --cluster: {producers} streams x {steps} steps (n = {n}), \
+         {events} events per run, worker processes re-exec'd from this binary\n"
+    );
+    print_row(&[
+        "workers".into(),
+        "secs".into(),
+        "events/s".into(),
+        "recovery".into(),
+    ]);
+    let mut entries = Vec::new();
+    let mut secs_w1 = 0.0;
+    let mut secs_w2 = 0.0;
+    for workers in [1usize, 2, 4] {
+        let r = run_cluster(producers, workers, steps, n, false);
+        print_row(&[
+            format!("{workers}"),
+            format!("{:.3}", r.secs),
+            format!("{:.0}", events as f64 / r.secs),
+            "-".into(),
+        ]);
+        entries.push(BenchEntry::new(format!("cluster/w{workers}/secs"), r.secs));
+        entries.push(BenchEntry::new(
+            format!("cluster/w{workers}/events_per_s"),
+            events as f64 / r.secs,
+        ));
+        match workers {
+            1 => secs_w1 = r.secs,
+            2 => secs_w2 = r.secs,
+            _ => {}
+        }
+    }
+    let rk = run_cluster(producers, 2, steps, n, true);
+    let recovery = rk.recovery_secs.expect("kill was injected");
+    print_row(&[
+        "2+kill".into(),
+        format!("{:.3}", rk.secs),
+        format!("{:.0}", events as f64 / rk.secs),
+        format!("{:.1}ms", recovery * 1e3),
+    ]);
+    entries.push(BenchEntry::new(
+        "cluster/recovery_after_kill/secs",
+        recovery,
+    ));
+    // The gated ratio: two timings from the same process on the same
+    // machine, so it is hardware-normalized like the kernel speedups.
+    entries.push(BenchEntry::new("speedup/cluster_w2", secs_w1 / secs_w2));
+
+    println!(
+        "\nrecovery = SIGKILL of worker 0 mid-load to heartbeat-detected, \
+         restarted, snapshot-restored, log-replayed;\nspeedup/cluster_w2 = \
+         1-worker over 2-worker wall time (gated by bench_check)."
+    );
+    let config = format!("cluster producers={producers} steps={steps} n={n}");
+    write_bench_json(json, &config, &entries).expect("write artifact");
+    println!("wrote {json} ({} entries)", entries.len());
+}
+
 fn main() {
+    // If the supervisor re-exec'd us as a shard worker, this never
+    // returns; in every other invocation it is an instant no-op.
+    kalman::cluster::worker_entry_from_env();
+
     let mut args = Args::parse();
     let smoke = args.has("smoke");
+    let cluster = args.has("cluster");
+    if cluster {
+        // Heavier per-event compute than the in-process sweep (n = 8):
+        // the gated w1/w2 ratio is only stable when smoothing work, not
+        // socket traffic, dominates the wall time.
+        let producers: usize = args.get("producers", if smoke { 16 } else { 32 });
+        let steps: usize = args.get("steps", if smoke { 150 } else { 300 });
+        let n: usize = args.get("n", 8);
+        let json: String = args.get("json", "BENCH_serve.json".to_string());
+        args.finish();
+        cluster_main(producers, steps, n, &json);
+        return;
+    }
     let producers: usize = args.get("producers", 64);
     let steps: usize = args.get("steps", if smoke { 60 } else { 200 });
     let cap: usize = args.get("cap", 32);

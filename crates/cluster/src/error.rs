@@ -1,0 +1,87 @@
+//! Cluster-layer errors.
+
+use kalman_model::KalmanError;
+use kalman_wire::WireError;
+use std::fmt;
+
+/// Everything that can go wrong supervising cross-process serving.
+///
+/// Transport-level failures ([`ClusterError::Wire`], [`ClusterError::Io`])
+/// are normally *handled internally* — the supervisor treats them as a
+/// worker death and recovers (restart, restore, replay).  They surface to
+/// the caller only when recovery itself is impossible (spawn failures, a
+/// worker that cannot come back within its crash budget *and* cannot be
+/// replayed locally).
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A frame could not be encoded, decoded, or moved.
+    Wire(WireError),
+    /// A stream-layer failure (invalid spec, rejected options, flush
+    /// errors surfaced synchronously).
+    Kalman(KalmanError),
+    /// Transport or process-management I/O failed.
+    Io(std::io::Error),
+    /// A worker process could not be spawned or did not connect back in
+    /// time.
+    Spawn(String),
+    /// A worker stopped responding and the deadline for its reply passed.
+    ReplyTimeout {
+        /// Index of the silent worker slot.
+        slot: usize,
+    },
+    /// The peer sent a frame that violates the protocol state machine.
+    Protocol(String),
+    /// The key is not registered with the supervisor.
+    UnknownKey(u64),
+    /// The supervisor configuration is unusable.
+    Config(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClusterError::Kalman(e) => write!(f, "stream failure: {e}"),
+            ClusterError::Io(e) => write!(f, "cluster I/O failure: {e}"),
+            ClusterError::Spawn(msg) => write!(f, "worker spawn failed: {msg}"),
+            ClusterError::ReplyTimeout { slot } => {
+                write!(f, "worker {slot} did not reply before the deadline")
+            }
+            ClusterError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ClusterError::UnknownKey(key) => write!(f, "unknown stream key {key}"),
+            ClusterError::Config(msg) => write!(f, "bad cluster config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Wire(e) => Some(e),
+            ClusterError::Kalman(e) => Some(e),
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClusterError {
+    fn from(e: WireError) -> Self {
+        ClusterError::Wire(e)
+    }
+}
+
+impl From<KalmanError> for ClusterError {
+    fn from(e: KalmanError) -> Self {
+        ClusterError::Kalman(e)
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+/// Shorthand result type for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;

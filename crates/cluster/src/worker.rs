@@ -1,0 +1,290 @@
+//! The worker side: a child process wrapping a single-shard
+//! [`ShardedPool`] behind the framed protocol.
+//!
+//! A worker is spawned by the supervisor as a re-exec of the current
+//! binary with [`SOCKET_ENV`] pointing at the supervisor's listening
+//! Unix socket.  [`worker_entry_from_env`] is the gate: binaries (and
+//! the test harness) call it at a known entry point; without the
+//! environment variable it is a no-op, with it the process becomes a
+//! worker and never returns.
+//!
+//! Because the single-shard pool applies events under the same canonical
+//! flush cadence as any in-process [`ShardedPool`], the worker's outputs
+//! are bitwise identical to in-process serving no matter how its drains
+//! interleave with supervisor polls — the property the cluster's
+//! recovery tests pin.
+//!
+//! Exit codes: `0` clean shutdown (or supervisor hang-up between
+//! frames), `2` wire-protocol failure (truncation, corruption, version
+//! mismatch — the supervisor sees the nonzero exit as a crash), `3`
+//! internal serving failure.
+
+use crate::proto::{
+    decode_spec, K_CONFIG, K_EVENT, K_FINISH, K_FINISHED, K_HELLO, K_INSERT, K_OUTPUTS, K_PING,
+    K_POLL, K_PONG, K_RESTORE, K_SHUTDOWN, K_SNAPSHOT_ACK, K_SNAPSHOT_REQ, K_STREAM_ERROR,
+};
+use kalman_serve::{ServeConfig, ShardedPool};
+use kalman_stream::{FinalizedStep, StreamingSmoother};
+use kalman_wire::{codec, FrameReader, FrameWriter, Reader, WireError, Writer};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Environment variable naming the Unix socket a worker connects back
+/// to.  Its presence is what turns a process into a worker.
+pub const SOCKET_ENV: &str = "KALMAN_CLUSTER_SOCKET";
+
+/// Becomes a cluster worker if [`SOCKET_ENV`] is set: connects back to
+/// the supervisor, serves frames until shutdown, and **exits the
+/// process** (never returns).  Without the variable, returns `false`
+/// immediately — safe to call unconditionally from a binary's `main` or
+/// a test-harness entry point.
+pub fn worker_entry_from_env() -> bool {
+    let Some(path) = std::env::var_os(SOCKET_ENV) else {
+        return false;
+    };
+    let code = match run_worker(Path::new(&path)) {
+        Ok(()) => 0,
+        Err(WorkerError::Wire(e)) => {
+            eprintln!("cluster worker: wire failure: {e}");
+            2
+        }
+        Err(WorkerError::Internal(msg)) => {
+            eprintln!("cluster worker: {msg}");
+            3
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Why a worker run ended abnormally.
+#[derive(Debug)]
+enum WorkerError {
+    /// The byte stream itself failed (corruption, truncation, transport).
+    Wire(WireError),
+    /// The serving layer failed in a way the protocol cannot express.
+    Internal(String),
+}
+
+impl From<WireError> for WorkerError {
+    fn from(e: WireError) -> Self {
+        WorkerError::Wire(e)
+    }
+}
+
+struct Worker {
+    pool: ShardedPool,
+    ingress: kalman_serve::Ingress,
+    tx: FrameWriter<UnixStream>,
+    /// Reusable payload buffer for every outbound frame.
+    payload: Writer,
+    /// Outputs drained but not yet shipped (sent on the next poll,
+    /// snapshot, or finish).
+    pending: Vec<(u64, FinalizedStep)>,
+    /// Stream-level errors drained but not yet shipped.
+    errors: Vec<(u64, String)>,
+}
+
+fn run_worker(path: &Path) -> Result<(), WorkerError> {
+    let sock = UnixStream::connect(path).map_err(WireError::Io)?;
+    let tx_sock = sock.try_clone().map_err(WireError::Io)?;
+    let mut rx = FrameReader::new(sock);
+    let mut tx = FrameWriter::new(tx_sock);
+    tx.send(K_HELLO, &[])?;
+
+    // The first frame must be the serving configuration.
+    let (queue_capacity, policy) = match rx.next_frame()? {
+        Some((K_CONFIG, payload)) => {
+            let mut r = Reader::new(payload);
+            let cap = r.get_u32()? as usize;
+            let policy = codec::decode_exec_policy(&mut r)?;
+            r.finish()?;
+            (cap, policy)
+        }
+        Some((kind, _)) => {
+            return Err(WorkerError::Internal(format!(
+                "expected config frame first, got kind {kind:#04x}"
+            )))
+        }
+        None => return Ok(()), // supervisor went away before configuring
+    };
+    let (pool, ingress) = ShardedPool::new(ServeConfig {
+        shards: 1,
+        queue_capacity,
+        policy,
+    });
+    let mut worker = Worker {
+        pool,
+        ingress,
+        tx,
+        payload: Writer::new(),
+        pending: Vec::new(),
+        errors: Vec::new(),
+    };
+
+    loop {
+        let Some((kind, payload)) = rx.next_frame()? else {
+            // Clean hang-up between frames: the supervisor is gone.
+            return Ok(());
+        };
+        match kind {
+            K_INSERT => worker.on_insert(payload)?,
+            K_EVENT => worker.on_event(payload)?,
+            K_POLL => worker.on_poll()?,
+            K_SNAPSHOT_REQ => worker.on_snapshot(payload)?,
+            K_RESTORE => worker.on_restore(payload)?,
+            K_FINISH => worker.on_finish(payload)?,
+            K_PING => worker.tx.send(K_PONG, &[])?,
+            K_SHUTDOWN => return Ok(()),
+            other => {
+                return Err(WorkerError::Internal(format!(
+                    "unexpected frame kind {other:#04x} from supervisor"
+                )))
+            }
+        }
+    }
+}
+
+impl Worker {
+    /// Drains the pool and banks outputs/errors for the next shipment.
+    fn drain_collect(&mut self) {
+        self.pool.drain();
+        for (key, entry) in self.pool.outputs() {
+            match entry.result() {
+                Ok(steps) => self.pending.extend(steps.iter().cloned().map(|s| (key, s))),
+                Err(e) => self.errors.push((key, e.to_string())),
+            }
+        }
+        for (key, err) in self.pool.last_errors() {
+            self.errors.push((*key, err.to_string()));
+        }
+    }
+
+    /// Ships banked stream errors, then banked outputs, as frames.
+    fn ship_pending(&mut self) -> Result<(), WorkerError> {
+        for (key, message) in std::mem::take(&mut self.errors) {
+            self.payload.clear();
+            self.payload.put_u64(key);
+            codec::encode_str(&mut self.payload, &message);
+            self.tx.send(K_STREAM_ERROR, self.payload.as_slice())?;
+        }
+        self.payload.clear();
+        self.payload.put_u32(self.pending.len() as u32);
+        for (key, step) in &self.pending {
+            self.payload.put_u64(*key);
+            codec::encode_finalized_step(&mut self.payload, step);
+        }
+        self.pending.clear();
+        self.tx.send(K_OUTPUTS, self.payload.as_slice())?;
+        Ok(())
+    }
+
+    fn on_insert(&mut self, payload: &[u8]) -> Result<(), WorkerError> {
+        let mut r = Reader::new(payload);
+        let key = r.get_u64().map_err(WorkerError::from)?;
+        let spec = decode_spec(&mut r)?;
+        r.finish().map_err(WorkerError::from)?;
+        let result = spec
+            .build()
+            .and_then(|stream| self.pool.insert(key, stream).map(|_| ()));
+        if let Err(e) = result {
+            self.errors.push((key, e.to_string()));
+        }
+        Ok(())
+    }
+
+    fn on_event(&mut self, payload: &[u8]) -> Result<(), WorkerError> {
+        let mut r = Reader::new(payload);
+        let key = r.get_u64().map_err(WorkerError::from)?;
+        let event = codec::decode_event(&mut r)?;
+        r.finish().map_err(WorkerError::from)?;
+        match self.ingress.try_submit(key, event) {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_would_block() => {
+                // Backpressure: apply the queue, then retry once (the
+                // queue is empty after a drain).
+                self.drain_collect();
+                self.ingress
+                    .try_submit(key, e.into_event())
+                    .map_err(|_| WorkerError::Internal("queue full after drain".into()))
+            }
+            Err(_) => Err(WorkerError::Internal("ingress closed".into())),
+        }
+    }
+
+    fn on_poll(&mut self) -> Result<(), WorkerError> {
+        self.drain_collect();
+        self.ship_pending()
+    }
+
+    fn on_snapshot(&mut self, payload: &[u8]) -> Result<(), WorkerError> {
+        let mut r = Reader::new(payload);
+        let seq = r.get_u64().map_err(WorkerError::from)?;
+        r.finish().map_err(WorkerError::from)?;
+        // Apply everything queued first: the supervisor truncates its log
+        // up to `seq` on this ack, so the snapshot must cover every event
+        // delivered before the request — and every output finalized on
+        // the way must reach the supervisor no later than the ack.
+        self.drain_collect();
+        self.ship_pending()?;
+        let keys: Vec<u64> = self.pool.keys().collect();
+        self.payload.clear();
+        self.payload.put_u64(seq);
+        self.payload.put_u32(keys.len() as u32);
+        for key in keys {
+            let stream = self
+                .pool
+                .stream(key)
+                .ok_or_else(|| WorkerError::Internal(format!("key {key} vanished")))?;
+            let snap = stream
+                .snapshot()
+                .map_err(|e| WorkerError::Internal(e.to_string()))?;
+            self.payload.put_u64(key);
+            codec::encode_window_snapshot(&mut self.payload, &snap);
+        }
+        self.tx.send(K_SNAPSHOT_ACK, self.payload.as_slice())?;
+        Ok(())
+    }
+
+    fn on_restore(&mut self, payload: &[u8]) -> Result<(), WorkerError> {
+        let mut r = Reader::new(payload);
+        let key = r.get_u64().map_err(WorkerError::from)?;
+        let opts = codec::decode_stream_options(&mut r)?;
+        let snap = codec::decode_window_snapshot(&mut r)?;
+        r.finish().map_err(WorkerError::from)?;
+        let result = StreamingSmoother::restore(snap, opts)
+            .and_then(|stream| self.pool.insert(key, stream).map(|_| ()));
+        if let Err(e) = result {
+            self.errors.push((key, e.to_string()));
+        }
+        Ok(())
+    }
+
+    fn on_finish(&mut self, payload: &[u8]) -> Result<(), WorkerError> {
+        let mut r = Reader::new(payload);
+        let key = r.get_u64().map_err(WorkerError::from)?;
+        r.finish().map_err(WorkerError::from)?;
+        // Apply everything queued (the stream's last events may still be
+        // in the queue), shipping outputs so the tail follows them.
+        self.drain_collect();
+        self.ship_pending()?;
+        match self.pool.finish(key) {
+            Ok((tail, checkpoint)) => {
+                self.payload.clear();
+                self.payload.put_u64(key);
+                self.payload.put_u32(tail.len() as u32);
+                for step in &tail {
+                    codec::encode_finalized_step(&mut self.payload, step);
+                }
+                codec::encode_checkpoint(&mut self.payload, &checkpoint);
+                self.tx.send(K_FINISHED, self.payload.as_slice())?;
+            }
+            Err(e) => {
+                self.payload.clear();
+                self.payload.put_u64(key);
+                codec::encode_str(&mut self.payload, &e.to_string());
+                self.tx.send(K_STREAM_ERROR, self.payload.as_slice())?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -13,6 +13,8 @@
 //! | [`tridiag`] | Normal-equations cyclic-reduction smoother (unstable; for the stability study) |
 //! | [`stream`] | Online serving: streaming fixed-lag smoother, R-factor forgetting, multi-stream pool |
 //! | [`serve`] | Serving front-end: sharded pools, bounded-queue ingestion with backpressure, metrics |
+//! | [`wire`] | Versioned self-describing binary codec + CRC-framed protocol for serving state |
+//! | [`cluster`] | Cross-process serving: shard worker processes under a crash-recovering supervisor |
 //! | [`obs`] | Observability: lock-free metric registry, phase spans, event journal, exporters |
 //! | [`dense`] | Dense kernels (QR, LU, Cholesky, GEMM, triangular solves) |
 //! | [`par`] | TBB-like parallel primitives (`parallel_for` with grain, parallel scans) |
@@ -118,6 +120,7 @@ mod guide_doctests {}
 mod observability_doctests {}
 
 pub use kalman_associative as associative;
+pub use kalman_cluster as cluster;
 pub use kalman_dense as dense;
 pub use kalman_model as model;
 pub use kalman_nonlinear as nonlinear;
@@ -128,6 +131,7 @@ pub use kalman_seq as seq;
 pub use kalman_serve as serve;
 pub use kalman_stream as stream;
 pub use kalman_tridiag as tridiag;
+pub use kalman_wire as wire;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -304,6 +304,13 @@ impl ShardedPool {
         self.shards[loc.shard].pool.stream(loc.id)
     }
 
+    /// The keys of every registered stream, in unspecified order — the
+    /// iteration surface for whole-pool maintenance (a cluster worker
+    /// snapshots all of its residents through this).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.route.keys().copied()
+    }
+
     /// Applies one event to a resident stream, recording failures.
     fn apply(
         shard: &mut Shard,

@@ -67,7 +67,7 @@ mod options;
 mod pool;
 mod smoother;
 
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, WindowSnapshot};
 pub use options::{FinalizedStep, LagPolicy, StreamOptions};
 pub use pool::{PollBatch, PollEntry, SmootherPool, StreamId};
 pub use smoother::StreamingSmoother;

@@ -1,6 +1,6 @@
 //! The streaming fixed-lag smoother.
 
-use crate::{Checkpoint, FinalizedStep, LagPolicy, StreamOptions};
+use crate::{Checkpoint, FinalizedStep, LagPolicy, StreamOptions, WindowSnapshot};
 use kalman_dense::Matrix;
 use kalman_model::{
     whiten_window, whiten_window_into, Evolution, InfoHead, KalmanError, LinearStep, Observation,
@@ -231,6 +231,106 @@ impl StreamingSmoother {
             plan_builds: 0,
             scratch: FlushScratch::default(),
         })
+    }
+
+    /// Captures the stream's complete live state *without* disturbing it:
+    /// the condensed head plus the buffered window as replayable events.
+    ///
+    /// Unlike [`StreamingSmoother::finish`] — which finalizes the window
+    /// early, so a resumed stream condensed those steps with less
+    /// hindsight than an uninterrupted one — a snapshot is transparent:
+    /// [`StreamingSmoother::restore`] yields a smoother whose every
+    /// future output is **bitwise identical** to this one's.  This is the
+    /// crash-recovery primitive for cross-process serving.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] under [`LagPolicy::Auto`]: the adapted lag
+    /// is driven by scratch state (the previous flush's estimates) that a
+    /// snapshot cannot capture, so a restored auto-lag stream could adapt
+    /// differently and break the bitwise contract.  Use a fixed lag for
+    /// snapshot-based recovery.
+    pub fn snapshot(&self) -> Result<WindowSnapshot> {
+        if matches!(self.opts.effective_lag_policy(), LagPolicy::Auto { .. }) {
+            return Err(KalmanError::Stream(
+                "auto-lag streams cannot be snapshotted: the adapted lag depends on \
+                 unsnapshottable scratch state; use a fixed lag"
+                    .into(),
+            ));
+        }
+        let mut events = Vec::with_capacity(2 * self.buffer.len());
+        if let Some(obs) = &self.buffer[0].observation {
+            events.push(StreamEvent::Observe(obs.clone()));
+        }
+        for (j, step) in self.buffer.iter().enumerate().skip(1) {
+            let evo = step.evolution.clone().ok_or_else(|| {
+                // lint: allow(alloc, "error path: a non-base step without an evolution violates a maintained invariant")
+                KalmanError::Stream(format!(
+                    "buffered step {} is missing its evolution",
+                    self.base_index + j as u64
+                ))
+            })?;
+            events.push(StreamEvent::Evolve(evo));
+            if let Some(obs) = &step.observation {
+                events.push(StreamEvent::Observe(obs.clone()));
+            }
+        }
+        Ok(WindowSnapshot {
+            index: self.base_index,
+            head: self.head.clone(),
+            base_emitted: self.base_emitted,
+            events,
+        })
+    }
+
+    /// Rebuilds a stream from a [`WindowSnapshot`], reproducing the
+    /// snapshotted stream exactly: every output the restored stream emits
+    /// from here on is bitwise identical to what the original would have
+    /// emitted.  `opts` must use a fixed lag (see
+    /// [`StreamingSmoother::snapshot`]) and should equal the original's
+    /// options — differing options change future outputs, though the
+    /// restore itself still succeeds when the window fits.
+    ///
+    /// # Errors
+    ///
+    /// [`KalmanError::Stream`] on degenerate options, an auto lag policy,
+    /// or a zero-dimensional head; [`KalmanError::InvalidModel`] when the
+    /// replayed events are inconsistent (possible only for snapshots not
+    /// produced by [`StreamingSmoother::snapshot`]).
+    pub fn restore(snapshot: WindowSnapshot, opts: StreamOptions) -> Result<Self> {
+        check_options(&opts)?;
+        if matches!(opts.effective_lag_policy(), LagPolicy::Auto { .. }) {
+            return Err(KalmanError::Stream(
+                "auto-lag streams cannot be restored from a snapshot; use a fixed lag".into(),
+            ));
+        }
+        let n = snapshot.head.state_dim();
+        if n == 0 {
+            return Err(KalmanError::Stream(
+                "snapshot head has zero state dimension".into(),
+            ));
+        }
+        let auto_flush = opts.auto_flush;
+        let mut stream = StreamingSmoother {
+            cur_lag: opts.effective_lag_policy().initial_lag(),
+            opts: StreamOptions {
+                auto_flush: false,
+                ..opts
+            },
+            head: snapshot.head,
+            buffer: vec![LinearStep::initial(n)],
+            base_index: snapshot.index,
+            base_emitted: snapshot.base_emitted,
+            plan_builds: 0,
+            scratch: FlushScratch::default(),
+        };
+        // Replay with auto-flush off: the window must be rebuilt as-is,
+        // not re-finalized (the original already emitted its prefix).
+        for event in snapshot.events {
+            stream.ingest(event)?;
+        }
+        stream.opts.auto_flush = auto_flush;
+        Ok(stream)
     }
 
     /// The stream's options.
@@ -972,6 +1072,88 @@ mod tests {
             // geometrically through the ≥ lag-step gap (≈ 0.38^16 here).
             assert!(diff < 1e-5, "state {}: diff {diff}", f.index);
         }
+    }
+
+    /// A snapshot taken mid-stream must be transparent: the restored
+    /// stream's future outputs are bitwise identical to the original's —
+    /// the property crash recovery is built on.  Exercised at several cut
+    /// points so the snapshot lands on different flush phases (window
+    /// lengths, pending observations, multi-observation steps).
+    #[test]
+    fn snapshot_restore_is_bitwise_transparent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let model = generators::paper_benchmark(&mut rng, 2, 80, true);
+        let opts = StreamOptions {
+            lag: 9,
+            flush_every: 4,
+            covariances: true,
+            ..StreamOptions::default()
+        };
+        for cut in [1usize, 13, 27, 40] {
+            let p = model.prior.as_ref().unwrap();
+            let mut original =
+                StreamingSmoother::with_prior(p.mean.clone(), p.cov.clone(), opts).unwrap();
+            let mut before = Vec::new();
+            for (i, step) in model.steps.iter().enumerate().take(cut + 1) {
+                if i > 0 {
+                    before.extend(original.evolve(step.evolution.clone().unwrap()).unwrap());
+                }
+                if let Some(obs) = &step.observation {
+                    original.observe(obs.clone()).unwrap();
+                }
+            }
+
+            let snap = original.snapshot().unwrap();
+            let mut restored = StreamingSmoother::restore(snap, opts).unwrap();
+            assert_eq!(restored.next_index(), original.next_index());
+            assert_eq!(restored.buffered_len(), original.buffered_len());
+
+            // Drive both over the remaining steps and demand bitwise
+            // equality of every finalized estimate.
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for step in model.steps.iter().skip(cut + 1) {
+                a.extend(original.evolve(step.evolution.clone().unwrap()).unwrap());
+                b.extend(restored.evolve(step.evolution.clone().unwrap()).unwrap());
+                if let Some(obs) = &step.observation {
+                    original.observe(obs.clone()).unwrap();
+                    restored.observe(obs.clone()).unwrap();
+                }
+            }
+            let (ta, _) = original.finish().unwrap();
+            let (tb, _) = restored.finish().unwrap();
+            a.extend(ta);
+            b.extend(tb);
+            assert_eq!(a.len(), b.len(), "cut {cut}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.index, y.index, "cut {cut}");
+                let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&x.mean), bits(&y.mean), "cut {cut} state {}", x.index);
+                match (&x.covariance, &y.covariance) {
+                    (Some(cx), Some(cy)) => {
+                        assert_eq!(bits(cx.as_slice()), bits(cy.as_slice()), "cut {cut}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("cut {cut}: covariance presence diverged"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_auto_lag() {
+        let opts = StreamOptions {
+            lag_policy: Some(LagPolicy::auto()),
+            ..StreamOptions::default()
+        };
+        let stream = StreamingSmoother::new(1, opts).unwrap();
+        assert!(matches!(stream.snapshot(), Err(KalmanError::Stream(_))));
+        let fixed = StreamingSmoother::new(1, StreamOptions::default()).unwrap();
+        let snap = fixed.snapshot().unwrap();
+        assert!(matches!(
+            StreamingSmoother::restore(snap, opts),
+            Err(KalmanError::Stream(_))
+        ));
     }
 
     #[test]

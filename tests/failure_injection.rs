@@ -1,5 +1,6 @@
 //! Failure injection: malformed or degenerate models must produce the right
-//! `KalmanError`, never panics or silent garbage.
+//! `KalmanError`, never panics or silent garbage — and malformed wire
+//! input must produce the right `WireError`, same rules.
 
 use kalman::model::generators;
 use kalman::prelude::*;
@@ -150,4 +151,98 @@ fn zero_state_dimension_is_invalid() {
         odd_even_smooth(&model, OddEvenOptions::default()),
         "zero state dimension",
     );
+}
+
+// ---- wire-level failure injection -------------------------------------
+//
+// The framed transport must turn every class of malformed input into its
+// specific typed `WireError` — truncation, corruption, version skew, and
+// hostile length prefixes — without panicking and without buffering
+// unbounded garbage.  (The cross-process recovery consequences of these
+// faults are pinned in `tests/cluster.rs`; this is the codec contract.)
+
+mod wire_faults {
+    use kalman::wire::{
+        frame_bytes, FrameReader, Progress, WireError, DEFAULT_MAX_FRAME, HEADER_LEN, VERSION,
+    };
+
+    /// A healthy frame to mutate.
+    fn good_frame() -> Vec<u8> {
+        frame_bytes(7, b"finalized step payload")
+    }
+
+    /// Feeds bytes to a `FrameReader` and returns the first error.
+    fn first_error(bytes: &[u8]) -> WireError {
+        let mut reader = FrameReader::new(std::io::Cursor::new(bytes.to_vec()));
+        loop {
+            match reader.poll() {
+                Ok(Progress::Frame { .. }) => continue,
+                Ok(Progress::Closed) => panic!("stream ended without the expected error"),
+                Ok(Progress::Pending) => unreachable!("Cursor never blocks"),
+                Err(e) => return e,
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_a_typed_error() {
+        let frame = good_frame();
+        // Cut inside the header and inside the payload: both must report
+        // truncation (with how much was missing), not hang or panic.
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 3, frame.len() - 1] {
+            match first_error(&frame[..cut]) {
+                WireError::Truncated { needed, have } => {
+                    assert!(have < needed, "cut at {cut}: have {have} < needed {needed}")
+                }
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_crc_error() {
+        let mut frame = good_frame();
+        let byte = HEADER_LEN + 5;
+        frame[byte] ^= 0x10;
+        assert!(
+            matches!(first_error(&frame), WireError::BadCrc { .. }),
+            "payload corruption must fail the checksum"
+        );
+    }
+
+    #[test]
+    fn wrong_version_is_a_version_error() {
+        let mut frame = good_frame();
+        // Bytes 4..6 are the little-endian format version.
+        frame[4] = 0xEE;
+        frame[5] = 0x03;
+        match first_error(&frame) {
+            WireError::VersionMismatch { got, supported } => {
+                assert_eq!(got, 0x03EE);
+                assert_eq!(supported, VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut frame = good_frame();
+        // Bytes 8..12 are the little-endian payload length: claim 4 GiB.
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        match first_error(&frame) {
+            WireError::Oversized { len, max } => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, DEFAULT_MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = good_frame();
+        frame[0] = b'X';
+        assert!(matches!(first_error(&frame), WireError::BadMagic(_)));
+    }
 }
