@@ -84,9 +84,15 @@ fn main() {
     let k: usize = args.get("k", 4000);
     let runs: usize = args.get("runs", 3);
     args.finish();
+    println!(
+        "dense kernel backend: {} (dispatch counters below are the \
+         dense.kernel.dispatch.* gauges of docs/OBSERVABILITY.md)",
+        kalman::dense::simd_backend()
+    );
     for (n, seed) in [(4usize, 10u64), (8, 11), (16, 12)] {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let model = kalman::model::generators::paper_benchmark(&mut rng, n, k, true);
+        let (scalar0, simd0, mono0) = kalman::dense::kernel_dispatch_counts();
         match profile(&model, runs) {
             Some([w, f, s, c]) => println!(
                 "n={n}: whiten {w:.4} factor {f:.4} solve {s:.4} selinv {c:.4}  total {:.4}",
@@ -97,6 +103,16 @@ fn main() {
                  or built with obs-off) — per-phase split unavailable"
             ),
         }
+        // Which rung of the kernel dispatch ladder served this shape:
+        // deltas of the process-wide scalar/simd/mono hit counters across
+        // the profiled executions.
+        let (scalar1, simd1, mono1) = kalman::dense::kernel_dispatch_counts();
+        println!(
+            "       kernel dispatch: scalar {} simd {} mono {}",
+            scalar1 - scalar0,
+            simd1 - simd0,
+            mono1 - mono0
+        );
         let (plan_build, planned_exec) = profile_plan(&model, runs);
         println!(
             "       plan-build {plan_build:.6} planned-execute {planned_exec:.4}  \

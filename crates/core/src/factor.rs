@@ -26,7 +26,7 @@
 
 use crate::plan::{PlanLevel, PlanSchedule};
 use crate::rfactor::{OddEvenR, RRow};
-use kalman_dense::{Matrix, QrFactor};
+use kalman_dense::{KernelKind, Matrix, QrFactor};
 use kalman_model::{Result, WhitenedStep};
 use kalman_par::{for_each_mut, map_collect, ExecPolicy};
 use std::sync::OnceLock;
@@ -55,6 +55,10 @@ struct LevelCol {
     /// `obs` is the `n × n` upper-triangular block produced by the previous
     /// level's compression (enables the triangular-pentagonal fast path).
     obs_tri: bool,
+    /// `obs` is a *short* (`m < n`) block the level-0 pre-pass reduced to
+    /// upper-trapezoidal form (enables the trapezoidal-pentagonal step-1
+    /// fast path).  Mutually exclusive with `obs_tri`.
+    obs_trap: bool,
     /// Evolution-like rows coupling to the previous chain column.
     evo: Option<EvoRows>,
 }
@@ -67,6 +71,8 @@ struct EvenTask {
     obs: Option<(Matrix, Matrix)>,
     /// See [`LevelCol::obs_tri`].
     obs_tri: bool,
+    /// See [`LevelCol::obs_trap`].
+    obs_trap: bool,
     /// This column's evolution rows (couple to chain neighbour `t−1`).
     evo: Option<EvoRows>,
     /// The next column's evolution rows (couple `t` and `t+1`).
@@ -160,7 +166,7 @@ fn stack_parts(
     (stack, rhs)
 }
 
-fn eliminate_even(task: &mut EvenTask) -> EvenOut {
+fn eliminate_even(task: &mut EvenTask, kind: KernelKind) -> EvenOut {
     let n = task.dim;
     let obs = task.obs.take();
     let next_evo = task.next_evo.take();
@@ -185,13 +191,70 @@ fn eliminate_even(task: &mut EvenTask) -> EvenOut {
                 let mut x_top = Matrix::zeros(n, ne.right.cols());
                 let mut x_bot = ne.right;
                 let mut rhs_bot = ne.rhs;
-                kalman_dense::qr_tri_stack_applying(
+                kalman_dense::qr_tri_stack_applying_with(
+                    kind,
                     &mut r,
                     &mut d,
                     &mut [(&mut x_top, &mut x_bot), (&mut rho, &mut rhs_bot)],
                 );
                 let dtilde = (l2 > 0).then_some((x_bot, rhs_bot));
                 (r, rho, Some(x_top), dtilde)
+            }
+        }
+    } else if task.obs_trap {
+        // Short observation block already reduced to an `m × n` upper
+        // trapezoid (m < n) by the level-0 pre-pass: eliminate the
+        // trapezoidal-pentagonal stack [C_trap; E] without padding C back
+        // up to `n` rows, then scatter the staircase rows into the padded
+        // `n × n` outputs the rest of the pipeline expects.
+        let (mut t, mut rho_top) = obs.expect("obs_trap implies obs");
+        let m = t.rows();
+        debug_assert!(m < n, "obs_trap implies a short block");
+        match next_evo {
+            None => {
+                let mut rhat = Matrix::zeros(n, n);
+                rhat.set_block(0, 0, &t);
+                let mut rho = Matrix::zeros(n, 1);
+                rho.set_block(0, 0, &rho_top);
+                (rhat, rho, None, None)
+            }
+            Some(ne) => {
+                let l2 = ne.left.rows();
+                let w = ne.right.cols();
+                let mut d = ne.left;
+                let mut x_top = Matrix::zeros(m, w);
+                let mut x_bot = ne.right;
+                let mut rhs_bot = ne.rhs;
+                kalman_dense::qr_trap_stack_applying(
+                    &mut t,
+                    &mut d,
+                    &mut [(&mut x_top, &mut x_bot), (&mut rho_top, &mut rhs_bot)],
+                );
+                // Staircase rows `m + i` of the result live in `D` row `i`
+                // (columns ≥ m + i; below that are spent reflector tails).
+                let steps = l2.min(n - m);
+                let mut rhat = Matrix::zeros(n, n);
+                let mut rho = Matrix::zeros(n, 1);
+                let mut x = Matrix::zeros(n, w);
+                rhat.set_block(0, 0, &t);
+                rho.set_block(0, 0, &rho_top);
+                x.set_block(0, 0, &x_top);
+                for i in 0..steps {
+                    for j in (m + i)..n {
+                        rhat[(m + i, j)] = d[(i, j)];
+                    }
+                    rho[(m + i, 0)] = rhs_bot[(i, 0)];
+                    for c in 0..w {
+                        x[(m + i, c)] = x_bot[(i, c)];
+                    }
+                }
+                let dtilde = (l2 > steps).then(|| {
+                    (
+                        x_bot.sub_matrix(steps, 0, l2 - steps, w),
+                        rhs_bot.sub_matrix(steps, 0, l2 - steps, 1),
+                    )
+                });
+                (rhat, rho, Some(x), dtilde)
             }
         }
     } else {
@@ -272,7 +335,8 @@ fn eliminate_even(task: &mut EvenTask) -> EvenOut {
             match x_fill {
                 Some(mut x_top) => {
                     let mut cr_bot = Matrix::zeros(l, x_top.cols());
-                    kalman_dense::qr_tri_stack_applying(
+                    kalman_dense::qr_tri_stack_applying_with(
+                        kind,
                         &mut diag,
                         &mut d,
                         &mut [
@@ -297,7 +361,8 @@ fn eliminate_even(task: &mut EvenTask) -> EvenOut {
                     }
                 }
                 None => {
-                    kalman_dense::qr_tri_stack_applying(
+                    kalman_dense::qr_tri_stack_applying_with(
+                        kind,
                         &mut diag,
                         &mut d,
                         &mut [(&mut cl_top, &mut cl_bot), (&mut rhs_top, &mut rhs_bot)],
@@ -336,12 +401,14 @@ fn emit_row(row: &mut RRow, out: &mut EvenOut, level: usize) {
 /// Eliminates all even columns of `scratch.cols` following the symbolic
 /// `plan` for this level, emitting their permanent rows into `out` and
 /// leaving the next level's (odd-column) chain in `scratch.cols`.
+#[allow(clippy::too_many_arguments)]
 fn eliminate_level(
     plan: &PlanLevel,
     scratch: &mut FactorScratch,
     level: usize,
     policy: ExecPolicy,
     compress_odd: bool,
+    kind: KernelKind,
     out: &mut OddEvenR,
     trace: bool,
 ) {
@@ -369,6 +436,7 @@ fn eliminate_level(
         debug_assert_eq!(cols[t].dim, slot.dim, "plan/chain divergence");
         let obs = cols[t].obs.take();
         let obs_tri = cols[t].obs_tri && obs.is_some();
+        let obs_trap = cols[t].obs_trap && obs.is_some();
         let evo = cols[t].evo.take();
         let next_evo = if t + 1 < kk {
             cols[t + 1].evo.take()
@@ -381,6 +449,7 @@ fn eliminate_level(
             dim: slot.dim,
             obs,
             obs_tri,
+            obs_trap,
             evo,
             next_evo,
             left_orig: slot.left_orig,
@@ -396,7 +465,7 @@ fn eliminate_level(
     // consuming its inputs by move and parking its result in place.
     let t0 = std::time::Instant::now();
     for_each_mut(policy, tasks, |_, task| {
-        let result = eliminate_even(task);
+        let result = eliminate_even(task, kind);
         task.out = Some(result);
     });
     let t_batch = t0.elapsed();
@@ -470,7 +539,8 @@ fn eliminate_level(
                 (None, None) => None,
             };
             if let Some((mut dstack, mut drhs)) = dstack {
-                kalman_dense::qr_tri_stack_applying(
+                kalman_dense::qr_tri_stack_applying_with(
+                    kind,
                     &mut r,
                     &mut dstack,
                     &mut [(&mut rhs_top, &mut drhs)],
@@ -514,6 +584,7 @@ fn eliminate_level(
             dim: input.dim,
             obs,
             obs_tri,
+            obs_trap: false,
             evo: input.evo,
         });
     }
@@ -633,6 +704,7 @@ pub(crate) fn execute_factor(
             dim: ws.state_dim,
             obs: ws.obs.map(|o| (o.c, o.rhs)),
             obs_tri: false,
+            obs_trap: false,
             evo: ws.evo.map(|e| {
                 let mut left = e.b;
                 left.scale(-1.0);
@@ -645,19 +717,33 @@ pub(crate) fn execute_factor(
         });
     }
 
+    // Plan-time kernel selection, resolved once per execute (demoted to
+    // `Auto` under `KALMAN_REF_KERNELS`): every tri-stack below binds the
+    // monomorphized body without per-call dispatch.
+    let kind = schedule.kernels().active();
+    let reference = kalman_dense::reference_kernels();
+
     // Pre-triangularize every tall-enough observation block (one parallel
     // batch): a QR of `C` alone costs a fraction of the stacked QR it
     // replaces, and afterwards *every* elimination step — not just levels
     // that went through a compression — runs the triangular-pentagonal
-    // fast path with short reflectors and no stack/extract copies.
+    // fast path with short reflectors and no stack/extract copies.  Short
+    // blocks (`m < n`) get the trapezoidal reduction instead, so step 1
+    // runs the structured [`kalman_dense::qr_trap_stack_applying`] rather
+    // than a zero-padded full-height QR (skipped in reference mode, which
+    // keeps the padded general path as the oracle).
     for_each_mut(policy.for_len(k1), &mut scratch.cols, |_, col| {
-        if let Some((c, mut rhs)) = col.obs.take() {
+        if let Some((mut c, mut rhs)) = col.obs.take() {
             if c.rows() >= col.dim && col.dim > 0 {
                 let qr = QrFactor::new_applying(c, &mut [&mut rhs]);
                 let r = qr.r();
                 let rhs_top = rhs.sub_matrix(0, 0, col.dim, 1);
                 col.obs = Some((r, rhs_top));
                 col.obs_tri = true;
+            } else if !reference && c.rows() > 0 && c.rows() < col.dim {
+                kalman_dense::trapezoidalize_applying(&mut c, &mut [&mut rhs]);
+                col.obs = Some((c, rhs));
+                col.obs_trap = true;
             } else {
                 col.obs = Some((c, rhs));
             }
@@ -670,7 +756,16 @@ pub(crate) fn execute_factor(
         // The plan's per-level execution decision: levels that fit in one
         // grain run sequentially (no scheduler overhead; bitwise equal).
         let level_policy = policy.for_len(plan.evens.len());
-        eliminate_level(plan, scratch, level, level_policy, compress_odd, out, trace);
+        eliminate_level(
+            plan,
+            scratch,
+            level,
+            level_policy,
+            compress_odd,
+            kind,
+            out,
+            trace,
+        );
     }
     // Base case: a single column with observation rows only.
     let root = scratch.cols.pop().expect("non-empty model");
@@ -849,6 +944,53 @@ mod tests {
         let gram_r = matmul_tn(&rd, &rd);
         let gram_a = matmul_tn(&sys.a, &sys.a);
         assert!(gram_r.approx_eq(&gram_a, 1e-9 * (1.0 + gram_a.max_abs())));
+    }
+
+    /// Short (`m < n`) observation blocks take the trapezoidal step-1 path;
+    /// it is an orthogonal transformation like the padded general path, so
+    /// the Gram matrix is preserved — and the result must agree with the
+    /// reference (padded, scalar) path at solve level.
+    #[test]
+    fn short_observations_trap_path_preserves_gram() {
+        for (n, m, k, seed) in [
+            (4usize, 2usize, 9usize, 40u64),
+            (6, 3, 14, 41),
+            (3, 1, 5, 42),
+        ] {
+            let model = generators::short_observations(&mut rng(seed), n, k, m);
+            let steps = whiten_model(&model).unwrap();
+            let r = factor_odd_even(&steps, ExecPolicy::Seq, true).unwrap();
+            let sys = kalman_model::assemble_dense(&model).unwrap();
+            let dims: Vec<usize> = model.steps.iter().map(|s| s.state_dim).collect();
+            let rd = r.to_dense_original_order(&dims);
+            let gram_r = matmul_tn(&rd, &rd);
+            let gram_a = matmul_tn(&sys.a, &sys.a);
+            assert!(
+                gram_r.approx_eq(&gram_a, 1e-9 * (1.0 + gram_a.max_abs())),
+                "gram mismatch n={n} m={m} k={k}: {}",
+                gram_r.max_abs_diff(&gram_a)
+            );
+        }
+    }
+
+    /// The structured trapezoidal path end-to-end against the independent
+    /// dense oracle (under `KALMAN_REF_KERNELS=1` the same test pins the
+    /// padded reference path instead — the CI matrix runs both).
+    #[test]
+    fn short_observations_match_dense_oracle() {
+        let model = generators::short_observations(&mut rng(43), 5, 16, 2);
+        let dense = kalman_model::solve_dense(&model).unwrap();
+        let opts = crate::OddEvenOptions {
+            covariances: true,
+            ..Default::default()
+        };
+        let smoothed = crate::odd_even_smooth(&model, opts).unwrap();
+        assert!(
+            smoothed.max_mean_diff(&dense) < 1e-8,
+            "trap-path means diverged from dense oracle: {}",
+            smoothed.max_mean_diff(&dense)
+        );
+        assert!(smoothed.max_cov_diff(&dense).unwrap() < 1e-8);
     }
 
     #[test]

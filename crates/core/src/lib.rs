@@ -55,5 +55,5 @@ mod smoother;
 pub use factor::{factor_odd_even, factor_odd_even_into, factor_odd_even_owned, FactorScratch};
 pub use plan::{signature_of_dims, PlanCache, PlanSchedule, SmoothPlan};
 pub use rfactor::{OddEvenR, RRow, SolveScratch};
-pub use selinv::{selinv_diag, selinv_diag_into, SelinvScratch};
+pub use selinv::{selinv_diag, selinv_diag_into, selinv_diag_into_with, SelinvScratch};
 pub use smoother::{odd_even_smooth, OddEvenOptions};

@@ -33,10 +33,9 @@
 
 use crate::factor::{execute_factor, FactorScratch};
 use crate::rfactor::{OddEvenR, SolveScratch};
-use crate::selinv::selinv_diag_into;
 use crate::smoother::OddEvenOptions;
 use crate::SelinvScratch;
-use kalman_dense::Matrix;
+use kalman_dense::{KernelKind, Matrix};
 use kalman_model::{KalmanError, LinearModel, Result, Smoothed, WhitenedStep};
 use kalman_par::map_collect_into;
 use std::sync::Arc;
@@ -98,6 +97,9 @@ pub fn signature_of_dims<I: IntoIterator<Item = usize>>(dims: I) -> u64 {
 pub struct PlanSchedule {
     dims: Vec<usize>,
     signature: u64,
+    /// Plan-time kernel selection: the monomorphized small-`n` kernel family
+    /// when every block dimension is one supported size, `Auto` otherwise.
+    kernels: KernelKind,
     /// One entry per elimination level (chain length > 1).
     levels: Vec<PlanLevel>,
     /// `(orig, dim)` of the base-case root column.
@@ -154,6 +156,7 @@ impl PlanSchedule {
             "a smoothing plan needs at least one state"
         );
         self.signature = signature_of_dims(self.dims.iter().copied());
+        self.kernels = KernelKind::for_dims(self.dims.iter().copied());
 
         // Simulate the odd-even chain: each level eliminates the even
         // columns and keeps the odd ones, halving the chain.
@@ -214,6 +217,15 @@ impl PlanSchedule {
     /// The shape signature ([`signature_of_dims`] of [`PlanSchedule::dims`]).
     pub fn signature(&self) -> u64 {
         self.signature
+    }
+
+    /// The plan-time kernel selection for this shape: a const-generic
+    /// monomorphized kernel family ([`KernelKind::Mono4`]/`Mono8`/`Mono16`)
+    /// when every block is that dimension, [`KernelKind::Auto`] (runtime
+    /// dispatch) otherwise.  Executors resolve it once per numeric phase via
+    /// [`KernelKind::active`], which demotes to `Auto` in reference mode.
+    pub fn kernels(&self) -> KernelKind {
+        self.kernels
     }
 
     /// Number of states (block columns) in the planned problem.
@@ -482,7 +494,15 @@ impl SmoothPlan {
         self.require_factor()?;
         let _arena = self.arena_guard();
         let _span = kalman_obs::span!("oe.selinv");
-        selinv_diag_into(&self.r, self.options.policy, covs, &mut self.selinv)
+        // The schedule's plan-time kernel selection binds SelInv's GEMM
+        // entry once for the whole phase.
+        crate::selinv::selinv_diag_into_with(
+            self.schedule.kernels(),
+            &self.r,
+            self.options.policy,
+            covs,
+            &mut self.selinv,
+        )
     }
 
     /// Full pipeline over pre-whitened steps: execute → solve →

@@ -20,7 +20,7 @@
 //! and the critical path `Θ(log k · n log n)`.
 
 use crate::rfactor::OddEvenR;
-use kalman_dense::{gemm, tri, Matrix, Trans};
+use kalman_dense::{tri, KernelKind, Matrix, Trans};
 use kalman_model::{KalmanError, Result};
 use kalman_par::{map_collect_into, ExecPolicy};
 
@@ -98,6 +98,24 @@ pub fn selinv_diag_into(
     out: &mut Vec<Matrix>,
     scratch: &mut SelinvScratch,
 ) -> Result<()> {
+    selinv_diag_into_with(KernelKind::Auto, r, policy, out, scratch)
+}
+
+/// [`selinv_diag_into`] with plan-time kernel selection: `kind` binds the
+/// GEMM entry once per call (a [`kalman_dense::GemmFn`] pointer), so a
+/// monomorphized plan's accumulation updates skip per-call shape dispatch.
+///
+/// # Errors
+///
+/// [`KalmanError::RankDeficient`] naming the first singular diagonal block.
+pub fn selinv_diag_into_with(
+    kind: KernelKind,
+    r: &OddEvenR,
+    policy: ExecPolicy,
+    out: &mut Vec<Matrix>,
+    scratch: &mut SelinvScratch,
+) -> Result<()> {
+    let gemm = kind.gemm();
     let k1 = r.num_states();
     let s = &mut scratch.s;
     s.clear();

@@ -1,7 +1,12 @@
 //! General matrix multiply: a cache-blocked, register-tiled microkernel
 //! path plus the original loop-nest kernel, retained as `gemm_ref` — the
-//! reference oracle the property tests compare against.
+//! reference oracle the property tests compare against.  The register tile
+//! itself dispatches once more: an explicit-width AVX2/FMA SIMD microtile
+//! ([`crate::simd`]) when active, the original scalar accumulators
+//! otherwise, and const-generic monomorphized whole-GEMM kernels for
+//! `n ∈ {4, 8, 16}` bound at plan time through [`KernelKind::gemm`].
 
+use crate::simd::{self, KernelKind};
 use crate::{workspace, Matrix};
 
 /// Transpose option for [`gemm`] operands.
@@ -85,9 +90,73 @@ pub fn gemm(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, beta: f64,
         return;
     }
     if workspace::reference_kernels() || am * ak * bn < BLOCK_MIN_VOLUME {
+        simd::note_scalar();
         accumulate_ref(alpha, a, ta, b, tb, c);
     } else {
+        if simd::simd_active() {
+            simd::note_simd();
+        } else {
+            simd::note_scalar();
+        }
         accumulate_blocked(alpha, a, ta, b, tb, c);
+    }
+}
+
+/// Signature shared by [`gemm`] and the monomorphized entries returned by
+/// [`KernelKind::gemm`] — what a plan binds once per solve.
+pub type GemmFn = fn(f64, &Matrix, Trans, &Matrix, Trans, f64, &mut Matrix);
+
+/// The monomorphized `N×N` entry behind [`KernelKind::gemm`]: runs the
+/// register-resident [`simd::gemm_mono`] kernel when the operands match the
+/// specialized square shape (and `op(A) = A`, the only case the smoother's
+/// plan-bound call sites produce), and falls through to the general
+/// [`gemm`] ladder for anything else — rectangular right-hand-side blocks
+/// keep working through the same fn-pointer.
+fn gemm_mono_entry<const N: usize>(
+    alpha: f64,
+    a: &Matrix,
+    ta: Trans,
+    b: &Matrix,
+    tb: Trans,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    if alpha != 0.0
+        && ta == Trans::No
+        && a.rows() == N
+        && a.cols() == N
+        && b.rows() == N
+        && b.cols() == N
+        && c.rows() == N
+        && c.cols() == N
+    {
+        simd::note_mono();
+        simd::gemm_mono::<N>(
+            alpha,
+            a.as_slice(),
+            b.as_slice(),
+            tb == Trans::Yes,
+            beta,
+            c.as_mut_slice(),
+        );
+        return;
+    }
+    gemm(alpha, a, ta, b, tb, beta, c);
+}
+
+impl KernelKind {
+    /// Binds the GEMM entry for this plan-time selection: the monomorphized
+    /// `N×N` kernel for `Mono4/8/16`, the runtime-dispatched [`gemm`] for
+    /// `Auto`.  Resolved against the process-wide switches once, at bind
+    /// time ([`KernelKind::active`]) — execution then calls one fn pointer
+    /// with no further dispatch.
+    pub fn gemm(self) -> GemmFn {
+        match self.active() {
+            KernelKind::Auto => gemm,
+            KernelKind::Mono4 => gemm_mono_entry::<4>,
+            KernelKind::Mono8 => gemm_mono_entry::<8>,
+            KernelKind::Mono16 => gemm_mono_entry::<16>,
+        }
     }
 }
 
@@ -213,6 +282,8 @@ fn accumulate_ref(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &
 fn accumulate_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, c: &mut Matrix) {
     let (am, ak) = ta.dims(a);
     let bn = tb.dims(b).1;
+    // Hoisted: one SIMD-layer check per GEMM call, not per microtile.
+    let use_simd = simd::simd_active();
 
     let b_panels = bn.div_ceil(NR);
     let a_panels_max = am.min(MC).div_ceil(MR);
@@ -266,14 +337,20 @@ fn accumulate_blocked(alpha: f64, a: &Matrix, ta: Trans, b: &Matrix, tb: Trans, 
                     let mr = MR.min(ic + mc - i0);
                     let a_panel = &apack[ip * MR * kc..(ip + 1) * MR * kc];
 
-                    // Unrolled 4×4 inner kernel: 16 scalar accumulators,
-                    // contiguous MR/NR loads per k step.
+                    // Unrolled 4×4 inner kernel: an explicit-width AVX2/FMA
+                    // tile when the SIMD layer is active, otherwise the
+                    // original 16 scalar accumulators with contiguous MR/NR
+                    // loads per k step.
                     let mut acc = [[0.0f64; NR]; MR];
-                    for (ap, bp) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
-                        for ir in 0..MR {
-                            let av = ap[ir];
-                            for jr in 0..NR {
-                                acc[ir][jr] += av * bp[jr];
+                    if use_simd {
+                        simd::gemm_microkernel_4x4(a_panel, b_panel, &mut acc);
+                    } else {
+                        for (ap, bp) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)) {
+                            for ir in 0..MR {
+                                let av = ap[ir];
+                                for jr in 0..NR {
+                                    acc[ir][jr] += av * bp[jr];
+                                }
                             }
                         }
                     }
@@ -410,6 +487,45 @@ mod tests {
         assert_eq!(c2.rows(), 2);
         assert_eq!(c2.cols(), 3);
         assert_eq!(c2.max_abs(), 0.0);
+    }
+
+    /// The plan-bound monomorphized entries must agree with the reference
+    /// loops on their specialized shapes (both `op(B)` cases, accumulate and
+    /// overwrite), and fall through to the general ladder on mismatched
+    /// shapes instead of misbehaving.
+    #[test]
+    fn mono_entries_match_reference() {
+        fn check(n: usize, f: GemmFn) {
+            let x = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 5) as f64).sin());
+            let y = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 11) as f64).cos());
+            for tb in [Trans::No, Trans::Yes] {
+                for beta in [0.0, 1.0, 0.5] {
+                    let mut c_mono = Matrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+                    let mut c_ref = c_mono.clone();
+                    f(1.5, &x, Trans::No, &y, tb, beta, &mut c_mono);
+                    gemm_ref(1.5, &x, Trans::No, &y, tb, beta, &mut c_ref);
+                    assert!(
+                        c_mono.approx_eq(&c_ref, 1e-12 * (1.0 + c_ref.max_abs())),
+                        "mono n={n} tb={tb:?} beta={beta}: {}",
+                        c_mono.max_abs_diff(&c_ref)
+                    );
+                }
+            }
+            // Mismatched shape: the entry must route through the general
+            // ladder and still be correct.
+            let tall = Matrix::from_fn(2 * n, n, |i, j| (i + 2 * j) as f64);
+            let mut c_mono = Matrix::zeros(2 * n, n);
+            let mut c_ref = Matrix::zeros(2 * n, n);
+            f(1.0, &tall, Trans::No, &y, Trans::No, 0.0, &mut c_mono);
+            gemm_ref(1.0, &tall, Trans::No, &y, Trans::No, 0.0, &mut c_ref);
+            assert!(c_mono.approx_eq(&c_ref, 1e-11 * (1.0 + c_ref.max_abs())));
+        }
+        // Bind the entries directly (not through `KernelKind::active`) so
+        // the test exercises the mono kernels regardless of process-global
+        // switch state.
+        check(4, gemm_mono_entry::<4>);
+        check(8, gemm_mono_entry::<8>);
+        check(16, gemm_mono_entry::<16>);
     }
 
     /// The blocked path must agree with the reference loops on every

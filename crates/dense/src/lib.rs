@@ -21,6 +21,8 @@
 //! that regime — a blocked, register-tiled GEMM microkernel, four-column
 //! Householder applications, a compact-WY blocked QR for large blocks, a
 //! triangular-pentagonal stack elimination ([`qr_tri_stack_applying`]),
+//! explicit-width AVX2/FMA SIMD tiles with const-generic monomorphized
+//! small-`n` kernels ([`simd`], selected at plan time via [`KernelKind`]),
 //! and a thread-local buffer-recycling [`workspace`] that makes
 //! steady-state loops allocation-free — while staying dependency-free (see
 //! DESIGN.md §"Dense kernels").
@@ -39,7 +41,11 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `simd` module is the crate's single audited
+// exemption (`#[allow(unsafe_code)]` + kalman-lint `forbid_exempt`, see
+// docs/LINTS.md §Unsafe) — it holds the `core::arch` AVX2/FMA intrinsic
+// tiles.  Every other module still rejects `unsafe` at compile time.
+#![deny(unsafe_code)]
 
 mod chol;
 mod error;
@@ -48,16 +54,24 @@ mod lu;
 mod matrix;
 mod qr;
 pub mod random;
+pub mod simd;
 pub mod tri;
 pub mod workspace;
 
 pub use chol::{llt, Cholesky};
 pub use error::DenseError;
-pub use gemm::{gemm, gemm_blocked, gemm_ref, matmul, matmul_nt, matmul_tn, matmul_tt, Trans};
+pub use gemm::{
+    gemm, gemm_blocked, gemm_ref, matmul, matmul_nt, matmul_tn, matmul_tt, GemmFn, Trans,
+};
 pub use lu::{solve, LuFactor};
 pub use matrix::Matrix;
 pub use qr::{
-    compress_rows, compress_rows_owned, qr_stacked, qr_tri_stack_applying, ColPivQr, QrFactor,
+    compress_rows, compress_rows_owned, qr_stacked, qr_trap_stack_applying, qr_tri_stack_applying,
+    qr_tri_stack_applying_with, trapezoidalize_applying, ColPivQr, QrFactor,
+};
+pub use simd::{
+    kernel_dispatch_counts, set_portable_kernels, set_simd_kernels, simd_backend, simd_kernels,
+    KernelKind,
 };
 pub use workspace::{
     arena_active, arena_scope, budget_for_len, pooling_enabled, reference_kernels,

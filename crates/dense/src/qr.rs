@@ -1,3 +1,4 @@
+use crate::simd::{self, KernelKind};
 use crate::{workspace, DenseError, Matrix, Result};
 
 /// Householder QR factorization `A = Q R` of an `m × n` matrix with `m >= n`
@@ -45,11 +46,28 @@ impl Drop for QrFactor {
 pub const QR_NB: usize = 8;
 /// Column count from which [`QrFactor::new`] switches to the blocked
 /// compact-WY factorization.  Measured on the 1-core container
-/// (`fig4 --smoke`): the four-column unblocked path wins below n ≈ 256 —
-/// every working set fits in cache, so WY's traffic savings don't bite and
-/// its `T`/`W` overhead does — and the two reach parity at 256, where the
-/// trend favors WY for the paper-scale blocks (n = 500) beyond.
-pub const QR_BLOCK_MIN_COLS: usize = 256;
+/// (`fig4 --smoke` crossover sweep, SIMD panel kernels on): the unblocked
+/// path wins below n ≈ 128 — every working set fits in cache, so WY's
+/// traffic savings don't bite and its `T`/`W` overhead does — while from
+/// 128 up the SIMD-ized panel application (`dot_quad`/`axpy_quad` over
+/// four companion columns at a time) pulls ahead (1.06x at 128, 1.17x at
+/// 192) and the trend favors WY for the paper-scale blocks (n = 500).
+pub const QR_BLOCK_MIN_COLS: usize = 128;
+/// Column count from which [`QrFactor::new_applying`] stops applying each
+/// reflector to the companions *during* the factorization and instead
+/// factors first, then sweeps each companion once with
+/// [`QrFactor::apply_qt`].  The two orders are bitwise identical (same
+/// reflectors, same per-column application order — pinned by
+/// `new_applying_is_bitwise_factor_then_apply`); the choice is purely a
+/// locality trade.  Measured on the 1-core container (`fig4 --smoke`
+/// crossover sweep): below ~n = 32 the factor's working set and the
+/// companions fit in cache together, so the fused update is free (1.38x
+/// at n = 8); from n = 48 up, interleaving companion columns into the
+/// factorization loop evicts the trailing-matrix working set and the
+/// fused path loses up to 10% (the `qr/n48`..`qr/n96` regression this
+/// constant fixes) — there, factor-then-apply streams each companion in
+/// one cache-friendly pass.
+pub const QR_FUSED_MAX_COLS: usize = 32;
 
 /// Computes the Householder reflector for `x` in place.
 ///
@@ -104,6 +122,8 @@ fn apply_reflector_raw(vtail: &[f64], tau: f64, b: &mut [f64], brows: usize, row
     debug_assert_eq!(b.len() % brows, 0);
     debug_assert_eq!(vtail.len(), brows - row0 - 1);
     let tail = vtail.len();
+    // One SIMD-layer check per reflector application, not per quad.
+    let use_simd = simd::simd_active();
     let mut quads = b.chunks_exact_mut(4 * brows);
     for quad in quads.by_ref() {
         let (c0, rest) = quad.split_at_mut(brows);
@@ -113,6 +133,21 @@ fn apply_reflector_raw(vtail: &[f64], tau: f64, b: &mut [f64], brows: usize, row
         let c1 = &mut c1[row0..];
         let c2 = &mut c2[row0..];
         let c3 = &mut c3[row0..];
+        if use_simd {
+            // Explicit-width tile: pivots travel in `w`, the tails are the
+            // four column slices past the pivot row.
+            let mut w = [c0[0], c1[0], c2[0], c3[0]];
+            let (p0, t0) = c0.split_at_mut(1);
+            let (p1, t1) = c1.split_at_mut(1);
+            let (p2, t2) = c2.split_at_mut(1);
+            let (p3, t3) = c3.split_at_mut(1);
+            simd::reflector_quad(vtail, tau, &mut w, [t0, t1, t2, t3]);
+            p0[0] -= w[0];
+            p1[0] -= w[1];
+            p2[0] -= w[2];
+            p3[0] -= w[3];
+            continue;
+        }
         let (mut w0, mut w1, mut w2, mut w3) = (c0[0], c1[0], c2[0], c3[0]);
         {
             let t0 = &c0[1..1 + tail];
@@ -148,7 +183,15 @@ fn apply_reflector_raw(vtail: &[f64], tau: f64, b: &mut [f64], brows: usize, row
         }
     }
     for col in quads.into_remainder().chunks_exact_mut(brows) {
-        apply_householder(vtail, tau, &mut col[row0..]);
+        let c = &mut col[row0..];
+        if use_simd {
+            let (piv, t) = c.split_at_mut(1);
+            let mut w = piv[0];
+            simd::reflector_one(vtail, tau, &mut w, t);
+            piv[0] -= w;
+        } else {
+            apply_householder(vtail, tau, c);
+        }
     }
 }
 
@@ -213,6 +256,8 @@ fn panel_apply(
         return;
     }
     let seg = brows - j0;
+    // One SIMD-layer check per panel application, not per quad.
+    let use_simd = simd::simd_active();
     let mut w = workspace::take_f64(jb * bcols);
 
     // Phase 1: W = V̂ᵀ B̂, four B columns per pass (independent accumulators
@@ -229,22 +274,26 @@ fn panel_apply(
                 let vcol = &vcols[(j0 + jj) * vrows..(j0 + jj + 1) * vrows];
                 let vtail = &vcol[j0 + jj + 1..];
                 let tail = vtail.len();
-                let (mut a0, mut a1, mut a2, mut a3) = (b0[jj], b1[jj], b2[jj], b3[jj]);
+                let mut acc = [b0[jj], b1[jj], b2[jj], b3[jj]];
                 let t0 = &b0[jj + 1..jj + 1 + tail];
                 let t1 = &b1[jj + 1..jj + 1 + tail];
                 let t2 = &b2[jj + 1..jj + 1 + tail];
                 let t3 = &b3[jj + 1..jj + 1 + tail];
-                for i in 0..tail {
-                    let vi = vtail[i];
-                    a0 += vi * t0[i];
-                    a1 += vi * t1[i];
-                    a2 += vi * t2[i];
-                    a3 += vi * t3[i];
+                if use_simd {
+                    simd::dot_quad(vtail, [t0, t1, t2, t3], &mut acc);
+                } else {
+                    for i in 0..tail {
+                        let vi = vtail[i];
+                        acc[0] += vi * t0[i];
+                        acc[1] += vi * t1[i];
+                        acc[2] += vi * t2[i];
+                        acc[3] += vi * t3[i];
+                    }
                 }
-                w[k * jb + jj] = a0;
-                w[(k + 1) * jb + jj] = a1;
-                w[(k + 2) * jb + jj] = a2;
-                w[(k + 3) * jb + jj] = a3;
+                w[k * jb + jj] = acc[0];
+                w[(k + 1) * jb + jj] = acc[1];
+                w[(k + 2) * jb + jj] = acc[2];
+                w[(k + 3) * jb + jj] = acc[3];
             }
             k += 4;
         }
@@ -255,8 +304,12 @@ fn panel_apply(
                 let vcol = &vcols[(j0 + jj) * vrows..(j0 + jj + 1) * vrows];
                 let vtail = &vcol[j0 + jj + 1..];
                 let mut acc = bk[jj];
-                for (vi, bi) in vtail.iter().zip(&bk[jj + 1..seg]) {
-                    acc += vi * bi;
+                if use_simd {
+                    acc += simd::dot(vtail, &bk[jj + 1..seg]);
+                } else {
+                    for (vi, bi) in vtail.iter().zip(&bk[jj + 1..seg]) {
+                        acc += vi * bi;
+                    }
                 }
                 *wslot = acc;
             }
@@ -320,12 +373,16 @@ fn panel_apply(
                 let t1 = &mut b1[jj + 1..jj + 1 + tail];
                 let t2 = &mut b2[jj + 1..jj + 1 + tail];
                 let t3 = &mut b3[jj + 1..jj + 1 + tail];
-                for i in 0..tail {
-                    let vi = vtail[i];
-                    t0[i] -= w0 * vi;
-                    t1[i] -= w1 * vi;
-                    t2[i] -= w2 * vi;
-                    t3[i] -= w3 * vi;
+                if use_simd {
+                    simd::axpy_quad([w0, w1, w2, w3], vtail, [t0, t1, t2, t3]);
+                } else {
+                    for i in 0..tail {
+                        let vi = vtail[i];
+                        t0[i] -= w0 * vi;
+                        t1[i] -= w1 * vi;
+                        t2[i] -= w2 * vi;
+                        t3[i] -= w3 * vi;
+                    }
                 }
             }
             k += 4;
@@ -338,8 +395,12 @@ fn panel_apply(
                     let vcol = &vcols[(j0 + jj) * vrows..(j0 + jj + 1) * vrows];
                     let vtail = &vcol[j0 + jj + 1..];
                     bk[jj] -= wv;
-                    for (vi, bi) in vtail.iter().zip(&mut bk[jj + 1..seg]) {
-                        *bi -= wv * vi;
+                    if use_simd {
+                        simd::axpy(-wv, vtail, &mut bk[jj + 1..seg]);
+                    } else {
+                        for (vi, bi) in vtail.iter().zip(&mut bk[jj + 1..seg]) {
+                            *bi -= wv * vi;
+                        }
                     }
                 }
             }
@@ -355,6 +416,7 @@ fn panel_apply(
 /// `T ← [[T_prev, −τ·T_prev·(Vᵀv)], [0, τ]]`.
 fn build_t_block(packed: &Matrix, tau: &[f64], j0: usize, jb: usize, t: &mut Matrix) {
     let m = packed.rows();
+    let use_simd = simd::simd_active();
     let mut tmp = workspace::take_f64(jb);
     for jj in 0..jb {
         let tj = tau[j0 + jj];
@@ -370,8 +432,12 @@ fn build_t_block(packed: &Matrix, tau: &[f64], j0: usize, jb: usize, t: &mut Mat
             for (p, slot) in tmp.iter_mut().enumerate().take(jj) {
                 let vp = packed.col(j0 + p);
                 let mut acc = vp[j0 + jj];
-                for (x, y) in vp[j0 + jj + 1..m].iter().zip(vjj) {
-                    acc += x * y;
+                if use_simd {
+                    acc += simd::dot(&vp[j0 + jj + 1..m], vjj);
+                } else {
+                    for (x, y) in vp[j0 + jj + 1..m].iter().zip(vjj) {
+                        acc += x * y;
+                    }
                 }
                 *slot = acc;
             }
@@ -423,21 +489,33 @@ impl QrFactor {
         if n >= QR_BLOCK_MIN_COLS && !workspace::reference_kernels() {
             Self::new_blocked(a, companions)
         } else {
+            // Mid-size regime choice (see `QR_FUSED_MAX_COLS`): fuse the
+            // companion updates into the factorization for small factors,
+            // factor-then-apply for mid-size ones.  The reference oracle
+            // keeps the original fused order.
+            let fused =
+                companions.is_empty() || n < QR_FUSED_MAX_COLS || workspace::reference_kernels();
             let mut tau = workspace::take_f64(n);
             for (j, tj) in tau.iter_mut().enumerate() {
                 *tj = eliminate_column(&mut a, j);
-                if *tj != 0.0 {
+                if fused && *tj != 0.0 {
                     let vtail = &a.col(j)[j + 1..];
                     for comp in companions.iter_mut() {
                         apply_householder_panel(vtail, *tj, comp, j);
                     }
                 }
             }
-            QrFactor {
+            let factor = QrFactor {
                 packed: a,
                 tau,
                 t: None,
+            };
+            if !fused {
+                for comp in companions.iter_mut() {
+                    factor.apply_qt(comp);
+                }
             }
+            factor
         }
     }
 
@@ -854,6 +932,45 @@ pub fn qr_tri_stack_applying(
     d: &mut Matrix,
     companions: &mut [(&mut Matrix, &mut Matrix)],
 ) {
+    tri_stack_check(r, d, companions);
+    if simd::simd_active() {
+        simd::note_simd();
+    } else {
+        simd::note_scalar();
+    }
+    tri_stack_body::<0>(r, d, companions);
+}
+
+/// [`qr_tri_stack_applying`] with plan-time kernel selection: when `kind`
+/// names a monomorphized dimension matching the actual blocks
+/// (`n = l = 4, 8 or 16` — the serving hot path's square evolution stacks),
+/// the elimination runs the const-generic body, whose fixed trip counts the
+/// compiler unrolls and bounds-check-eliminates.  Anything else (including
+/// `KernelKind::Auto`, mismatched shapes, or reference mode) falls through
+/// to the runtime-dispatched path — the call is always correct, the kind is
+/// only a specialization hint bound once at plan time.
+pub fn qr_tri_stack_applying_with(
+    kind: KernelKind,
+    r: &mut Matrix,
+    d: &mut Matrix,
+    companions: &mut [(&mut Matrix, &mut Matrix)],
+) {
+    let n = r.rows();
+    if kind.active().dim() == Some(n) && d.rows() == n {
+        tri_stack_check(r, d, companions);
+        simd::note_mono();
+        match n {
+            4 => tri_stack_body::<4>(r, d, companions),
+            8 => tri_stack_body::<8>(r, d, companions),
+            _ => tri_stack_body::<16>(r, d, companions),
+        }
+        return;
+    }
+    qr_tri_stack_applying(r, d, companions);
+}
+
+/// Shared shape validation for the tri-stack entry points.
+fn tri_stack_check(r: &Matrix, d: &Matrix, companions: &[(&mut Matrix, &mut Matrix)]) {
     let n = r.rows();
     assert_eq!(r.cols(), n, "qr_tri_stack: R must be square");
     assert_eq!(d.cols(), n, "qr_tri_stack: D column mismatch");
@@ -867,8 +984,29 @@ pub fn qr_tri_stack_applying(
             "qr_tri_stack: companion column mismatch"
         );
     }
+}
 
-    for j in 0..n {
+/// The tri-stack elimination body.  `N == 0` is the dynamic shape; `N > 0`
+/// monomorphizes the pivot count, column count and `D` row count to `N`
+/// (the wrappers guarantee `r` is `N×N` and `d` is `N×N` in that case), so
+/// every trip count below is a compile-time constant.
+///
+/// The dynamic shape also accepts an upper-*trapezoidal* `r` (`m ≤ n` with
+/// rows below the diagonal zero): the pivot loop runs over the `m` rows and
+/// the trailing updates span all `n` columns, which is exactly phase A of
+/// [`qr_trap_stack_applying`].
+fn tri_stack_body<const N: usize>(
+    r: &mut Matrix,
+    d: &mut Matrix,
+    companions: &mut [(&mut Matrix, &mut Matrix)],
+) {
+    let m = if N == 0 { r.rows() } else { N };
+    let n = if N == 0 { r.cols() } else { N };
+    let l = if N == 0 { d.rows() } else { N };
+    // One SIMD-layer check per elimination, not per reflector.
+    let use_simd = simd::simd_active();
+
+    for j in 0..m {
         // Reflector from the virtual column [R[j,j]; D[:,j]] (length 1+l).
         let alpha = r[(j, j)];
         let norm2: f64 = alpha * alpha + d.col(j).iter().map(|v| v * v).sum::<f64>();
@@ -912,6 +1050,16 @@ pub fn qr_tri_stack_applying(
                 let (c0, rest) = quad.split_at_mut(l);
                 let (c1, rest) = rest.split_at_mut(l);
                 let (c2, c3) = rest.split_at_mut(l);
+                if use_simd {
+                    let mut w = [r[(j, k)], r[(j, k + 1)], r[(j, k + 2)], r[(j, k + 3)]];
+                    simd::reflector_quad(vtail, tau, &mut w, [c0, c1, c2, c3]);
+                    r[(j, k)] -= w[0];
+                    r[(j, k + 1)] -= w[1];
+                    r[(j, k + 2)] -= w[2];
+                    r[(j, k + 3)] -= w[3];
+                    k += 4;
+                    continue;
+                }
                 let (mut w0, mut w1, mut w2, mut w3) =
                     (r[(j, k)], r[(j, k + 1)], r[(j, k + 2)], r[(j, k + 3)]);
                 for i in 0..l {
@@ -939,6 +1087,13 @@ pub fn qr_tri_stack_applying(
                 k += 4;
             }
             for ck in quads.into_remainder().chunks_exact_mut(l) {
+                if use_simd {
+                    let mut w = r[(j, k)];
+                    simd::reflector_one(vtail, tau, &mut w, ck);
+                    r[(j, k)] -= w;
+                    k += 1;
+                    continue;
+                }
                 let mut w = 0.0;
                 for (vi, xi) in vtail.iter().zip(ck.iter()) {
                     w += vi * xi;
@@ -962,6 +1117,21 @@ pub fn qr_tri_stack_applying(
                 let (c0, rest) = quad.split_at_mut(l);
                 let (c1, rest) = rest.split_at_mut(l);
                 let (c2, c3) = rest.split_at_mut(l);
+                if use_simd {
+                    let mut w = [
+                        top[(j, c)],
+                        top[(j, c + 1)],
+                        top[(j, c + 2)],
+                        top[(j, c + 3)],
+                    ];
+                    simd::reflector_quad(vtail, tau, &mut w, [c0, c1, c2, c3]);
+                    top[(j, c)] -= w[0];
+                    top[(j, c + 1)] -= w[1];
+                    top[(j, c + 2)] -= w[2];
+                    top[(j, c + 3)] -= w[3];
+                    c += 4;
+                    continue;
+                }
                 let (mut w0, mut w1, mut w2, mut w3) = (
                     top[(j, c)],
                     top[(j, c + 1)],
@@ -993,6 +1163,13 @@ pub fn qr_tri_stack_applying(
                 c += 4;
             }
             for bc in quads.into_remainder().chunks_exact_mut(l) {
+                if use_simd {
+                    let mut w = top[(j, c)];
+                    simd::reflector_one(vtail, tau, &mut w, bc);
+                    top[(j, c)] -= w;
+                    c += 1;
+                    continue;
+                }
                 let mut w = 0.0;
                 for (vi, xi) in vtail.iter().zip(bc.iter()) {
                     w += vi * xi;
@@ -1004,6 +1181,113 @@ pub fn qr_tri_stack_applying(
                 }
                 c += 1;
             }
+        }
+    }
+}
+
+/// Reduces a general `m × n` block to upper-trapezoidal form in place,
+/// carrying the same orthogonal transformation onto each companion block
+/// (all with `m` rows).
+///
+/// This is the structured step-1 entry for *short* observation blocks
+/// (`m < n`): a full [`QrFactor::new_applying`] would insist on `m ≥ n`
+/// (and pad), while the level-0 pre-triangularization only needs the
+/// `min(m, n) × n` trapezoid `R̂` and `Qᵀ·rhs`.  On exit the sub-diagonal
+/// of `a` is zeroed (the reflector tails are consumed, not returned), so
+/// `a` holds the clean trapezoid directly.
+pub fn trapezoidalize_applying(a: &mut Matrix, companions: &mut [&mut Matrix]) {
+    let (m, n) = (a.rows(), a.cols());
+    for comp in companions.iter() {
+        assert_eq!(comp.rows(), m, "trapezoidalize: companion row mismatch");
+    }
+    let steps = m.min(n);
+    for j in 0..steps {
+        let tau = eliminate_column(a, j);
+        if tau == 0.0 {
+            continue;
+        }
+        let acol = a.col(j);
+        let vtail = &acol[j + 1..];
+        for comp in companions.iter_mut() {
+            apply_householder_panel(vtail, tau, comp, j);
+        }
+    }
+    for j in 0..steps {
+        for v in &mut a.col_mut(j)[j + 1..] {
+            *v = 0.0;
+        }
+    }
+}
+
+/// QR-eliminates the structured stack `[T; D]` where `T` is `m × n` upper
+/// *trapezoidal* (`m ≤ n`) and `D` is a dense `l × n` block, transforming
+/// companion pairs `(top: m × w, bottom: l × w)` by the same `Qᵀ`.
+///
+/// This is the step-1 elimination for short observation blocks: after
+/// [`trapezoidalize_applying`] compresses an `m < n` observation block to a
+/// trapezoid, the odd-even step 1 stacks it on the evolution block without
+/// padding `T` back up to `n` rows.  Phase A mirrors
+/// [`qr_tri_stack_applying`] — each of the `m` pivots pairs `T[j,j]` with
+/// the full `D` column `j` (the trapezoid keeps `T`'s sub-diagonal zero, so
+/// those rows never enter a reflector).  Phase B finishes columns
+/// `m..min(m+l, n)` *inside* `D` with ordinary Householder steps.
+///
+/// On exit the triangular factor of the stack is split across the inputs:
+/// rows `0..m` of `R̂` are in `T`, and row `m + i` lives in `D` row `i`
+/// (columns `≥ m + i` only — entries of `D` below that staircase are spent
+/// reflector tails the caller must mask when extracting).  Companion rows
+/// follow the same split.
+pub fn qr_trap_stack_applying(
+    t: &mut Matrix,
+    d: &mut Matrix,
+    companions: &mut [(&mut Matrix, &mut Matrix)],
+) {
+    let (m, n) = (t.rows(), t.cols());
+    assert!(
+        m <= n,
+        "qr_trap_stack: T must be upper trapezoidal (m <= n)"
+    );
+    assert_eq!(d.cols(), n, "qr_trap_stack: D column mismatch");
+    let l = d.rows();
+    for (top, bottom) in companions.iter() {
+        assert_eq!(top.rows(), m, "qr_trap_stack: companion top row mismatch");
+        assert_eq!(bottom.rows(), l, "qr_trap_stack: companion bottom rows");
+        assert_eq!(
+            top.cols(),
+            bottom.cols(),
+            "qr_trap_stack: companion column mismatch"
+        );
+    }
+    if simd::simd_active() {
+        simd::note_simd();
+    } else {
+        simd::note_scalar();
+    }
+
+    // Phase A: one tri-stack pivot per T row.
+    tri_stack_body::<0>(t, d, companions);
+
+    // Phase B: eliminate the remaining staircase inside D.  Reflector for
+    // column m + jj starts at D row jj; T and the companion tops have no
+    // rows at that depth, so only D and the companion bottoms update.
+    for jj in 0..l.min(n.saturating_sub(m)) {
+        let j = m + jj;
+        let tau = {
+            let col = &mut d.col_mut(j)[jj..];
+            make_householder(col)
+        };
+        if tau == 0.0 {
+            continue;
+        }
+        {
+            let (dleft, dright) = d.split_at_col_mut(j + 1);
+            let vtail = &dleft[j * l + jj + 1..(j + 1) * l];
+            apply_reflector_raw(vtail, tau, dright, l, jj);
+        }
+        let dcol = d.col(j);
+        let vtail = &dcol[jj + 1..];
+        for (_, bottom) in companions.iter_mut() {
+            apply_householder_panel(vtail, tau, bottom, jj);
         }
     }
 }
@@ -1378,6 +1662,154 @@ mod tests {
             let lhs = &matmul_tn(&top, &top) + &matmul_tn(&bot, &bot);
             let rhs = &matmul_tn(&top0, &top0) + &matmul_tn(&bot0, &bot0);
             assert!(lhs.approx_eq(&rhs, 1e-11 * scale), "comp gram n={n} l={l}");
+        }
+    }
+
+    #[test]
+    fn mono_tri_stack_matches_dynamic_bitwise() {
+        use crate::simd::KernelKind;
+        for n in [4usize, 8, 16] {
+            let r0 = wide_sample(n, n).upper_triangular_part();
+            let d0 = wide_sample(n, n);
+            let top0 = wide_sample(n, 3);
+            let bot0 = wide_sample(n, 3);
+
+            let (mut r_a, mut d_a) = (r0.clone(), d0.clone());
+            let (mut top_a, mut bot_a) = (top0.clone(), bot0.clone());
+            qr_tri_stack_applying(&mut r_a, &mut d_a, &mut [(&mut top_a, &mut bot_a)]);
+
+            let (mut r_b, mut d_b) = (r0.clone(), d0.clone());
+            let (mut top_b, mut bot_b) = (top0.clone(), bot0.clone());
+            let kind = KernelKind::for_dim(n);
+            assert_eq!(kind.dim(), Some(n));
+            qr_tri_stack_applying_with(kind, &mut r_b, &mut d_b, &mut [(&mut top_b, &mut bot_b)]);
+
+            // The monomorphized body runs the identical arithmetic sequence,
+            // so the match is bitwise, whatever the SIMD layer is doing.
+            assert!(r_a.approx_eq(&r_b, 0.0), "mono R n={n}");
+            assert!(d_a.approx_eq(&d_b, 0.0), "mono D n={n}");
+            assert!(top_a.approx_eq(&top_b, 0.0), "mono top n={n}");
+            assert!(bot_a.approx_eq(&bot_b, 0.0), "mono bot n={n}");
+
+            // A mismatched hint must fall back, not mis-specialize.
+            let (mut r_c, mut d_c) = (r0.clone(), d0.clone());
+            let wrong = if n == 4 {
+                KernelKind::Mono8
+            } else {
+                KernelKind::Mono4
+            };
+            qr_tri_stack_applying_with(wrong, &mut r_c, &mut d_c, &mut []);
+            let (mut r_d, mut d_d) = (r0.clone(), d0.clone());
+            qr_tri_stack_applying(&mut r_d, &mut d_d, &mut []);
+            assert!(r_c.approx_eq(&r_d, 0.0), "fallback R n={n}");
+            assert!(d_c.approx_eq(&d_d, 0.0), "fallback D n={n}");
+        }
+    }
+
+    #[test]
+    fn trapezoidalize_preserves_gram_and_shape() {
+        use crate::gemm::matmul_tn;
+        for (m, n, w) in [(3usize, 5usize, 2usize), (4, 4, 3), (6, 3, 1), (1, 4, 2)] {
+            let a0 = wide_sample(m, n);
+            let rhs0 = wide_sample(m, w);
+            let mut a = a0.clone();
+            let mut rhs = rhs0.clone();
+            trapezoidalize_applying(&mut a, &mut [&mut rhs]);
+
+            for j in 0..m.min(n) {
+                for i in (j + 1)..m {
+                    assert_eq!(a[(i, j)], 0.0, "({i},{j}) not cleared m={m} n={n}");
+                }
+            }
+            let scale = 1.0 + a0.max_abs() + rhs0.max_abs();
+            // Orthogonal invariants: RᵀR == AᵀA, Rᵀ(Qᵀrhs) == Aᵀrhs,
+            // and Qᵀ preserves companion norms.
+            let lhs = matmul_tn(&a, &a);
+            let rhs_g = matmul_tn(&a0, &a0);
+            assert!(lhs.approx_eq(&rhs_g, 1e-11 * scale), "trap gram {m}x{n}");
+            let lhs = matmul_tn(&a, &rhs);
+            let rhs_g = matmul_tn(&a0, &rhs0);
+            assert!(lhs.approx_eq(&rhs_g, 1e-11 * scale), "trap cross {m}x{n}");
+            let lhs = matmul_tn(&rhs, &rhs);
+            let rhs_g = matmul_tn(&rhs0, &rhs0);
+            assert!(lhs.approx_eq(&rhs_g, 1e-11 * scale), "trap comp {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn trap_stack_preserves_augmented_gram() {
+        use crate::gemm::matmul_tn;
+        for (m, l, w, n) in [
+            (2usize, 4usize, 3usize, 5usize),
+            (3, 2, 2, 6),
+            (0, 4, 2, 3),
+            (2, 0, 1, 4),
+            (4, 4, 2, 4),
+        ] {
+            let t0 = {
+                let mut t = wide_sample(m.max(1), n).sub_matrix(0, 0, m, n);
+                for j in 0..m.min(n) {
+                    for i in (j + 1)..m {
+                        t[(i, j)] = 0.0;
+                    }
+                }
+                t
+            };
+            let d0 = wide_sample(l.max(1), n).sub_matrix(0, 0, l, n);
+            let top0 = wide_sample(m.max(1), w).sub_matrix(0, 0, m, w);
+            let bot0 = wide_sample(l.max(1), w).sub_matrix(0, 0, l, w);
+
+            let mut t = t0.clone();
+            let mut d = d0.clone();
+            let mut top = top0.clone();
+            let mut bot = bot0.clone();
+            qr_trap_stack_applying(&mut t, &mut d, &mut [(&mut top, &mut bot)]);
+
+            // Assemble the k×n triangular factor: T rows, then the D
+            // staircase rows (masked below their diagonal), and the matching
+            // k×w companion rows.
+            let steps = l.min(n.saturating_sub(m));
+            let k = m + steps;
+            let mut rhat = Matrix::zeros(k, n);
+            let mut chat = Matrix::zeros(k, w);
+            for j in 0..n {
+                for i in 0..m.min(j + 1) {
+                    rhat[(i, j)] = t[(i, j)];
+                }
+                if j >= m {
+                    for i in 0..steps.min(j - m + 1) {
+                        rhat[(m + i, j)] = d[(i, j)];
+                    }
+                }
+            }
+            for c in 0..w {
+                for i in 0..m {
+                    chat[(i, c)] = top[(i, c)];
+                }
+                for i in 0..steps {
+                    chat[(m + i, c)] = bot[(i, c)];
+                }
+            }
+
+            let scale = 1.0 + t0.max_abs() + d0.max_abs() + top0.max_abs() + bot0.max_abs();
+            let lhs = matmul_tn(&rhat, &rhat);
+            let rhs = &matmul_tn(&t0, &t0) + &matmul_tn(&d0, &d0);
+            assert!(
+                lhs.approx_eq(&rhs, 1e-11 * scale),
+                "trapstack gram m={m} l={l} n={n}"
+            );
+            let lhs = matmul_tn(&rhat, &chat);
+            let rhs = &matmul_tn(&t0, &top0) + &matmul_tn(&d0, &bot0);
+            assert!(
+                lhs.approx_eq(&rhs, 1e-11 * scale),
+                "trapstack cross m={m} l={l} n={n}"
+            );
+            let lhs = &matmul_tn(&top, &top) + &matmul_tn(&bot, &bot);
+            let rhs = &matmul_tn(&top0, &top0) + &matmul_tn(&bot0, &bot0);
+            assert!(
+                lhs.approx_eq(&rhs, 1e-11 * scale),
+                "trapstack comp m={m} l={l} n={n}"
+            );
         }
     }
 

@@ -1,0 +1,903 @@
+//! Explicit-width SIMD microkernels and plan-time kernel selection.
+//!
+//! This module is the crate's one island of `unsafe`: f64×4 tiles written
+//! against `core::arch` x86_64 AVX2/FMA intrinsics, with a portable 4-lane
+//! fallback in plain Rust for every kernel.  The backend is runtime-dispatched
+//! once (the first caller runs `is_x86_feature_detected!` and the verdict is
+//! cached), so steady-state calls pay a single relaxed atomic load.
+//!
+//! Three layers of kernels coexist, and the scalar layer is the oracle:
+//!
+//! * **scalar** — the original loop nests in `gemm.rs` / `qr.rs` / `tri.rs`,
+//!   always reachable via `KALMAN_REF_KERNELS` / `set_reference_kernels`,
+//! * **SIMD** — the width-aware tiles in this module, used by the blocked
+//!   GEMM microkernel, the four-column Householder applications and the
+//!   triangular solves whenever [`simd_kernels`] is on and reference mode
+//!   is off,
+//! * **monomorphized** — const-generic `n ∈ {4, 8, 16}` kernels
+//!   ([`gemm_mono`], and the tri-stack bodies in `qr.rs`), selected at plan
+//!   time through [`KernelKind`] so a `SmoothPlan` binds the exact kernel
+//!   once instead of re-dispatching per call.
+//!
+//! **Accuracy contract**: the FMA tiles fuse multiply and add into a single
+//! rounding, so SIMD results are *not* bitwise-equal to the scalar oracle —
+//! they agree to the usual `O(ε·‖·‖)` backward-error tolerance, which the
+//! proptest suite pins (`crates/dense/tests/proptests.rs`).  What *is*
+//! bitwise-stable is determinism: every kernel here is a pure function of
+//! its operands, so sequential and parallel smoother runs stay bitwise
+//! identical with SIMD active (pinned in `tests/determinism.rs`).
+//!
+//! Dispatch outcomes are counted ([`kernel_dispatch_counts`]) and exported
+//! as `dense.kernel.dispatch.*` sampled gauges by
+//! [`register_workspace_gauges`](crate::workspace::register_workspace_gauges).
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use crate::workspace;
+
+// ---------------------------------------------------------------------------
+// Switches and runtime dispatch
+// ---------------------------------------------------------------------------
+
+/// Process-wide SIMD switch: paired value/init flags, same lazy-env pattern
+/// as `workspace::REFERENCE_KERNELS`.
+static SIMD_KERNELS: AtomicBool = AtomicBool::new(true);
+static SIMD_KERNELS_INIT: AtomicBool = AtomicBool::new(false);
+/// Forces the portable 4-lane fallback even where AVX2 is available — lets
+/// the test suite pin the portable lanes on AVX2 hosts.
+static FORCE_PORTABLE: AtomicBool = AtomicBool::new(false);
+/// Cached CPU verdict: 0 = undetected, 1 = no AVX2/FMA, 2 = AVX2+FMA.
+static AVX2: AtomicU8 = AtomicU8::new(0);
+
+/// Enables or disables the explicit-width SIMD kernels process-wide
+/// (default: enabled unless the `KALMAN_SIMD` environment variable is set
+/// to `0`).  With SIMD off, callers fall back to the tuned scalar loops —
+/// the same paths `KALMAN_REF_KERNELS` exercises wholesale.  The benchmark
+/// harness flips this to isolate the SIMD contribution within one process.
+pub fn set_simd_kernels(on: bool) {
+    // Relaxed on both: callers flip this during single-threaded setup (the
+    // bench harness, or the lazy env-derived init below, which is
+    // idempotent) — thread spawn/join provides the happens-before edge for
+    // any worker that later reads the flags.
+    SIMD_KERNELS.store(on, Ordering::Relaxed);
+    SIMD_KERNELS_INIT.store(true, Ordering::Relaxed); // Relaxed: see the setup/happens-before argument above.
+}
+
+/// `true` when the explicit-width SIMD kernels are enabled.
+pub fn simd_kernels() -> bool {
+    // Relaxed: the lazy init is idempotent (every racer derives the same
+    // value from the environment), so no ordering is needed.
+    if !SIMD_KERNELS_INIT.load(Ordering::Relaxed) {
+        let on = !std::env::var("KALMAN_SIMD").is_ok_and(|v| v == "0" || v == "off");
+        set_simd_kernels(on);
+        return on;
+    }
+    SIMD_KERNELS.load(Ordering::Relaxed) // Relaxed: same idempotent-init argument as above.
+}
+
+/// Forces the portable 4-lane fallback kernels even on AVX2 hardware.
+/// Test-suite hook: lets the proptests pin the portable lanes against the
+/// scalar oracle on machines where AVX2 would normally win dispatch.
+pub fn set_portable_kernels(on: bool) {
+    // Relaxed: independent on/off test hook flipped during single-threaded
+    // setup; either value leaves every kernel correct.
+    FORCE_PORTABLE.store(on, Ordering::Relaxed);
+}
+
+/// `true` while the portable fallback is forced via [`set_portable_kernels`].
+pub fn portable_kernels() -> bool {
+    // Relaxed: see `set_portable_kernels` — an independent flag, no other
+    // memory is published under it.
+    FORCE_PORTABLE.load(Ordering::Relaxed)
+}
+
+/// `true` when SIMD tiles should be used: the SIMD switch is on and the
+/// scalar reference oracle is not forced.
+#[inline]
+pub(crate) fn simd_active() -> bool {
+    simd_kernels() && !workspace::reference_kernels()
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_avx2() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// `true` when the AVX2/FMA implementations should run (CPU support
+/// detected, portable fallback not forced).  The detection verdict is
+/// cached after the first call.
+#[inline]
+fn use_avx2() -> bool {
+    if portable_kernels() {
+        return false;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Relaxed loads/stores throughout: the cached verdict is an
+        // idempotent pure function of the CPU, so racing initializers all
+        // store the same value and no ordering is needed.
+        match AVX2.load(Ordering::Relaxed) {
+            2 => true,
+            1 => false,
+            _ => {
+                let on = detect_avx2();
+                AVX2.store(if on { 2 } else { 1 }, Ordering::Relaxed); // Relaxed: same idempotent-detection argument.
+                on
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Which backend the SIMD layer would run right now: `"avx2"`,
+/// `"portable"`, or `"scalar"` when the SIMD layer is disabled (switch off
+/// or reference oracle forced).  Surfaced by `phase_profile` and useful in
+/// CI logs on runners without AVX2.
+pub fn simd_backend() -> &'static str {
+    if !simd_active() {
+        "scalar"
+    } else if use_avx2() {
+        "avx2"
+    } else {
+        "portable"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch counters (exported as `dense.kernel.dispatch.*` gauges)
+// ---------------------------------------------------------------------------
+
+static SCALAR_HITS: AtomicU64 = AtomicU64::new(0);
+static SIMD_HITS: AtomicU64 = AtomicU64::new(0);
+static MONO_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one kernel-entry dispatch to the scalar path.
+#[inline]
+pub(crate) fn note_scalar() {
+    // Relaxed: statistical counter, never synchronizes anything.
+    SCALAR_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one kernel-entry dispatch to the SIMD tiles.
+#[inline]
+pub(crate) fn note_simd() {
+    // Relaxed: statistical counter, never synchronizes anything.
+    SIMD_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one kernel-entry dispatch to a monomorphized kernel.
+#[inline]
+pub(crate) fn note_mono() {
+    // Relaxed: statistical counter, never synchronizes anything.
+    MONO_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Cumulative `(scalar, simd, mono)` kernel-entry dispatch counts for this
+/// process.  Counted once per kernel *entry* (a GEMM call, a reflector
+/// application, a stack factorization), not per tile, so the counters cost
+/// one relaxed add each and still show exactly which ladder rung served the
+/// workload.
+pub fn kernel_dispatch_counts() -> (u64, u64, u64) {
+    // Relaxed: statistical counters; a torn cross-counter snapshot is fine.
+    (
+        SCALAR_HITS.load(Ordering::Relaxed), // Relaxed: statistical counter.
+        SIMD_HITS.load(Ordering::Relaxed),   // Relaxed: statistical counter.
+        MONO_HITS.load(Ordering::Relaxed),   // Relaxed: statistical counter.
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Plan-time kernel selection
+// ---------------------------------------------------------------------------
+
+/// Plan-time kernel selection for the monomorphized small-`n` kernels.
+///
+/// A `PlanSchedule`'s shape signature fixes every block dimension of the
+/// smoothing recursion, so the plan can pick the kernel family **once**:
+/// uniform state dimension `n ∈ {4, 8, 16}` selects the const-generic
+/// monomorphized GEMM / tri-stack kernels, anything else runs the
+/// runtime-dispatched ladder.  Execution then binds the monomorphic kernel
+/// without per-call dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Runtime-dispatched kernels for arbitrary dimensions.
+    #[default]
+    Auto,
+    /// Monomorphized kernels for state dimension 4.
+    Mono4,
+    /// Monomorphized kernels for state dimension 8.
+    Mono8,
+    /// Monomorphized kernels for state dimension 16.
+    Mono16,
+}
+
+impl KernelKind {
+    /// Selection for a single uniform block dimension.
+    pub fn for_dim(n: usize) -> Self {
+        match n {
+            4 => KernelKind::Mono4,
+            8 => KernelKind::Mono8,
+            16 => KernelKind::Mono16,
+            _ => KernelKind::Auto,
+        }
+    }
+
+    /// Selection for a sequence of block dimensions: monomorphized only when
+    /// every block shares one of the specialized sizes.
+    pub fn for_dims<I: IntoIterator<Item = usize>>(dims: I) -> Self {
+        let mut it = dims.into_iter();
+        let Some(first) = it.next() else {
+            return KernelKind::Auto;
+        };
+        if it.all(|d| d == first) {
+            KernelKind::for_dim(first)
+        } else {
+            KernelKind::Auto
+        }
+    }
+
+    /// The specialized dimension, or `None` for [`KernelKind::Auto`].
+    pub fn dim(self) -> Option<usize> {
+        match self {
+            KernelKind::Auto => None,
+            KernelKind::Mono4 => Some(4),
+            KernelKind::Mono8 => Some(8),
+            KernelKind::Mono16 => Some(16),
+        }
+    }
+
+    /// Resolves the plan-time selection against the process-wide kernel
+    /// switches: the scalar reference oracle (`KALMAN_REF_KERNELS`) demotes
+    /// every selection to [`KernelKind::Auto`].  Executors call this once
+    /// per solve, then bind the returned kind for the whole execution.
+    pub fn active(self) -> Self {
+        if workspace::reference_kernels() {
+            KernelKind::Auto
+        } else {
+            self
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: dot product
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let (px, py) = (x.as_ptr(), y.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(px.add(i)), _mm256_loadu_pd(py.add(i)), acc0);
+        acc1 = _mm256_fmadd_pd(
+            _mm256_loadu_pd(px.add(i + 4)),
+            _mm256_loadu_pd(py.add(i + 4)),
+            acc1,
+        );
+        i += 8;
+    }
+    if i + 4 <= n {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(px.add(i)), _mm256_loadu_pd(py.add(i)), acc0);
+        i += 4;
+    }
+    let mut s = hsum4(_mm256_add_pd(acc0, acc1));
+    while i < n {
+        s += x[i] * y[i];
+        i += 1;
+    }
+    s
+}
+
+/// Horizontal sum of a 4-lane f64 vector.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 is available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum4(v: core::arch::x86_64::__m256d) -> f64 {
+    use core::arch::x86_64::*;
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let s = _mm_add_pd(lo, hi);
+    _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+}
+
+fn dot_portable(x: &[f64], y: &[f64]) -> f64 {
+    // Four explicit lanes so the summation order (and thus the result)
+    // matches intent regardless of autovectorization.
+    let mut lanes = [0.0f64; 4];
+    let mut chunks = x.chunks_exact(4).zip(y.chunks_exact(4));
+    for (xc, yc) in &mut chunks {
+        for l in 0..4 {
+            lanes[l] += xc[l] * yc[l];
+        }
+    }
+    let mut s = (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+    let tail = x.len() - x.len() % 4;
+    for (xi, yi) in x[tail..].iter().zip(&y[tail..]) {
+        s += xi * yi;
+    }
+    s
+}
+
+/// SIMD dot product `x · y` (lengths must match).  Lane-parallel summation:
+/// agrees with the scalar left-to-right sum to rounding, not bitwise.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU.
+        return unsafe { dot_avx2(x, y) };
+    }
+    dot_portable(x, y)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: axpy
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2(alpha: f64, x: &[f64], y: &mut [f64]) {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let av = _mm256_set1_pd(alpha);
+    let mut i = 0;
+    while i + 4 <= n {
+        let yv = _mm256_fmadd_pd(av, _mm256_loadu_pd(px.add(i)), _mm256_loadu_pd(py.add(i)));
+        _mm256_storeu_pd(py.add(i), yv);
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+/// SIMD axpy: `y += alpha·x` (lengths must match).  Elementwise, so lane
+/// width changes rounding (FMA) but never ordering.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU.
+        return unsafe { axpy_avx2(alpha, x, y) };
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: blocked-GEMM 4×4 microtile
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_microkernel_4x4_avx2(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; 4]; 4]) {
+    use core::arch::x86_64::*;
+    let mut r0 = _mm256_loadu_pd(acc[0].as_ptr());
+    let mut r1 = _mm256_loadu_pd(acc[1].as_ptr());
+    let mut r2 = _mm256_loadu_pd(acc[2].as_ptr());
+    let mut r3 = _mm256_loadu_pd(acc[3].as_ptr());
+    let depth = a_panel.len() / 4;
+    let (pa, pb) = (a_panel.as_ptr(), b_panel.as_ptr());
+    for p in 0..depth {
+        let ap = pa.add(4 * p);
+        let bv = _mm256_loadu_pd(pb.add(4 * p));
+        r0 = _mm256_fmadd_pd(_mm256_set1_pd(*ap), bv, r0);
+        r1 = _mm256_fmadd_pd(_mm256_set1_pd(*ap.add(1)), bv, r1);
+        r2 = _mm256_fmadd_pd(_mm256_set1_pd(*ap.add(2)), bv, r2);
+        r3 = _mm256_fmadd_pd(_mm256_set1_pd(*ap.add(3)), bv, r3);
+    }
+    _mm256_storeu_pd(acc[0].as_mut_ptr(), r0);
+    _mm256_storeu_pd(acc[1].as_mut_ptr(), r1);
+    _mm256_storeu_pd(acc[2].as_mut_ptr(), r2);
+    _mm256_storeu_pd(acc[3].as_mut_ptr(), r3);
+}
+
+fn gemm_microkernel_4x4_portable(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; 4]; 4]) {
+    for (ap, bp) in a_panel.chunks_exact(4).zip(b_panel.chunks_exact(4)) {
+        for (acc_row, &av) in acc.iter_mut().zip(ap) {
+            for (cij, &bv) in acc_row.iter_mut().zip(bp) {
+                *cij += av * bv;
+            }
+        }
+    }
+}
+
+/// The blocked GEMM's register microtile: `acc[i][j] += Σ_p a[p·4+i]·b[p·4+j]`
+/// over packed `MR = NR = 4` panels (`a_panel` row-strips of `A`, `b_panel`
+/// column-strips of `op(B)`, both zero-padded by the packer).  Panel lengths
+/// must match; any non-multiple-of-4 remainder is ignored (the packer never
+/// produces one).
+pub fn gemm_microkernel_4x4(a_panel: &[f64], b_panel: &[f64], acc: &mut [[f64; 4]; 4]) {
+    debug_assert_eq!(a_panel.len(), b_panel.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU.
+        return unsafe { gemm_microkernel_4x4_avx2(a_panel, b_panel, acc) };
+    }
+    gemm_microkernel_4x4_portable(a_panel, b_panel, acc)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: Householder reflector application (1 and 4 columns)
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU, and
+/// that each column slice is at least `v.len()` long.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn reflector_quad_avx2(v: &[f64], tau: f64, w: &mut [f64; 4], cols: [&mut [f64]; 4]) {
+    use core::arch::x86_64::*;
+    let len = v.len();
+    let pv = v.as_ptr();
+    let [c0, c1, c2, c3] = cols;
+    let (p0, p1, p2, p3) = (
+        c0.as_mut_ptr(),
+        c1.as_mut_ptr(),
+        c2.as_mut_ptr(),
+        c3.as_mut_ptr(),
+    );
+    // Phase 1: w_q ← τ·(w_q + v·c_q), sharing every load of v across the
+    // four columns.
+    let mut s0 = _mm256_setzero_pd();
+    let mut s1 = _mm256_setzero_pd();
+    let mut s2 = _mm256_setzero_pd();
+    let mut s3 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= len {
+        let vv = _mm256_loadu_pd(pv.add(i));
+        s0 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p0.add(i)), s0);
+        s1 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p1.add(i)), s1);
+        s2 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p2.add(i)), s2);
+        s3 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p3.add(i)), s3);
+        i += 4;
+    }
+    let (mut w0, mut w1, mut w2, mut w3) = (hsum4(s0), hsum4(s1), hsum4(s2), hsum4(s3));
+    while i < len {
+        let vi = v[i];
+        w0 += vi * *p0.add(i);
+        w1 += vi * *p1.add(i);
+        w2 += vi * *p2.add(i);
+        w3 += vi * *p3.add(i);
+        i += 1;
+    }
+    w[0] = tau * (w[0] + w0);
+    w[1] = tau * (w[1] + w1);
+    w[2] = tau * (w[2] + w2);
+    w[3] = tau * (w[3] + w3);
+    // Phase 2: c_q ← c_q − w_q·v.
+    let (wv0, wv1, wv2, wv3) = (
+        _mm256_set1_pd(w[0]),
+        _mm256_set1_pd(w[1]),
+        _mm256_set1_pd(w[2]),
+        _mm256_set1_pd(w[3]),
+    );
+    let mut i = 0;
+    while i + 4 <= len {
+        let vv = _mm256_loadu_pd(pv.add(i));
+        _mm256_storeu_pd(
+            p0.add(i),
+            _mm256_fnmadd_pd(wv0, vv, _mm256_loadu_pd(p0.add(i))),
+        );
+        _mm256_storeu_pd(
+            p1.add(i),
+            _mm256_fnmadd_pd(wv1, vv, _mm256_loadu_pd(p1.add(i))),
+        );
+        _mm256_storeu_pd(
+            p2.add(i),
+            _mm256_fnmadd_pd(wv2, vv, _mm256_loadu_pd(p2.add(i))),
+        );
+        _mm256_storeu_pd(
+            p3.add(i),
+            _mm256_fnmadd_pd(wv3, vv, _mm256_loadu_pd(p3.add(i))),
+        );
+        i += 4;
+    }
+    while i < len {
+        let vi = v[i];
+        *p0.add(i) -= w[0] * vi;
+        *p1.add(i) -= w[1] * vi;
+        *p2.add(i) -= w[2] * vi;
+        *p3.add(i) -= w[3] * vi;
+        i += 1;
+    }
+}
+
+fn reflector_quad_portable(v: &[f64], tau: f64, w: &mut [f64; 4], cols: [&mut [f64]; 4]) {
+    let len = v.len();
+    let [c0, c1, c2, c3] = cols;
+    let (mut w0, mut w1, mut w2, mut w3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..len {
+        let vi = v[i];
+        w0 += vi * c0[i];
+        w1 += vi * c1[i];
+        w2 += vi * c2[i];
+        w3 += vi * c3[i];
+    }
+    w[0] = tau * (w[0] + w0);
+    w[1] = tau * (w[1] + w1);
+    w[2] = tau * (w[2] + w2);
+    w[3] = tau * (w[3] + w3);
+    for i in 0..len {
+        let vi = v[i];
+        c0[i] -= w[0] * vi;
+        c1[i] -= w[1] * vi;
+        c2[i] -= w[2] * vi;
+        c3[i] -= w[3] * vi;
+    }
+}
+
+/// Applies one Householder reflector `(v, τ)` to four column tails at once:
+/// on entry `w[q]` holds the pivot entry of column `q`; on exit
+/// `w[q] = τ·(pivot_q + v·c_q)` and `c_q ← c_q − w[q]·v`.  The caller
+/// finishes the pivots (`pivot_q −= w[q]`) — they may live at arbitrary
+/// strides (matrix rows), which is exactly why they travel in `w`.
+/// Each `cols[q]` must be at least `v.len()` long; only the first `v.len()`
+/// entries are touched.
+pub fn reflector_quad(v: &[f64], tau: f64, w: &mut [f64; 4], cols: [&mut [f64]; 4]) {
+    debug_assert!(cols.iter().all(|c| c.len() >= v.len()));
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU; the debug assertion above (and the
+        // callers' slice constructions) guarantee each column holds at least
+        // `v.len()` elements.
+        return unsafe { reflector_quad_avx2(v, tau, w, cols) };
+    }
+    reflector_quad_portable(v, tau, w, cols)
+}
+
+/// Single-column variant of [`reflector_quad`]: `*w = τ·(*w + v·col)` and
+/// `col ← col − *w·v`, caller finishes the pivot.
+pub fn reflector_one(v: &[f64], tau: f64, w: &mut f64, col: &mut [f64]) {
+    debug_assert!(col.len() >= v.len());
+    *w = tau * (*w + dot(v, &col[..v.len()]));
+    axpy(-*w, v, &mut col[..v.len()]);
+}
+
+// ---------------------------------------------------------------------------
+// Kernels: shared-vector quad dot / quad axpy (compact-WY panel phases)
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU, and
+/// that each column slice is at least `v.len()` long.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_quad_avx2(v: &[f64], cols: [&[f64]; 4], acc: &mut [f64; 4]) {
+    use core::arch::x86_64::*;
+    let len = v.len();
+    let pv = v.as_ptr();
+    let [c0, c1, c2, c3] = cols;
+    let (p0, p1, p2, p3) = (c0.as_ptr(), c1.as_ptr(), c2.as_ptr(), c3.as_ptr());
+    let mut s0 = _mm256_setzero_pd();
+    let mut s1 = _mm256_setzero_pd();
+    let mut s2 = _mm256_setzero_pd();
+    let mut s3 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= len {
+        let vv = _mm256_loadu_pd(pv.add(i));
+        s0 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p0.add(i)), s0);
+        s1 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p1.add(i)), s1);
+        s2 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p2.add(i)), s2);
+        s3 = _mm256_fmadd_pd(vv, _mm256_loadu_pd(p3.add(i)), s3);
+        i += 4;
+    }
+    let (mut a0, mut a1, mut a2, mut a3) = (hsum4(s0), hsum4(s1), hsum4(s2), hsum4(s3));
+    while i < len {
+        let vi = v[i];
+        a0 += vi * *p0.add(i);
+        a1 += vi * *p1.add(i);
+        a2 += vi * *p2.add(i);
+        a3 += vi * *p3.add(i);
+        i += 1;
+    }
+    acc[0] += a0;
+    acc[1] += a1;
+    acc[2] += a2;
+    acc[3] += a3;
+}
+
+fn dot_quad_portable(v: &[f64], cols: [&[f64]; 4], acc: &mut [f64; 4]) {
+    let [c0, c1, c2, c3] = cols;
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0, 0.0, 0.0, 0.0);
+    for (i, &vi) in v.iter().enumerate() {
+        a0 += vi * c0[i];
+        a1 += vi * c1[i];
+        a2 += vi * c2[i];
+        a3 += vi * c3[i];
+    }
+    acc[0] += a0;
+    acc[1] += a1;
+    acc[2] += a2;
+    acc[3] += a3;
+}
+
+/// Four dot products against one shared vector: `acc[q] += v · cols[q]`,
+/// loading `v` once per lane-quad for all four columns.  The compact-WY
+/// panel's `W = V̂ᵀ B̂` phase is this shape.  Each `cols[q]` must be at least
+/// `v.len()` long; only the first `v.len()` entries are read.
+pub fn dot_quad(v: &[f64], cols: [&[f64]; 4], acc: &mut [f64; 4]) {
+    debug_assert!(cols.iter().all(|c| c.len() >= v.len()));
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU; the debug assertion above (and the
+        // callers' slice constructions) guarantee each column holds at least
+        // `v.len()` elements.
+        return unsafe { dot_quad_avx2(v, cols, acc) };
+    }
+    dot_quad_portable(v, cols, acc)
+}
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU, and
+/// that each column slice is at least `v.len()` long.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_quad_avx2(w: [f64; 4], v: &[f64], cols: [&mut [f64]; 4]) {
+    use core::arch::x86_64::*;
+    let len = v.len();
+    let pv = v.as_ptr();
+    let [c0, c1, c2, c3] = cols;
+    let (p0, p1, p2, p3) = (
+        c0.as_mut_ptr(),
+        c1.as_mut_ptr(),
+        c2.as_mut_ptr(),
+        c3.as_mut_ptr(),
+    );
+    let (wv0, wv1, wv2, wv3) = (
+        _mm256_set1_pd(w[0]),
+        _mm256_set1_pd(w[1]),
+        _mm256_set1_pd(w[2]),
+        _mm256_set1_pd(w[3]),
+    );
+    let mut i = 0;
+    while i + 4 <= len {
+        let vv = _mm256_loadu_pd(pv.add(i));
+        _mm256_storeu_pd(
+            p0.add(i),
+            _mm256_fnmadd_pd(wv0, vv, _mm256_loadu_pd(p0.add(i))),
+        );
+        _mm256_storeu_pd(
+            p1.add(i),
+            _mm256_fnmadd_pd(wv1, vv, _mm256_loadu_pd(p1.add(i))),
+        );
+        _mm256_storeu_pd(
+            p2.add(i),
+            _mm256_fnmadd_pd(wv2, vv, _mm256_loadu_pd(p2.add(i))),
+        );
+        _mm256_storeu_pd(
+            p3.add(i),
+            _mm256_fnmadd_pd(wv3, vv, _mm256_loadu_pd(p3.add(i))),
+        );
+        i += 4;
+    }
+    while i < len {
+        let vi = v[i];
+        *p0.add(i) -= w[0] * vi;
+        *p1.add(i) -= w[1] * vi;
+        *p2.add(i) -= w[2] * vi;
+        *p3.add(i) -= w[3] * vi;
+        i += 1;
+    }
+}
+
+fn axpy_quad_portable(w: [f64; 4], v: &[f64], cols: [&mut [f64]; 4]) {
+    let [c0, c1, c2, c3] = cols;
+    for (i, &vi) in v.iter().enumerate() {
+        c0[i] -= w[0] * vi;
+        c1[i] -= w[1] * vi;
+        c2[i] -= w[2] * vi;
+        c3[i] -= w[3] * vi;
+    }
+}
+
+/// Four rank-1 updates against one shared vector: `cols[q] ← cols[q] −
+/// w[q]·v`, loading `v` once per lane-quad for all four columns.  The
+/// compact-WY panel's `B̂ −= V̂ W` phase is this shape.  Each `cols[q]` must
+/// be at least `v.len()` long; only the first `v.len()` entries are touched.
+pub fn axpy_quad(w: [f64; 4], v: &[f64], cols: [&mut [f64]; 4]) {
+    debug_assert!(cols.iter().all(|c| c.len() >= v.len()));
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU; the debug assertion above (and the
+        // callers' slice constructions) guarantee each column holds at least
+        // `v.len()` elements.
+        return unsafe { axpy_quad_avx2(w, v, cols) };
+    }
+    axpy_quad_portable(w, v, cols)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: const-generic monomorphized GEMM (n ∈ {4, 8, 16})
+// ---------------------------------------------------------------------------
+
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available on the executing CPU, and
+/// that `a`, `b`, `c` each hold exactly `N·N` elements with `N % 4 == 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn gemm_mono_avx2<const N: usize>(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    b_trans: bool,
+    beta: f64,
+    c: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let nq = N / 4;
+    let pa = a.as_ptr();
+    for j in 0..N {
+        let cj = c.as_mut_ptr().add(j * N);
+        // N ≤ 16 so at most four 4-lane accumulators per column — the whole
+        // C column stays in registers across the k loop.
+        let mut acc = [_mm256_setzero_pd(); 4];
+        if beta != 0.0 {
+            let bv = _mm256_set1_pd(beta);
+            for (q, lane) in acc.iter_mut().enumerate().take(nq) {
+                *lane = _mm256_mul_pd(_mm256_loadu_pd(cj.add(4 * q)), bv);
+            }
+        }
+        for k in 0..N {
+            let bkj = if b_trans { b[j + k * N] } else { b[k + j * N] };
+            let coeff = _mm256_set1_pd(alpha * bkj);
+            let ak = pa.add(k * N);
+            for (q, lane) in acc.iter_mut().enumerate().take(nq) {
+                *lane = _mm256_fmadd_pd(coeff, _mm256_loadu_pd(ak.add(4 * q)), *lane);
+            }
+        }
+        for (q, lane) in acc.iter().enumerate().take(nq) {
+            _mm256_storeu_pd(cj.add(4 * q), *lane);
+        }
+    }
+}
+
+fn gemm_mono_portable<const N: usize>(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    b_trans: bool,
+    beta: f64,
+    c: &mut [f64],
+) {
+    for j in 0..N {
+        let cj = &mut c[j * N..(j + 1) * N];
+        if beta == 0.0 {
+            cj.fill(0.0);
+        } else if beta != 1.0 {
+            for x in cj.iter_mut() {
+                *x *= beta;
+            }
+        }
+        for k in 0..N {
+            let coeff = alpha * if b_trans { b[j + k * N] } else { b[k + j * N] };
+            for (ci, &ai) in cj.iter_mut().zip(&a[k * N..(k + 1) * N]) {
+                *ci += coeff * ai;
+            }
+        }
+    }
+}
+
+/// Monomorphized `C ← β·C + α·A·op(B)` for `N×N` column-major blocks,
+/// `N ∈ {4, 8, 16}` (any `N` with `N % 4 == 0`, `N ≤ 16`).  `b_trans`
+/// selects `op(B) = Bᵀ`; `A` is never transposed (the smoother's SelInv and
+/// combination formulas only need the `Trans::No × {No, Yes}` cases at
+/// these sizes).  The whole operation is register-resident on AVX2.
+pub fn gemm_mono<const N: usize>(
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    b_trans: bool,
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert!(
+        N.is_multiple_of(4) && N <= 16,
+        "gemm_mono: unsupported width"
+    );
+    assert_eq!(a.len(), N * N, "gemm_mono: A must be N×N");
+    assert_eq!(b.len(), N * N, "gemm_mono: B must be N×N");
+    assert_eq!(c.len(), N * N, "gemm_mono: C must be N×N");
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2() {
+        // SAFETY: `use_avx2()` is true only after `is_x86_feature_detected!`
+        // confirmed AVX2+FMA on this CPU; the shape assertions above pin the
+        // N·N slice lengths the implementation indexes.
+        return unsafe { gemm_mono_avx2::<N>(alpha, a, b, b_trans, beta, c) };
+    }
+    gemm_mono_portable::<N>(alpha, a, b, b_trans, beta, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_ref(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn kernel_kind_selection() {
+        assert_eq!(KernelKind::for_dim(4), KernelKind::Mono4);
+        assert_eq!(KernelKind::for_dim(8), KernelKind::Mono8);
+        assert_eq!(KernelKind::for_dim(16), KernelKind::Mono16);
+        assert_eq!(KernelKind::for_dim(6), KernelKind::Auto);
+        assert_eq!(KernelKind::for_dims([8, 8, 8]), KernelKind::Mono8);
+        assert_eq!(KernelKind::for_dims([8, 4, 8]), KernelKind::Auto);
+        assert_eq!(KernelKind::for_dims(std::iter::empty()), KernelKind::Auto);
+        assert_eq!(KernelKind::Mono16.dim(), Some(16));
+    }
+
+    #[test]
+    fn dot_axpy_match_reference() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 15, 33] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 1.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| (i as f64).cos() - 0.5).collect();
+            let d = dot(&x, &y);
+            assert!((d - dot_ref(&x, &y)).abs() <= 1e-12 * (1.0 + d.abs()));
+            let mut z = y.clone();
+            axpy(0.7, &x, &mut z);
+            for i in 0..n {
+                let want = y[i] + 0.7 * x[i];
+                assert!((z[i] - want).abs() <= 1e-12 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn microtile_matches_scalar_accumulation() {
+        let depth = 5;
+        let a: Vec<f64> = (0..4 * depth).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b: Vec<f64> = (0..4 * depth).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut acc = [[0.25f64; 4]; 4];
+        let mut want = acc;
+        for p in 0..depth {
+            for (ir, row) in want.iter_mut().enumerate() {
+                for (jr, cij) in row.iter_mut().enumerate() {
+                    *cij += a[4 * p + ir] * b[4 * p + jr];
+                }
+            }
+        }
+        gemm_microkernel_4x4(&a, &b, &mut acc);
+        for (row, wrow) in acc.iter().zip(&want) {
+            for (got, wanted) in row.iter().zip(wrow) {
+                assert!((got - wanted).abs() <= 1e-12 * (1.0 + wanted.abs()));
+            }
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! back-substitution phases of the QR smoothers.  All of them check for zero
 //! diagonal entries and report [`DenseError::Singular`].
 
-use crate::{DenseError, Matrix, Result};
+use crate::{simd, DenseError, Matrix, Result};
 
 fn check_diag(u: &Matrix) -> Result<()> {
     assert!(u.is_square(), "triangular solve requires a square matrix");
@@ -30,6 +30,7 @@ pub fn solve_upper_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
     check_diag(u)?;
     let n = u.rows();
     assert_eq!(b.rows(), n, "solve_upper rhs row mismatch");
+    let use_simd = simd::simd_active();
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for j in (0..n).rev() {
@@ -37,8 +38,12 @@ pub fn solve_upper_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> {
             let xj = bk[j] / uj[j];
             bk[j] = xj;
             if xj != 0.0 {
-                for (bi, &uij) in bk[..j].iter_mut().zip(uj) {
-                    *bi -= uij * xj;
+                if use_simd {
+                    simd::axpy(-xj, &uj[..j], &mut bk[..j]);
+                } else {
+                    for (bi, &uij) in bk[..j].iter_mut().zip(uj) {
+                        *bi -= uij * xj;
+                    }
                 }
             }
         }
@@ -57,14 +62,19 @@ pub fn solve_upper_transpose_in_place(u: &Matrix, b: &mut Matrix) -> Result<()> 
     check_diag(u)?;
     let n = u.rows();
     assert_eq!(b.rows(), n, "solve_upper_transpose rhs row mismatch");
+    let use_simd = simd::simd_active();
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for i in 0..n {
             let ui = u.col(i);
             let mut acc = bk[i];
             // (Uᵀ)[i][j] = U[j][i] for j < i — a contiguous column prefix.
-            for (&uji, &bj) in ui[..i].iter().zip(bk.iter()) {
-                acc -= uji * bj;
+            if use_simd {
+                acc -= simd::dot(&ui[..i], &bk[..i]);
+            } else {
+                for (&uji, &bj) in ui[..i].iter().zip(bk.iter()) {
+                    acc -= uji * bj;
+                }
             }
             bk[i] = acc / ui[i];
         }
@@ -84,6 +94,7 @@ pub fn solve_lower_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> {
     check_diag(l)?;
     let n = l.rows();
     assert_eq!(b.rows(), n, "solve_lower rhs row mismatch");
+    let use_simd = simd::simd_active();
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for j in 0..n {
@@ -91,8 +102,12 @@ pub fn solve_lower_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> {
             let xj = bk[j] / lj[j];
             bk[j] = xj;
             if xj != 0.0 {
-                for (bi, &lij) in bk[j + 1..].iter_mut().zip(&lj[j + 1..]) {
-                    *bi -= lij * xj;
+                if use_simd {
+                    simd::axpy(-xj, &lj[j + 1..], &mut bk[j + 1..]);
+                } else {
+                    for (bi, &lij) in bk[j + 1..].iter_mut().zip(&lj[j + 1..]) {
+                        *bi -= lij * xj;
+                    }
                 }
             }
         }
@@ -110,14 +125,19 @@ pub fn solve_lower_transpose_in_place(l: &Matrix, b: &mut Matrix) -> Result<()> 
     check_diag(l)?;
     let n = l.rows();
     assert_eq!(b.rows(), n, "solve_lower_transpose rhs row mismatch");
+    let use_simd = simd::simd_active();
     for k in 0..b.cols() {
         let bk = b.col_mut(k);
         for i in (0..n).rev() {
             let li = l.col(i);
             let mut acc = bk[i];
             // (Lᵀ)[i][j] = L[j][i] for j > i — a contiguous column suffix.
-            for (&lji, &bj) in li[i + 1..].iter().zip(bk[i + 1..].iter()) {
-                acc -= lji * bj;
+            if use_simd {
+                acc -= simd::dot(&li[i + 1..], &bk[i + 1..]);
+            } else {
+                for (&lji, &bj) in li[i + 1..].iter().zip(bk[i + 1..].iter()) {
+                    acc -= lji * bj;
+                }
             }
             bk[i] = acc / li[i];
         }
@@ -191,6 +211,7 @@ pub fn inv_gram_upper(u: &Matrix) -> Result<Matrix> {
     let n = u.rows();
     // W = U⁻¹ (upper triangular): column j solves U x = e_j over rows 0..=j
     // by column-oriented back substitution (contiguous axpy updates).
+    let use_simd = simd::simd_active();
     let mut w = Matrix::zeros(n, n);
     for j in 0..n {
         let wj = w.col_mut(j);
@@ -200,8 +221,12 @@ pub fn inv_gram_upper(u: &Matrix) -> Result<Matrix> {
             let xk = wj[k] / uk[k];
             wj[k] = xk;
             if xk != 0.0 {
-                for (wi, &uik) in wj[..k].iter_mut().zip(uk) {
-                    *wi -= uik * xk;
+                if use_simd {
+                    simd::axpy(-xk, &uk[..k], &mut wj[..k]);
+                } else {
+                    for (wi, &uik) in wj[..k].iter_mut().zip(uk) {
+                        *wi -= uik * xk;
+                    }
                 }
             }
         }
@@ -215,8 +240,12 @@ pub fn inv_gram_upper(u: &Matrix) -> Result<Matrix> {
             let wjk = wk[j];
             if wjk != 0.0 {
                 let sj = s.col_mut(j);
-                for (si, &wik) in sj[..=j].iter_mut().zip(&wk[..=j]) {
-                    *si += wik * wjk;
+                if use_simd {
+                    simd::axpy(wjk, &wk[..=j], &mut sj[..=j]);
+                } else {
+                    for (si, &wik) in sj[..=j].iter_mut().zip(&wk[..=j]) {
+                        *si += wik * wjk;
+                    }
                 }
             }
         }

@@ -149,8 +149,8 @@ pub fn budget_for_len(len: usize) -> usize {
 
 /// Forces the unblocked/naive reference kernels (`gemm_ref`, per-reflector
 /// Householder application) process-wide.  The default (`false`, unless the
-/// `KALMAN_REF_KERNELS` environment variable is set) uses the blocked
-/// kernels.  The benchmark harness flips this to measure the blocked
+/// `KALMAN_REF_KERNELS` environment variable is set to something other
+/// than `""`/`"0"`/`"off"`) uses the blocked kernels.  The benchmark harness flips this to measure the blocked
 /// kernels' speedup within one process.
 pub fn set_reference_kernels(on: bool) {
     // Relaxed on both: callers flip this during single-threaded setup (the
@@ -166,7 +166,10 @@ pub fn reference_kernels() -> bool {
     // Relaxed: the lazy init is idempotent (every racer derives the same
     // value from the environment), so no ordering is needed.
     if !REFERENCE_KERNELS_INIT.load(Ordering::Relaxed) {
-        let on = std::env::var_os("KALMAN_REF_KERNELS").is_some();
+        // `""`, `"0"`, and `"off"` count as unset so a CI matrix can pass
+        // the variable through unconditionally (same idiom as KALMAN_SIMD).
+        let on = std::env::var("KALMAN_REF_KERNELS")
+            .is_ok_and(|v| !(v.is_empty() || v == "0" || v == "off"));
         set_reference_kernels(on);
         return on;
     }
@@ -190,15 +193,28 @@ pub struct WorkspaceStats {
 
 /// Registers the workspace-pool counters as `dense.workspace.*` sampled
 /// gauges in the `kalman-obs` registry (hits, misses, pooled_elems,
-/// rejected_shape, rejected_full).  Idempotent — callers at every layer
-/// (the serving front-end, benchmarks) may invoke it freely.
+/// rejected_shape, rejected_full), plus the kernel-dispatch counters as
+/// `dense.kernel.dispatch.{scalar,simd,mono}` (process-wide cumulative hit
+/// counts for the three rungs of the dispatch ladder — see DESIGN.md
+/// §"Dense kernels").  Idempotent — callers at every layer (the serving
+/// front-end, benchmarks) may invoke it freely.
 ///
 /// The workspace is **per-thread**: each sampler reads the pool of the
 /// thread that takes the snapshot (normally the thread calling
 /// `metrics_snapshot()` / the exporters), not a cross-thread aggregate.
+/// The dispatch counters, by contrast, are process-global atomics.
 pub fn register_workspace_gauges() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
+        kalman_obs::register_sampler("dense.kernel.dispatch.scalar", || {
+            crate::simd::kernel_dispatch_counts().0 as f64
+        });
+        kalman_obs::register_sampler("dense.kernel.dispatch.simd", || {
+            crate::simd::kernel_dispatch_counts().1 as f64
+        });
+        kalman_obs::register_sampler("dense.kernel.dispatch.mono", || {
+            crate::simd::kernel_dispatch_counts().2 as f64
+        });
         kalman_obs::register_sampler("dense.workspace.hits", || {
             Workspace::with(|w| w.stats().hits as f64)
         });

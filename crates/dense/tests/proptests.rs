@@ -5,8 +5,8 @@
 //! comparing against golden values.
 
 use kalman_dense::{
-    gemm, gemm_blocked, gemm_ref, matmul, matmul_nt, matmul_tn, random, tri, Cholesky, LuFactor,
-    Matrix, QrFactor, Trans,
+    gemm, gemm_blocked, gemm_ref, matmul, matmul_nt, matmul_tn, random, simd, tri, Cholesky,
+    KernelKind, LuFactor, Matrix, QrFactor, Trans,
 };
 use proptest::prelude::*;
 
@@ -285,5 +285,301 @@ proptest! {
         let q2 = random::orthonormal(&mut rng, n);
         let p = matmul(&q1, &q2);
         prop_assert!(matmul_tn(&p, &p).approx_eq(&Matrix::identity(n), 1e-11));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD microkernels vs. the scalar oracle.
+//
+// Every explicit-width kernel in `kalman_dense::simd` is pinned here against
+// a plain scalar loop over degenerate shapes: empty, length 1, lengths that
+// are not a multiple of the 4-lane width (tails), and the transpose cases
+// that force the monomorphized GEMM guard to fall back.  FMA contracts
+// multiply-add into one rounding, so the comparisons are tolerance-based
+// (1e-12 relative), never bitwise — bitwise pins live in determinism tests
+// where both sides run the *same* kernel.
+// ---------------------------------------------------------------------------
+
+/// Scalar oracle for one Householder reflector applied to one column:
+/// returns the updated `(w, col)` per the `reflector_one` contract.
+fn reflector_oracle(v: &[f64], tau: f64, w0: f64, col: &[f64]) -> (f64, Vec<f64>) {
+    let mut acc = w0;
+    for (vi, ci) in v.iter().zip(col) {
+        acc += vi * ci;
+    }
+    let w = tau * acc;
+    let mut out = col.to_vec();
+    for (ci, vi) in out.iter_mut().zip(v) {
+        *ci -= w * vi;
+    }
+    (w, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `simd::dot` and `simd::axpy` agree with scalar loops on every length,
+    /// including 0, 1, and non-multiple-of-4 tails.
+    #[test]
+    fn simd_dot_axpy_match_scalar(
+        li in 0usize..12,
+        alpha in -3.0..3.0f64,
+        seed in 0u64..1000,
+    ) {
+        let lens = [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 17, 33];
+        let len = lens[li];
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let x: Vec<f64> = random::gaussian(&mut rng, len.max(1), 1).col(0)[..len].to_vec();
+        let y: Vec<f64> = random::gaussian(&mut rng, len.max(1), 1).col(0)[..len].to_vec();
+
+        let want_dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let got_dot = simd::dot(&x, &y);
+        prop_assert!((got_dot - want_dot).abs() <= 1e-12 * (1.0 + want_dot.abs()),
+            "dot len {len}: {got_dot} vs {want_dot}");
+
+        let mut z = y.clone();
+        simd::axpy(alpha, &x, &mut z);
+        for i in 0..len {
+            let want = y[i] + alpha * x[i];
+            prop_assert!((z[i] - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "axpy len {len} at {i}");
+        }
+    }
+
+    /// The 4×4 register microtile matches scalar accumulation over packed
+    /// panels at every depth, including depth 0.
+    #[test]
+    fn simd_microkernel_matches_scalar_accumulation(
+        depth in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a_panel: Vec<f64> =
+            random::gaussian(&mut rng, (4 * depth).max(1), 1).col(0)[..4 * depth].to_vec();
+        let b_panel: Vec<f64> =
+            random::gaussian(&mut rng, (4 * depth).max(1), 1).col(0)[..4 * depth].to_vec();
+        let acc0 = {
+            let m = random::gaussian(&mut rng, 4, 4);
+            let mut rows = [[0.0f64; 4]; 4];
+            for (i, row) in rows.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell = m[(i, j)];
+                }
+            }
+            rows
+        };
+
+        let mut want = acc0;
+        for p in 0..depth {
+            for i in 0..4 {
+                for j in 0..4 {
+                    want[i][j] += a_panel[4 * p + i] * b_panel[4 * p + j];
+                }
+            }
+        }
+        let mut got = acc0;
+        simd::gemm_microkernel_4x4(&a_panel, &b_panel, &mut got);
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((got[i][j] - want[i][j]).abs() <= 1e-12 * (1.0 + want[i][j].abs()),
+                    "depth {depth} microtile ({i},{j})");
+            }
+        }
+    }
+
+    /// `reflector_quad` and `reflector_one` agree with the scalar reflector
+    /// update on every tail length, including 0 and 1, and on columns longer
+    /// than `v` (only the first `v.len()` entries may change).
+    #[test]
+    fn simd_reflectors_match_scalar(
+        li in 0usize..8,
+        extra in 0usize..3,
+        tau in 0.1..1.9f64,
+        seed in 0u64..1000,
+    ) {
+        let lens = [0usize, 1, 2, 3, 4, 5, 9, 13];
+        let len = lens[li];
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let v: Vec<f64> = random::gaussian(&mut rng, len.max(1), 1).col(0)[..len].to_vec();
+        let cols_mat = random::gaussian(&mut rng, (len + extra).max(1), 4);
+        let pivots = random::gaussian(&mut rng, 4, 1);
+
+        let mut want_w = [0.0f64; 4];
+        let mut want_cols: Vec<Vec<f64>> = Vec::new();
+        for q in 0..4 {
+            let full = &cols_mat.col(q)[..len + extra];
+            let (w, head) = reflector_oracle(&v, tau, pivots[(q, 0)], &full[..len]);
+            want_w[q] = w;
+            let mut col = full.to_vec();
+            col[..len].copy_from_slice(&head);
+            want_cols.push(col);
+        }
+
+        // Quad kernel.
+        let mut got_w = [pivots[(0, 0)], pivots[(1, 0)], pivots[(2, 0)], pivots[(3, 0)]];
+        let mut data: [Vec<f64>; 4] =
+            std::array::from_fn(|q| cols_mat.col(q)[..len + extra].to_vec());
+        let [c0, c1, c2, c3] = data.each_mut();
+        simd::reflector_quad(
+            &v,
+            tau,
+            &mut got_w,
+            [
+                c0.as_mut_slice(),
+                c1.as_mut_slice(),
+                c2.as_mut_slice(),
+                c3.as_mut_slice(),
+            ],
+        );
+        for q in 0..4 {
+            prop_assert!((got_w[q] - want_w[q]).abs() <= 1e-12 * (1.0 + want_w[q].abs()),
+                "quad w[{q}] at len {len}");
+            for i in 0..len + extra {
+                prop_assert!(
+                    (data[q][i] - want_cols[q][i]).abs() <= 1e-12 * (1.0 + want_cols[q][i].abs()),
+                    "quad col {q} entry {i} at len {len}"
+                );
+            }
+        }
+
+        // Single-column kernel against the same oracle, column 0.
+        let mut w1 = pivots[(0, 0)];
+        let mut col1 = cols_mat.col(0)[..len + extra].to_vec();
+        simd::reflector_one(&v, tau, &mut w1, &mut col1);
+        prop_assert!((w1 - want_w[0]).abs() <= 1e-12 * (1.0 + want_w[0].abs()));
+        for i in 0..len + extra {
+            prop_assert!(
+                (col1[i] - want_cols[0][i]).abs() <= 1e-12 * (1.0 + want_cols[0][i].abs())
+            );
+        }
+    }
+
+    /// `dot_quad` and `axpy_quad` (the compact-WY panel phases) agree with
+    /// scalar loops on every tail length, including 0, 1, and
+    /// non-multiple-of-4 tails, and on columns longer than `v`.
+    #[test]
+    fn simd_quad_dot_axpy_match_scalar(
+        li in 0usize..8,
+        extra in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let lens = [0usize, 1, 2, 3, 4, 5, 9, 13];
+        let len = lens[li];
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let v: Vec<f64> = random::gaussian(&mut rng, len.max(1), 1).col(0)[..len].to_vec();
+        let cols_mat = random::gaussian(&mut rng, (len + extra).max(1), 4);
+        let acc0 = random::gaussian(&mut rng, 4, 1);
+        let w = [1.3f64, -0.7, 0.0, 2.1];
+
+        let mut want_acc = [0.0f64; 4];
+        let mut want_cols: Vec<Vec<f64>> = Vec::new();
+        for q in 0..4 {
+            let full = &cols_mat.col(q)[..len + extra];
+            want_acc[q] =
+                acc0[(q, 0)] + v.iter().zip(full).map(|(a, b)| a * b).sum::<f64>();
+            let mut col = full.to_vec();
+            for i in 0..len {
+                col[i] -= w[q] * v[i];
+            }
+            want_cols.push(col);
+        }
+
+        let mut got_acc = [acc0[(0, 0)], acc0[(1, 0)], acc0[(2, 0)], acc0[(3, 0)]];
+        simd::dot_quad(
+            &v,
+            [
+                &cols_mat.col(0)[..len + extra],
+                &cols_mat.col(1)[..len + extra],
+                &cols_mat.col(2)[..len + extra],
+                &cols_mat.col(3)[..len + extra],
+            ],
+            &mut got_acc,
+        );
+        for q in 0..4 {
+            prop_assert!((got_acc[q] - want_acc[q]).abs() <= 1e-12 * (1.0 + want_acc[q].abs()),
+                "dot_quad acc[{q}] at len {len}");
+        }
+
+        let mut data: [Vec<f64>; 4] =
+            std::array::from_fn(|q| cols_mat.col(q)[..len + extra].to_vec());
+        let [c0, c1, c2, c3] = data.each_mut();
+        simd::axpy_quad(
+            w,
+            &v,
+            [
+                c0.as_mut_slice(),
+                c1.as_mut_slice(),
+                c2.as_mut_slice(),
+                c3.as_mut_slice(),
+            ],
+        );
+        for q in 0..4 {
+            for i in 0..len + extra {
+                prop_assert!(
+                    (data[q][i] - want_cols[q][i]).abs() <= 1e-12 * (1.0 + want_cols[q][i].abs()),
+                    "axpy_quad col {q} entry {i} at len {len}"
+                );
+            }
+        }
+    }
+
+    /// The monomorphized N×N GEMM matches the reference loop nest for
+    /// N ∈ {4, 8, 16}, both `op(B)` settings, and β ∈ {0, 1, fractional}.
+    #[test]
+    fn simd_gemm_mono_matches_reference(
+        ni in 0usize..3,
+        b_trans: bool,
+        bi in 0usize..3,
+        alpha in -2.0..2.0f64,
+        seed in 0u64..1000,
+    ) {
+        let n = [4usize, 8, 16][ni];
+        let beta = [0.0f64, 1.0, 0.5][bi];
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let a = random::gaussian(&mut rng, n, n);
+        let b = random::gaussian(&mut rng, n, n);
+        let c0 = random::gaussian(&mut rng, n, n);
+
+        let tb = if b_trans { Trans::Yes } else { Trans::No };
+        let mut want = c0.clone();
+        gemm_ref(alpha, &a, Trans::No, &b, tb, beta, &mut want);
+
+        let mut got = c0.as_slice().to_vec();
+        match n {
+            4 => simd::gemm_mono::<4>(alpha, a.as_slice(), b.as_slice(), b_trans, beta, &mut got),
+            8 => simd::gemm_mono::<8>(alpha, a.as_slice(), b.as_slice(), b_trans, beta, &mut got),
+            _ => simd::gemm_mono::<16>(alpha, a.as_slice(), b.as_slice(), b_trans, beta, &mut got),
+        }
+        let got = Matrix::from_col_major(n, n, got);
+        prop_assert!(got.approx_eq(&want, 1e-12 * (1.0 + want.max_abs())),
+            "mono n={n} b_trans={b_trans} beta={beta}: {}", got.max_abs_diff(&want));
+    }
+
+    /// The plan-bound `KernelKind::gemm` entry matches the reference for
+    /// every transpose combination and for shapes that do NOT fit the
+    /// monomorphic guard (Aᵀ cases and off-size operands fall back to the
+    /// general dispatcher — the strided-transpose escape hatch).
+    #[test]
+    fn kernel_kind_gemm_matches_reference(
+        ki in 0usize..4,
+        mi in 0usize..5,
+        ta_flag: bool, tb_flag: bool,
+        seed in 0u64..1000,
+    ) {
+        let kind = [KernelKind::Auto, KernelKind::Mono4, KernelKind::Mono8, KernelKind::Mono16][ki];
+        let n = [3usize, 4, 5, 8, 16][mi];
+        let mut rng: rand_chacha::ChaCha8Rng = rand::SeedableRng::seed_from_u64(seed);
+        let ta = if ta_flag { Trans::Yes } else { Trans::No };
+        let tb = if tb_flag { Trans::Yes } else { Trans::No };
+        let a = random::gaussian(&mut rng, n, n);
+        let b = random::gaussian(&mut rng, n, n);
+        let c0 = random::gaussian(&mut rng, n, n);
+
+        let mut want = c0.clone();
+        gemm_ref(1.3, &a, ta, &b, tb, 0.7, &mut want);
+        let mut got = c0.clone();
+        (kind.gemm())(1.3, &a, ta, &b, tb, 0.7, &mut got);
+        prop_assert!(got.approx_eq(&want, 1e-12 * (1.0 + want.max_abs())),
+            "{kind:?} n={n} {ta:?}/{tb:?}: {}", got.max_abs_diff(&want));
     }
 }

@@ -142,6 +142,12 @@ pub fn outline(file: &SourceFile) -> Outline {
                         body = j + 1..close;
                         break;
                     }
+                    if tj.is_punct('[') {
+                        // Array types in the signature (`[f64; 4]`) carry a
+                        // `;` that must not read as "declaration only".
+                        j = match_bracket(file, j, '[', ']') + 1;
+                        continue;
+                    }
                     if tj.is_punct(';') || tj.is_punct('}') {
                         break; // declaration only, or fn-pointer type
                     }
@@ -371,6 +377,20 @@ mod tests {
             ]
         );
         assert!(o.functions[3].body.is_empty(), "decl has no body");
+    }
+
+    #[test]
+    fn array_types_in_signatures_do_not_truncate_the_body() {
+        // The `;` inside `[f64; 4]` must not read as "declaration only" —
+        // regression: the SIMD quad kernels vanished from the alloc graph.
+        let src = r#"
+            pub fn quad(v: &[f64], cols: [&[f64]; 4], acc: &mut [f64; 4]) { work(); }
+            fn tile(acc: &mut [[f64; 4]; 4]) -> [f64; 2] { work(); [0.0; 2] }
+        "#;
+        let (_, o) = parse(src);
+        let by_name = |n: &str| o.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("quad").body.is_empty(), "quad body must be found");
+        assert!(!by_name("tile").body.is_empty(), "tile body must be found");
     }
 
     #[test]

@@ -306,6 +306,46 @@ pub fn sparse_observations<R: Rng + ?Sized>(
     model
 }
 
+/// The paper benchmark with *short* observation blocks: every state is
+/// observed through the first `m < n` rows of a random orthonormal matrix
+/// (partial observations), plus a standard Gaussian prior so the problem
+/// stays full rank.  Exercises the trapezoidal (`m_i < n_i`) step-1
+/// elimination path of the odd-even smoothers.
+pub fn short_observations<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    k: usize,
+    m: usize,
+) -> LinearModel {
+    assert!(m >= 1 && m < n, "short_observations needs 1 <= m < n");
+    let f = random::orthonormal(rng, n);
+    let g = random::orthonormal(rng, n).sub_matrix(0, 0, m, n);
+    let mut model = LinearModel::new();
+    for i in 0..=k {
+        let mut step = if i == 0 {
+            LinearStep::initial(n)
+        } else {
+            LinearStep::evolving(Evolution {
+                f: f.clone(),
+                h: None,
+                c: vec![0.0; n],
+                noise: CovarianceSpec::Identity(n),
+            })
+        };
+        step = step.with_observation(Observation {
+            g: g.clone(),
+            o: random::gaussian_vec(rng, m),
+            noise: CovarianceSpec::Identity(m),
+        });
+        model.push_step(step);
+    }
+    model.prior = Some(Prior {
+        mean: vec![0.0; n],
+        cov: CovarianceSpec::Identity(n),
+    });
+    model
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +412,17 @@ mod tests {
         assert_eq!(m.state_dim(1), 4);
         assert_eq!(m.state_dim(2), 3);
         assert!(!m.is_uniform());
+    }
+
+    #[test]
+    fn short_observations_are_short() {
+        let m = short_observations(&mut rng(), 4, 8, 2);
+        m.validate().unwrap();
+        assert_eq!(m.num_states(), 9);
+        for s in &m.steps {
+            assert_eq!(s.obs_dim(), 2);
+        }
+        assert!(m.prior.is_some());
     }
 
     #[test]

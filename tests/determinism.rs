@@ -109,6 +109,58 @@ fn blocked_kernels_stay_bitwise_equal_across_policies() {
     }
 }
 
+/// The SIMD-width-aware and const-generic monomorphized kernels are pure
+/// functions of their inputs — lane width changes *which* arithmetic runs,
+/// never the order it runs in across tasks — so with SIMD active and the
+/// plan selecting `Mono4`/`Mono8`/`Mono16`, `ExecPolicy::par()` must stay
+/// bitwise identical to `ExecPolicy::Seq` at every monomorphized width.
+#[test]
+fn simd_and_mono_kernels_stay_bitwise_equal_across_policies() {
+    for (n, k, seed) in [(4usize, 90usize, 4400u64), (8, 70, 4401), (16, 50, 4402)] {
+        // The plan must actually be selecting the monomorphic kernel here,
+        // otherwise this pin silently degrades to the blocked-kernel test.
+        let dims = vec![n; k + 1];
+        let schedule = PlanSchedule::build(&dims);
+        assert_eq!(
+            schedule.kernels(),
+            kalman::dense::KernelKind::for_dim(n),
+            "uniform n={n} plan should monomorphize"
+        );
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let model = generators::paper_benchmark(&mut rng, n, k, true);
+        let seq = odd_even_smooth(
+            &model,
+            OddEvenOptions {
+                covariances: true,
+                policy: ExecPolicy::Seq,
+                ..OddEvenOptions::default()
+            },
+        )
+        .unwrap();
+        for threads in [2usize, 8] {
+            for grain in [1usize, 10] {
+                let par = run_with_threads(threads, || {
+                    odd_even_smooth(
+                        &model,
+                        OddEvenOptions {
+                            covariances: true,
+                            policy: ExecPolicy::par_with_grain(grain),
+                            ..OddEvenOptions::default()
+                        },
+                    )
+                    .unwrap()
+                });
+                assert_bitwise(
+                    &seq,
+                    &par,
+                    &format!("mono n={n}, threads={threads} grain={grain}"),
+                );
+            }
+        }
+    }
+}
+
 /// Drives `models` through a pool under `policy`, returning each stream's
 /// finalized means in order.
 fn drive_pool(models: &[LinearModel], policy: ExecPolicy) -> Vec<Vec<Vec<f64>>> {
