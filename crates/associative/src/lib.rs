@@ -17,6 +17,17 @@
 //!   about its numerical stability, whereas the QR smoothers are
 //!   conditionally backward stable.
 //!
+//! Since the backend unification the smoother runs on the plan/execute
+//! engine: [`ScanPlan`] executes a shared symbolic
+//! [`kalman_odd_even::ScanSchedule`] against whitened step data with
+//! plan-owned scratch (zero steady-state allocations), implements
+//! [`kalman_odd_even::SmootherBackend`], and serves through the streaming
+//! stack next to the odd-even plan.  Its fixed Brent–Kung combine tree
+//! makes `Seq ≡ Par` **bitwise** (the one-shot scan helpers in
+//! `kalman-par` only promise rounding-level agreement across grains).
+//! [`associative_smooth`] is a thin one-shot wrapper over a transient
+//! plan.
+//!
 //! # Example
 //!
 //! ```
@@ -34,7 +45,9 @@
 #![forbid(unsafe_code)]
 
 mod elements;
+mod plan;
 mod smoother;
 
 pub use elements::{FilterElement, SmoothElement};
+pub use plan::{ScanOptions, ScanPlan};
 pub use smoother::{associative_filter, associative_smooth, AssociativeOptions};

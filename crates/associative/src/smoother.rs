@@ -1,9 +1,9 @@
 //! The two-scan smoother driver.
 
-use crate::elements::{FilterElement, SmoothElement};
+use crate::elements::FilterElement;
 use kalman_dense::Matrix;
 use kalman_model::{KalmanError, LinearModel, Result, Smoothed};
-use kalman_par::{inclusive_scan_in_place, map_collect, suffix_scan_in_place, ExecPolicy};
+use kalman_par::{inclusive_scan_in_place, map_collect, ExecPolicy};
 
 /// Options for the associative smoother.
 #[derive(Debug, Clone, Copy)]
@@ -57,29 +57,30 @@ pub fn associative_filter(
 
 /// Smooths `model` with the associative parallel-scan algorithm.
 ///
-/// Phase 1 builds the filtering elements (parallel per step) and runs the
-/// forward parallel scan; phase 2 builds the smoothing elements from the
-/// filtered results and runs the backward (suffix) parallel scan.  Unlike
-/// the QR smoothers, covariances are inherent to the computation and always
-/// returned.
+/// A thin wrapper over the planned path: builds a transient
+/// [`crate::ScanPlan`] for the model's shape and executes it once — phase 1
+/// builds the filtering elements (parallel per step) and runs the forward
+/// sweep, phase 2 builds the smoothing elements from the filtered results
+/// and runs the backward (suffix) sweep, both over the schedule's fixed
+/// Brent–Kung tree (so results are bitwise identical across execution
+/// policies).  Unlike the QR smoothers, covariances are inherent to the
+/// computation and always returned.
 ///
 /// # Errors
 ///
 /// Same as [`associative_filter`].
 pub fn associative_smooth(model: &LinearModel, options: AssociativeOptions) -> Result<Smoothed> {
-    let (f_means, f_covs) = associative_filter(model, options)?;
-    let k1 = model.num_states();
-    let elems: Vec<Result<SmoothElement>> = map_collect(options.policy, k1, |i| {
-        SmoothElement::for_state(model, i, &f_means[i], &f_covs[i])
-    });
-    let mut elems: Vec<SmoothElement> = elems.into_iter().collect::<Result<_>>()?;
-    suffix_scan_in_place(options.policy, &mut elems, |a, b| a.combine(b));
-    let means = elems.iter().map(|e| e.g.col(0).to_vec()).collect();
-    let covs = elems.into_iter().map(|e| e.l).collect();
-    Ok(Smoothed {
-        means,
-        covariances: Some(covs),
-    })
+    check_supported(model)?;
+    let mut plan = crate::ScanPlan::for_model(
+        model,
+        crate::ScanOptions {
+            policy: options.policy,
+            fold: false,
+        },
+    )?;
+    // One-shot execution: workspace retention would never be harvested.
+    plan.set_arena(false);
+    plan.smooth_model(model)
 }
 
 #[cfg(test)]

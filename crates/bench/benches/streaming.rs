@@ -15,6 +15,7 @@ fn opts(lag: usize) -> StreamOptions {
         policy: ExecPolicy::Seq,
         auto_flush: true,
         lag_policy: None,
+        ..StreamOptions::default()
     }
 }
 

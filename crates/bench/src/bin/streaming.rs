@@ -29,6 +29,7 @@ fn stream_opts(lag: usize, flush: usize) -> StreamOptions {
         policy: ExecPolicy::Seq,
         auto_flush: true,
         lag_policy: None,
+        ..StreamOptions::default()
     }
 }
 

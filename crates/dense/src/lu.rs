@@ -9,8 +9,13 @@ use crate::{DenseError, Matrix, Result};
 pub struct LuFactor {
     /// Packed factors: `U` on and above the diagonal, unit-`L` below.
     packed: Matrix,
-    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of `A`.
-    perm: Vec<usize>,
+    /// Row permutation as an `n × 1` column of exact small integers: row `i`
+    /// of the factored matrix is row `perm[i]` of `A`.  Stored in a [`Matrix`]
+    /// rather than a `Vec<usize>` so the pivots cycle through the workspace
+    /// pool like every other buffer — the associative-scan backend factors
+    /// two of these per element combine in its steady state, which must stay
+    /// allocation-free.
+    perm: Matrix,
     /// Sign of the permutation (for determinants).
     sign: f64,
 }
@@ -28,7 +33,10 @@ impl LuFactor {
     pub fn new(mut a: Matrix) -> Result<Self> {
         assert!(a.is_square(), "LU requires a square matrix");
         let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm = Matrix::zeros(n, 1);
+        for (i, p) in perm.col_mut(0).iter_mut().enumerate() {
+            *p = i as f64;
+        }
         let mut sign = 1.0;
         for j in 0..n {
             // Find pivot in column j at or below the diagonal.
@@ -50,7 +58,7 @@ impl LuFactor {
                     let ck = a.col_mut(k);
                     ck.swap(piv, j);
                 }
-                perm.swap(piv, j);
+                perm.col_mut(0).swap(piv, j);
                 sign = -sign;
             }
             let pivot = a[(j, j)];
@@ -91,8 +99,9 @@ impl LuFactor {
             let bk = b.col(k);
             let xk = x.col_mut(k);
             // Apply permutation.
+            let perm = self.perm.col(0);
             for i in 0..n {
-                xk[i] = bk[self.perm[i]];
+                xk[i] = bk[perm[i] as usize];
             }
             // Forward solve with unit lower factor.
             for i in 0..n {
@@ -135,7 +144,7 @@ impl LuFactor {
 ///
 /// Returns [`DenseError::Singular`] if `a` is singular.
 pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix> {
-    Ok(LuFactor::new(a.clone())?.solve(b))
+    Ok(LuFactor::new(a.clone())?.solve(b)) // lint: allow(alloc, "allocating convenience wrapper; hot paths hold a LuFactor — the scan-element edge is a name-graph artifact of Cholesky::solve sharing the name")
 }
 
 #[cfg(test)]

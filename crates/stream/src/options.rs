@@ -1,6 +1,7 @@
 //! Configuration and output types of the streaming smoother.
 
 use kalman_dense::Matrix;
+use kalman_odd_even::BackendPolicy;
 use kalman_par::ExecPolicy;
 
 /// How a [`crate::StreamingSmoother`] picks its finalization lag.
@@ -89,6 +90,13 @@ pub struct StreamOptions {
     /// a full window.  Disabled by pooled streams, whose flushes are
     /// batched by [`crate::SmootherPool::poll`].
     pub auto_flush: bool,
+    /// Which smoothing backend executes each window flush.  The default is
+    /// read from the `KALMAN_BACKEND` environment variable (`odd-even` when
+    /// unset) so a whole test or serving run flips backends without code
+    /// changes.  Windows a requested backend cannot structurally or
+    /// numerically handle fall back to the odd-even plan — see
+    /// DESIGN.md §"Backend trait + dispatch".
+    pub backend: BackendPolicy,
 }
 
 impl Default for StreamOptions {
@@ -100,6 +108,7 @@ impl Default for StreamOptions {
             covariances: false,
             policy: ExecPolicy::par(),
             auto_flush: true,
+            backend: BackendPolicy::from_env(),
         }
     }
 }

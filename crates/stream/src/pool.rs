@@ -360,6 +360,7 @@ mod tests {
             covariances: false,
             policy: ExecPolicy::Seq,
             auto_flush: true, // insert() must override this
+            ..StreamOptions::default()
         }
     }
 
@@ -527,6 +528,7 @@ mod tests {
             policy: ExecPolicy::Seq,
             auto_flush: false,
             lag_policy: None,
+            ..StreamOptions::default()
         };
         let healthy = pool.insert(
             StreamingSmoother::with_prior(vec![0.0], CovarianceSpec::Identity(1), opts).unwrap(),

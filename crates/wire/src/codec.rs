@@ -16,7 +16,9 @@ use crate::error::{Result, WireError};
 use kalman_dense::Matrix;
 use kalman_model::{CovarianceSpec, Evolution, Observation, StreamEvent};
 use kalman_par::ExecPolicy;
-use kalman_stream::{Checkpoint, FinalizedStep, LagPolicy, StreamOptions, WindowSnapshot};
+use kalman_stream::{
+    BackendPolicy, Checkpoint, FinalizedStep, LagPolicy, StreamOptions, WindowSnapshot,
+};
 
 /// Appends a matrix (`rows`, `cols`, column-major data).
 pub fn encode_matrix(w: &mut Writer, m: &Matrix) {
@@ -368,7 +370,18 @@ pub fn encode_stream_options(w: &mut Writer, opts: &StreamOptions) {
     w.put_u8(opts.covariances as u8);
     encode_exec_policy(w, opts.policy);
     w.put_u8(opts.auto_flush as u8);
+    w.put_u8(match opts.backend {
+        BackendPolicy::OddEven => BACKEND_ODD_EVEN,
+        BackendPolicy::Scan => BACKEND_SCAN,
+        BackendPolicy::SequentialRts => BACKEND_RTS,
+        BackendPolicy::Auto => BACKEND_AUTO,
+    });
 }
+
+const BACKEND_ODD_EVEN: u8 = 0;
+const BACKEND_SCAN: u8 = 1;
+const BACKEND_RTS: u8 = 2;
+const BACKEND_AUTO: u8 = 3;
 
 /// Decodes stream options.
 pub fn decode_stream_options(r: &mut Reader<'_>) -> Result<StreamOptions> {
@@ -392,6 +405,18 @@ pub fn decode_stream_options(r: &mut Reader<'_>) -> Result<StreamOptions> {
     let covariances = decode_bool(r, "covariances flag")?;
     let policy = decode_exec_policy(r)?;
     let auto_flush = decode_bool(r, "auto-flush flag")?;
+    let backend = match r.get_u8()? {
+        BACKEND_ODD_EVEN => BackendPolicy::OddEven,
+        BACKEND_SCAN => BackendPolicy::Scan,
+        BACKEND_RTS => BackendPolicy::SequentialRts,
+        BACKEND_AUTO => BackendPolicy::Auto,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "backend policy",
+                tag,
+            })
+        }
+    };
     Ok(StreamOptions {
         lag,
         lag_policy,
@@ -399,6 +424,7 @@ pub fn decode_stream_options(r: &mut Reader<'_>) -> Result<StreamOptions> {
         covariances,
         policy,
         auto_flush,
+        backend,
     })
 }
 
@@ -599,6 +625,7 @@ mod tests {
             covariances: true,
             policy: ExecPolicy::Par { grain: 5 },
             auto_flush: false,
+            backend: BackendPolicy::Scan,
         };
         let mut w = Writer::new();
         encode_stream_options(&mut w, &opts);
@@ -611,6 +638,20 @@ mod tests {
         assert!(back.covariances);
         assert_eq!(back.policy, ExecPolicy::Par { grain: 5 });
         assert!(!back.auto_flush);
+        assert_eq!(back.backend, BackendPolicy::Scan);
+
+        // Every backend tag survives the trip (the options byte is the
+        // protocol-version-2 addition).
+        for backend in [
+            BackendPolicy::OddEven,
+            BackendPolicy::SequentialRts,
+            BackendPolicy::Auto,
+        ] {
+            let mut w = Writer::new();
+            encode_stream_options(&mut w, &StreamOptions { backend, ..opts });
+            let mut r = Reader::new(w.as_slice());
+            assert_eq!(decode_stream_options(&mut r).unwrap().backend, backend);
+        }
     }
 
     #[test]

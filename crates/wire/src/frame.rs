@@ -24,8 +24,9 @@ use crate::error::{Result, WireError};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"KLMW";
 
-/// Protocol version this build encodes and accepts.
-pub const VERSION: u16 = 1;
+/// Protocol version this build encodes and accepts.  Version 2 added the
+/// backend-policy byte to the stream-options payload.
+pub const VERSION: u16 = 2;
 
 /// Size of the fixed frame header.
 pub const HEADER_LEN: usize = 16;

@@ -54,7 +54,7 @@ fn build_events(n: usize, cycles: usize, per_cycle: usize) -> Vec<(Evolution, Ob
     events
 }
 
-fn run_steady_state(covariances: bool) {
+fn run_steady_state(covariances: bool, backend: BackendPolicy) {
     let _guard = EXCLUSIVE.lock().unwrap_or_else(|p| p.into_inner());
     let n = 4;
     let lag = 6;
@@ -65,7 +65,8 @@ fn run_steady_state(covariances: bool) {
         covariances,
         policy: ExecPolicy::Seq,
         auto_flush: false,
-        lag_policy: None,
+        backend,
+        ..StreamOptions::default()
     };
     let mut stream =
         StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();
@@ -137,12 +138,29 @@ fn run_steady_state(covariances: bool) {
 
 #[test]
 fn streaming_flush_is_allocation_free_after_warmup() {
-    run_steady_state(false);
+    run_steady_state(false, BackendPolicy::from_env());
 }
 
 #[test]
 fn streaming_flush_with_covariances_is_allocation_free_after_warmup() {
-    run_steady_state(true);
+    run_steady_state(true, BackendPolicy::from_env());
+}
+
+/// The associative-scan backend makes the same zero-allocation promise as
+/// the odd-even plan: once its element/sweep scratch (and the pooled LU
+/// pivot columns inside every combine) are warm, a steady-state flush
+/// through a `ScanPlan` touches the heap not at all.
+#[test]
+fn scan_streaming_flush_is_allocation_free_after_warmup() {
+    run_steady_state(false, BackendPolicy::Scan);
+}
+
+/// Same promise with the SelInv-equivalent covariance emission on (the
+/// scan backend computes covariances inherently; `selinv_into` only copies
+/// them out through reused containers).
+#[test]
+fn scan_streaming_flush_with_covariances_is_allocation_free_after_warmup() {
+    run_steady_state(true, BackendPolicy::Scan);
 }
 
 /// Batch-scale plan reuse: a `SmoothPlan` built once for a `k = 20 000`
@@ -318,7 +336,7 @@ fn saturated_sharded_serving_is_allocation_free_and_matches_unsharded() {
         covariances: false,
         policy: ExecPolicy::Seq,
         auto_flush: false,
-        lag_policy: None,
+        ..StreamOptions::default()
     };
 
     // Pre-built per-stream event sequences (producers move events out of
@@ -545,7 +563,7 @@ fn disabling_the_workspace_pool_restores_allocations() {
         covariances: false,
         policy: ExecPolicy::Seq,
         auto_flush: false,
-        lag_policy: None,
+        ..StreamOptions::default()
     };
     let mut stream =
         StreamingSmoother::with_prior(vec![0.0; n], CovarianceSpec::Identity(n), opts).unwrap();

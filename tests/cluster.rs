@@ -37,6 +37,7 @@ fn serve_opts() -> StreamOptions {
         covariances: false,
         policy: ExecPolicy::Seq,
         auto_flush: false,
+        ..StreamOptions::default()
     }
 }
 
